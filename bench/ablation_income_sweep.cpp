@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Ablation: where do NEOFog's gains live on the income axis?
+ *
+ * Sweeps the mean ambient income and reports each system's yield,
+ * exposing the crossover structure behind the paper's scenarios:
+ *  - at starvation nobody delivers;
+ *  - through the harvesting regime NEOFog's advantage peaks (the
+ *    Fig 10/11/13 operating points);
+ *  - with ample income all systems approach the sampling bound and the
+ *    relative advantage compresses (the Fig 12 regime).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "fog/fog_system.hh"
+#include "fog/presets.hh"
+
+using namespace neofog;
+using namespace neofog::bench;
+
+int
+main()
+{
+    header("Ablation: yield vs mean income (forest traces, 10 nodes, "
+           "5 h)");
+
+    const presets::SystemUnderTest systems[] = {
+        presets::nosVp(),
+        presets::nosNvpBaseline(),
+        presets::fiosNeofog(),
+    };
+
+    Table t({12, 12, 12, 12, 14, 14});
+    t.row({"Income mW", "VP", "NVP+tree", "NEOFog", "NEOFog/VP",
+           "NEOFog/NVP"});
+    t.separator();
+
+    for (double mw : {0.2, 0.5, 1.0, 2.0, 2.6, 4.0, 6.0, 10.0, 16.0}) {
+        double totals[3] = {};
+        for (int si = 0; si < 3; ++si) {
+            ScenarioConfig cfg = presets::fig10(systems[si], 0);
+            cfg.meanIncome = Power::fromMilliwatts(mw);
+            cfg.seed = 7;
+            FogSystem sys(cfg);
+            totals[si] =
+                static_cast<double>(sys.run().totalProcessed());
+        }
+        t.row({fmt(mw, 1), fmt(totals[0], 0), fmt(totals[1], 0),
+               fmt(totals[2], 0),
+               totals[0] > 0.0 ? fmt(totals[2] / totals[0], 2) + "x"
+                               : "inf",
+               totals[1] > 0.0 ? fmt(totals[2] / totals[1], 2) + "x"
+                               : "inf"});
+    }
+
+    std::printf("\nShape check: the NEOFog advantage is largest in the "
+                "harvesting regime and\ncompresses toward 1x as every "
+                "system approaches the 15000-package sampling\nbound.\n");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Ablation: MAC-abstracted delivery vs hop-by-hop relaying.
+ *
+ * The paper's simulator "mimics communication by direct data
+ * transmission ... through virtual buffers" (§4), treating multi-hop
+ * relay as a MAC-layer concern.  This ablation quantifies what that
+ * abstraction hides: with explicit hop-by-hop relaying toward the
+ * sink, intermediate nodes pay RX+TX for every packet that crosses
+ * them, producing the classic WSN funnel effect — nodes next to the
+ * sink burn far more radio energy than the chain's far end.  NEOFog's
+ * tiny compressed results keep that tax small; raw-shipping VP chains
+ * feel it hard.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "fog/fog_system.hh"
+#include "fog/presets.hh"
+
+using namespace neofog;
+using namespace neofog::bench;
+
+namespace {
+
+void
+runOne(const presets::SystemUnderTest &sut, bool relay)
+{
+    ScenarioConfig cfg = presets::fig10(sut, 0);
+    cfg.hopByHopRelay = relay;
+    cfg.meanIncome = Power::fromMilliwatts(5.0);
+    cfg.seed = 3;
+    FogSystem sys(cfg);
+    const SystemReport r = sys.run();
+
+    std::printf("  %-14s %-10s total %5llu  relay hops %6llu  "
+                "drops %4llu\n",
+                sut.label.c_str(), relay ? "hop-by-hop" : "direct",
+                static_cast<unsigned long long>(r.totalProcessed()),
+                static_cast<unsigned long long>(r.relayHops),
+                static_cast<unsigned long long>(r.relayDrops));
+    if (relay) {
+        std::printf("    radio energy by chain position (mJ):");
+        for (std::size_t i = 1; i < 10; ++i) {
+            const auto &st = sys.node(0, i).stats();
+            std::printf(" %5.0f", st.spentTx.millijoules() +
+                                      st.spentRx.millijoules());
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Ablation: direct (MAC-abstracted) vs hop-by-hop relay "
+           "delivery");
+
+    for (const auto &sut :
+         {presets::nosVp(), presets::fiosNeofog()}) {
+        runOne(sut, false);
+        runOne(sut, true);
+    }
+
+    std::printf("\nShape check: relaying taxes the chain near the sink "
+                "(funnel effect), and the\ntax scales with payload — "
+                "the VP's raw packets suffer far more than NEOFog's\n"
+                "compressed results, reinforcing the case for in-fog "
+                "processing.\n");
+    return 0;
+}

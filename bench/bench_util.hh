@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: aligned table printing
+ * and paper-vs-measured annotation.
+ */
+
+#ifndef NEOFOG_BENCH_BENCH_UTIL_HH
+#define NEOFOG_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace neofog::bench {
+
+/** Print a horizontal rule sized to @p width. */
+inline void
+rule(int width = 78)
+{
+    for (int i = 0; i < width; ++i)
+        std::putchar('-');
+    std::putchar('\n');
+}
+
+/** Print a section header. */
+inline void
+header(const std::string &title)
+{
+    std::printf("\n");
+    rule();
+    std::printf("%s\n", title.c_str());
+    rule();
+}
+
+/**
+ * Simple fixed-width table printer: set column widths, then feed rows
+ * of strings.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<int> widths) : _widths(std::move(widths))
+    {}
+
+    void
+    row(const std::vector<std::string> &cells)
+    {
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            const int w =
+                i < _widths.size() ? _widths[i] : 12;
+            std::printf("%-*s", w, cells[i].c_str());
+        }
+        std::printf("\n");
+    }
+
+    void
+    separator()
+    {
+        int total = 0;
+        for (int w : _widths)
+            total += w;
+        rule(total);
+    }
+
+  private:
+    std::vector<int> _widths;
+};
+
+/** Format a double with the given precision. */
+inline std::string
+fmt(double v, int precision = 2)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+/** Format a percentage. */
+inline std::string
+pct(double v, int precision = 1)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
+    return buf;
+}
+
+} // namespace neofog::bench
+
+#endif // NEOFOG_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Reproduces Figure 10: total data packages captured and processed by
+ * the fog under five ample, *independent* power traces (forest fire
+ * monitoring), for the three systems:
+ *   NOS-VP (no LB), NOS-NVP (baseline tree LB), FIOS-NEOFog
+ *   (distributed LB).
+ *
+ * Paper reference points (averages): VP 13656 wakeups / 2664 packages;
+ * NVP 12383 wakeups / 3236 total / 3045 in-fog; NEOFog ~similar
+ * wakeups / 5582 total (37% of the 15000 ideal) / 5018 in-fog.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "fog/fog_system.hh"
+#include "fog/presets.hh"
+
+using namespace neofog;
+using namespace neofog::bench;
+
+int
+main()
+{
+    header("Figure 10: independent power profiles (forest), 10-node "
+           "chain, 5 h, ideal = 15000");
+
+    const presets::SystemUnderTest systems[] = {
+        presets::nosVp(),
+        presets::nosNvpBaseline(),
+        presets::fiosNeofog(),
+    };
+
+    Table t({18, 10, 10, 10, 10, 10, 10, 12, 10});
+    t.row({"System", "Profile1", "Profile2", "Profile3", "Profile4",
+           "Profile5", "Average", "AvgWakeups", "AvgFog"});
+    t.separator();
+
+    double avg_total[3] = {};
+    for (int si = 0; si < 3; ++si) {
+        const auto &sut = systems[si];
+        std::vector<std::string> cells{sut.label};
+        std::uint64_t sum_total = 0, sum_wake = 0, sum_fog = 0;
+        for (int profile = 0; profile < 5; ++profile) {
+            FogSystem system(presets::fig10(sut, profile));
+            const SystemReport r = system.run();
+            cells.push_back(std::to_string(r.totalProcessed()));
+            sum_total += r.totalProcessed();
+            sum_wake += r.wakeups;
+            sum_fog += r.packagesInFog;
+        }
+        avg_total[si] = static_cast<double>(sum_total) / 5.0;
+        cells.push_back(fmt(avg_total[si], 0));
+        cells.push_back(fmt(static_cast<double>(sum_wake) / 5.0, 0));
+        cells.push_back(fmt(static_cast<double>(sum_fog) / 5.0, 0));
+        t.row(cells);
+    }
+
+    std::printf("\nShape checks (paper in parentheses):\n");
+    std::printf("  NVP/VP total     = %.2fx (1.21x)\n",
+                avg_total[1] / avg_total[0]);
+    std::printf("  NEOFog/VP total  = %.2fx (2.10x)\n",
+                avg_total[2] / avg_total[0]);
+    std::printf("  NEOFog/NVP total = %.2fx (1.72x)\n",
+                avg_total[2] / avg_total[1]);
+    std::printf("  NEOFog yield     = %.1f%% of ideal (37%%)\n",
+                100.0 * avg_total[2] / 15000.0);
+    return 0;
+}

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Reproduces Figures 1 and 4: the node-level timing/energy breakdown of
+ * the three work sequences — NOS-VP, NOS-NVP, and FIOS (NVP + NVRF).
+ *
+ * Paper reference points: VP restart ~300 us and software RF init
+ * (531 ms measured for ML7266 at a 1 MHz host) plus 30 ms-1 s network
+ * rebuild; NOS-NVP restore 32 us with 33 ms NVM-direct RF init; FIOS
+ * restore 7 us with 1.2 ms NVRF self-init (the 27x speedup) and
+ * millisecond-scale transmission setup (6.2x throughput advantage).
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "hw/processor.hh"
+#include "hw/rf.hh"
+#include "hw/sensor.hh"
+
+using namespace neofog;
+using namespace neofog::bench;
+
+int
+main()
+{
+    header("Figures 1/4: node-level phase breakdown (per activation, "
+           "64-byte payload)");
+
+    const std::size_t payload = 64;
+
+    Table t({16, 16, 16, 16, 16, 14});
+    t.row({"System", "CPU wake", "Sensor", "RF init", "TX 64B",
+           "Total"});
+    t.separator();
+
+    auto print_system = [&](const std::string &label, Processor &cpu,
+                            RfModule &rf, SensorSpec sensor) {
+        const double wake_ms = msFromTicks(cpu.wakeLatency());
+        const double sensor_ms =
+            msFromTicks(sensor.initLatency + sensor.sampleLatency);
+        const RfPhase init = rf.initCost();
+        const RfPhase tx = rf.txCost(payload);
+        const double total_ms = wake_ms + sensor_ms +
+                                msFromTicks(init.duration) +
+                                msFromTicks(tx.duration);
+        t.row({label, fmt(wake_ms, 3) + " ms", fmt(sensor_ms, 1) + " ms",
+               fmt(msFromTicks(init.duration), 1) + " ms",
+               fmt(msFromTicks(tx.duration), 1) + " ms",
+               fmt(total_ms, 1) + " ms"});
+        t.row({"", fmt(cpu.wakeEnergy().microjoules(), 2) + " uJ",
+               fmt((sensor.initEnergy() + sensor.sampleEnergy())
+                       .microjoules(), 2) + " uJ",
+               fmt(init.energy.millijoules(), 2) + " mJ",
+               fmt(tx.energy.millijoules(), 2) + " mJ", ""});
+    };
+
+    {
+        VolatileProcessor vp;
+        SoftwareRf rf;
+        print_system("NOS-VP", vp, rf, sensors::tmp101());
+    }
+    {
+        NvProcessor nvp;
+        SoftwareRf rf{SoftwareRf::nvmDirectConfig()};
+        print_system("NOS-NVP", nvp, rf, sensors::tmp101());
+    }
+    {
+        NvProcessor nvp{NvProcessor::fiosConfig()};
+        NvRfController rf;
+        rf.configure();
+        print_system("FIOS NV-mote", nvp, rf, sensors::tmp101());
+    }
+
+    // Headline derived ratios.
+    SoftwareRf sw_vp;
+    SoftwareRf sw_nvm{SoftwareRf::nvmDirectConfig()};
+    NvRfController nvrf;
+    nvrf.configure();
+
+    std::printf("\nDerived ratios (paper in parentheses):\n");
+    std::printf("  RF init speedup, NVRF vs NVM-direct: %.1fx (27x)\n",
+                msFromTicks(sw_nvm.swConfig().initLatency) /
+                    msFromTicks(nvrf.nvConfig().selfInitLatency));
+    std::printf("  RF init speedup, NVRF vs software:   %.0fx "
+                "(531 ms -> 1.2 ms)\n",
+                msFromTicks(sw_vp.swConfig().initLatency) /
+                    msFromTicks(nvrf.nvConfig().selfInitLatency));
+
+    // Throughput advantage: sustained bytes/s including per-packet
+    // overheads.  The paper's 6.2x corresponds to multi-kB transfers;
+    // at small payloads the fixed-cost elimination makes the NVRF
+    // advantage even larger.
+    const std::size_t bulk = 3700;
+    std::printf("  TX throughput advantage, NVRF vs software RF: "
+                "%.1fx at %zu B (6.2x), %.1fx at %zu B\n",
+                msFromTicks(sw_nvm.txCost(bulk).duration) /
+                    msFromTicks(nvrf.txCost(bulk).duration),
+                bulk,
+                msFromTicks(sw_nvm.txCost(payload).duration) /
+                    msFromTicks(nvrf.txCost(payload).duration),
+                payload);
+
+    NvProcessor nos_nvp;
+    VolatileProcessor vp;
+    std::printf("  CPU wake: VP %.0f us vs NOS-NVP %.0f us vs FIOS "
+                "%.0f us (300/32/7 us)\n",
+                static_cast<double>(vp.wakeLatency()),
+                static_cast<double>(nos_nvp.wakeLatency()),
+                static_cast<double>(
+                    NvProcessor{NvProcessor::fiosConfig()}
+                        .wakeLatency()));
+
+    // ASCII rendition of Fig 1/4's activation timelines: one glyph per
+    // ~25 ms of activation time ('.'=cpu wake, 's'=sensor, 'i'=RF
+    // init, 'j'=network rejoin, 'T'=transmit, 'C'=fog compute on
+    // intermittent power).
+    std::printf("\nActivation timelines (1 glyph ~ 25 ms):\n");
+    auto bar = [](char c, double ms) {
+        const int n = std::max(1, static_cast<int>(ms / 25.0));
+        for (int i = 0; i < n && i < 60; ++i)
+            std::putchar(c);
+    };
+    {
+        SoftwareRf rf;
+        std::printf("  %-10s", "NOS-VP");
+        bar('.', 0.3);
+        bar('s', msFromTicks(sensors::tmp101().initLatency));
+        bar('i', msFromTicks(rf.swConfig().initLatency));
+        bar('j', msFromTicks(rf.swConfig().rejoinLatency));
+        bar('T', msFromTicks(rf.txCost(payload).duration));
+        std::printf("\n");
+    }
+    {
+        SoftwareRf rf{SoftwareRf::nvmDirectConfig()};
+        std::printf("  %-10s", "NOS-NVP");
+        bar('.', 0.032);
+        bar('s', msFromTicks(sensors::tmp101().initLatency));
+        bar('i', msFromTicks(rf.swConfig().initLatency));
+        bar('j', msFromTicks(rf.swConfig().rejoinLatency));
+        bar('T', msFromTicks(rf.txCost(payload).duration));
+        std::printf("\n");
+    }
+    {
+        NvRfController rf;
+        rf.configure();
+        std::printf("  %-10s", "FIOS");
+        bar('.', 0.007);
+        bar('s', msFromTicks(sensors::tmp101().initLatency));
+        bar('C', 400.0); // complex fog computing on direct power
+        bar('i', msFromTicks(rf.nvConfig().selfInitLatency));
+        bar('T', msFromTicks(rf.txCost(payload).duration));
+        std::printf("\n");
+    }
+    std::printf("\n  The FIOS activation spends its time computing "
+                "('C'), not waiting on the\n  radio ('i'/'j'/'T') — "
+                "the Fig 1 shift from RF-dominated to compute-"
+                "intensive.\n");
+    return 0;
+}

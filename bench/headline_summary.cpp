@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces the paper's headline claims (§1, §7):
+ *
+ *  "Collectively, the NV-aware optimizations in NEOFog increase the
+ *   ability to perform in-fog processing by 4.2X and can increase this
+ *   to 8X if virtualized nodes are 3X multiplexed."
+ *
+ * The 4.2x figure is the in-fog processing gain of the full NEOFog
+ * stack over the VP baseline in the low-power (rain) deployment where
+ * QoS matters most; 8x adds 3x NVD4Q multiplexing.  This bench also
+ * prints the per-technique contribution ladder (FIOS alone, +LB,
+ * +NVD4Q) as an ablation.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "fog/fog_system.hh"
+#include "fog/presets.hh"
+
+using namespace neofog;
+using namespace neofog::bench;
+
+namespace {
+
+double
+runTotal(const ScenarioConfig &cfg)
+{
+    FogSystem sys(cfg);
+    return static_cast<double>(sys.run().totalProcessed());
+}
+
+} // namespace
+
+int
+main()
+{
+    header("Headline: in-fog processing gains of the NEOFog stack "
+           "(low-power deployment)");
+
+    // Reference: traditional VP, no load balance, rain scenario.
+    const double vp = runTotal(presets::fig13(presets::nosVp(), 1));
+
+    // Ablation ladder.
+    presets::SystemUnderTest fios_nolb = presets::fiosNeofog();
+    fios_nolb.balancerPolicy = "none";
+    fios_nolb.label = "FIOS (no LB)";
+    const double fios = runTotal(presets::fig13(fios_nolb, 1));
+
+    presets::SystemUnderTest fios_tree = presets::fiosNeofog();
+    fios_tree.balancerPolicy = "tree";
+    fios_tree.label = "FIOS + tree LB";
+    const double fios_t = runTotal(presets::fig13(fios_tree, 1));
+
+    const double neofog =
+        runTotal(presets::fig13(presets::fiosNeofog(), 1));
+    const double neofog3x =
+        runTotal(presets::fig13(presets::fiosNeofog(), 3));
+
+    Table t({34, 14, 12});
+    t.row({"System", "Processed", "vs VP"});
+    t.separator();
+    t.row({"NOS-VP (reference)", fmt(vp, 0), "1.00x"});
+    t.row({"FIOS NV-mote, no LB", fmt(fios, 0), fmt(fios / vp, 2) + "x"});
+    t.row({"FIOS + baseline tree LB", fmt(fios_t, 0),
+           fmt(fios_t / vp, 2) + "x"});
+    t.row({"FIOS + distributed LB (NEOFog)", fmt(neofog, 0),
+           fmt(neofog / vp, 2) + "x"});
+    t.row({"NEOFog + 3x NVD4Q multiplexing", fmt(neofog3x, 0),
+           fmt(neofog3x / vp, 2) + "x"});
+
+    std::printf("\nHeadline checks (paper in parentheses):\n");
+    std::printf("  NEOFog vs VP:        %.1fx (4.2x)\n", neofog / vp);
+    std::printf("  NEOFog @3x vs VP:    %.1fx (8x)\n", neofog3x / vp);
+    return 0;
+}

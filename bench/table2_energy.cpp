@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Reproduces Table 2: measured energy distribution of the five deployed
+ * applications under the naive and buffered strategies.
+ *
+ * Two parts:
+ *  1. The analytic table, regenerated from the model constants
+ *     (2.508 nJ/instruction, 2851.2 nJ/byte TX) and the paper's own
+ *     formulas (4)-(6).  Every cell should match the paper.
+ *  2. A kernel-backed validation: the real fog pipelines run on
+ *     synthetic sensor batches, reporting the *achieved* compression
+ *     ratio and operation counts, confirming the modeled ratios are
+ *     attainable with actual computation.
+ */
+
+#include <cstdio>
+
+#include "bench_util.hh"
+#include "sim/rng.hh"
+#include "workload/app_profile.hh"
+#include "workload/fog_task.hh"
+
+using namespace neofog;
+using namespace neofog::bench;
+
+namespace {
+
+struct PaperRow
+{
+    double computeNj, txNj;
+    double naiveRatio;
+    double computeMj, txMj;
+    double bufferedRatio;
+    double saved;
+};
+
+// Table 2 as printed in the paper, for side-by-side comparison.
+const PaperRow kPaper[5] = {
+    {1366.86, 22809.6, 0.0565, 81.7, 6.95, 0.922, -0.552},
+    {1153.68, 5702.4, 0.168, 108.3, 6.8, 0.941, -0.488},
+    {140.448, 5702.4, 0.024, 75.0, 6.99, 0.915, -0.571},
+    {1196.316, 17107.2, 0.0653, 83.6, 6.59, 0.927, -0.549},
+    {4188.36, 2851.2, 0.595, 345.1, 5.39, 0.985, -0.241},
+};
+
+} // namespace
+
+int
+main()
+{
+    header("Table 2 (analytic): energy distribution, naive vs buffered "
+           "strategy");
+    Table t({18, 8, 13, 13, 9, 13, 11, 9, 10});
+    t.row({"App", "Inst.", "Cmp nJ", "TX nJ", "Ratio", "Cmp mJ",
+           "TX mJ", "Ratio", "Saved"});
+    t.separator();
+
+    const auto profiles = allAppProfiles();
+    for (std::size_t i = 0; i < profiles.size(); ++i) {
+        const AppProfile &p = profiles[i];
+        t.row({
+            p.name,
+            std::to_string(p.naiveInstructions),
+            fmt(p.naiveComputeEnergy().nanojoules(), 2),
+            fmt(p.naiveTxEnergy().nanojoules(), 1),
+            pct(p.naiveComputeRatio()),
+            fmt(p.bufferedComputeEnergy().millijoules(), 1),
+            fmt(p.bufferedTxEnergy().millijoules(), 2),
+            pct(p.bufferedComputeRatio()),
+            pct(p.energySavedRatio()),
+        });
+    }
+
+    header("Paper values for comparison");
+    Table tp({18, 8, 13, 13, 9, 13, 11, 9, 10});
+    tp.row({"App", "Inst.", "Cmp nJ", "TX nJ", "Ratio", "Cmp mJ",
+            "TX mJ", "Ratio", "Saved"});
+    tp.separator();
+    const char *names[5] = {"Bridge Health", "UV Meter", "WSN-Temp.",
+                            "WSN-Accel.", "Pattern Matching"};
+    for (int i = 0; i < 5; ++i) {
+        const PaperRow &r = kPaper[i];
+        tp.row({
+            names[i], "-",
+            fmt(r.computeNj, 2), fmt(r.txNj, 1), pct(r.naiveRatio),
+            fmt(r.computeMj, 1), fmt(r.txMj, 2), pct(r.bufferedRatio),
+            pct(r.saved),
+        });
+    }
+
+    header("Kernel-backed validation: real pipelines on synthetic "
+           "batches (16 kB)");
+    Table tv({18, 20, 14, 16, 14});
+    tv.row({"App", "Pipeline", "Ops", "Achieved comp.", "Metric"});
+    tv.separator();
+    Rng rng(2018);
+    for (AppKind kind : kAllApps) {
+        auto task = makeFogTask(kind);
+        const FogOutput out = task->processBatch(16 * 1024, rng);
+        tv.row({
+            appName(kind),
+            task->name(),
+            std::to_string(out.opsExecuted),
+            pct(out.achievedRatio()),
+            fmt(out.metric, 3),
+        });
+    }
+    std::printf("\nNote: achieved compression operates on the pipeline's"
+                " *result* payloads\n(strength records, beat positions,"
+                " aggregates), which is why results stay\nwithin the"
+                " paper's 3-14.5%% window even for short batches.\n");
+    return 0;
+}

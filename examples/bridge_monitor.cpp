@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Bridge health monitoring — the paper's flagship deployment (§3.1).
+ *
+ * Part 1 runs the *actual* in-fog pipeline on synthetic cable
+ * vibration: 3-axis combination, noise removal, FFT, three tension
+ * models, temperature compensation, and compression — exactly the work
+ * NEOFog moves from the cloud to the mote.
+ *
+ * Part 2 simulates a 10-node chain on the bridge for a day segment
+ * under dependent solar power, comparing the NOS-VP baseline with the
+ * FIOS NEOFog system.
+ */
+
+#include <cstdio>
+
+#include "fog/fog_system.hh"
+#include "fog/presets.hh"
+#include "kernels/bridge_model.hh"
+#include "kernels/compress.hh"
+#include "kernels/signal_gen.hh"
+#include "sim/rng.hh"
+
+using namespace neofog;
+
+namespace {
+
+void
+runStrengthPipeline()
+{
+    std::printf("== In-fog cable strength pipeline ==\n");
+    Rng rng(2024);
+    kernels::CableSpec spec;
+    spec.lengthM = 120.0;
+    spec.massPerMeterKg = 75.0;
+
+    // Healthy cable: fundamental at 1.1 Hz.  Calibrate the nominal
+    // tension to the healthy state.
+    spec.nominalTensionN = kernels::tensionFromHarmonic(1.1, 1, spec);
+
+    const std::array<double, 3> dir{0.10, 0.06, 0.99};
+    const double rate_hz = 100.0;
+
+    struct Case
+    {
+        const char *label;
+        double fundamentalHz;
+        double temperatureC;
+    };
+    const Case cases[] = {
+        {"healthy, mild day", 1.10, 18.0},
+        {"healthy, hot day", 1.10, 38.0},
+        {"slackened cable (-10% f)", 0.99, 18.0},
+        {"damaged cable (-25% f)", 0.83, 18.0},
+    };
+
+    for (const Case &c : cases) {
+        auto axes = kernels::threeAxisVibration(rng, 4096, rate_hz,
+                                                c.fundamentalHz, dir,
+                                                0.12);
+        const auto est = kernels::estimateStrength(
+            axes[0], axes[1], axes[2], dir, rate_hz, spec,
+            c.temperatureC);
+
+        // What actually leaves the node: the compressed record.
+        std::vector<double> record{est.fundamentalHz, est.tensionN,
+                                   est.strengthRatio};
+        const auto payload = kernels::compress(
+            kernels::quantize16(record, -1.0e7, 1.0e8));
+
+        std::printf("  %-26s f0=%.2f Hz  tension=%.2f MN  "
+                    "strength=%.2f  payload=%zu B\n",
+                    c.label, est.fundamentalHz, est.tensionN / 1e6,
+                    est.strengthRatio, payload.size());
+    }
+    std::printf("\n");
+}
+
+void
+runChainSimulation()
+{
+    std::printf("== One day segment on the bridge chain "
+                "(dependent power) ==\n");
+    const presets::SystemUnderTest systems[] = {
+        presets::nosVp(),
+        presets::fiosNeofog(),
+    };
+    for (const auto &sut : systems) {
+        ScenarioConfig cfg = presets::fig11(sut, 2);
+        FogSystem system(cfg);
+        const SystemReport r = system.run();
+        std::printf("  %-16s processed %5llu / %llu packages "
+                    "(%.1f%%), in-fog %llu, balanced %llu\n",
+                    sut.label.c_str(),
+                    static_cast<unsigned long long>(r.totalProcessed()),
+                    static_cast<unsigned long long>(r.idealPackages),
+                    r.yield() * 100.0,
+                    static_cast<unsigned long long>(r.packagesInFog),
+                    static_cast<unsigned long long>(
+                        r.tasksBalancedAway));
+    }
+    std::printf("\nThe FIOS NV-motes turn the same harvested energy "
+                "into several times more\nstructural-health records, "
+                "almost all of them processed in the fog.\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("NEOFog example: bridge health monitoring\n\n");
+    runStrengthPipeline();
+    runChainSimulation();
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Deployment survey — Table 1 of the paper brought to life.
+ *
+ * Prints the catalog of the five deployed energy-harvesting WSN
+ * systems the paper surveys, then simulates each under its typical
+ * conditions twice: as the original NOS-VP design (what was actually
+ * fielded) and as a NEOFog retrofit.  The final column answers the
+ * paper's motivating question for every system at once: how much more
+ * useful output would nonvolatility-exploiting optimizations deliver
+ * from the same harvested energy?
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "fog/deployments.hh"
+#include "fog/fog_system.hh"
+
+using namespace neofog;
+
+int
+main()
+{
+    std::printf("NEOFog example: deployment survey (Table 1)\n\n");
+
+    std::printf("%-34s %-18s %-28s %s\n", "System", "Energy",
+                "Topology", "Transmitted data");
+    for (int i = 0; i < 100; ++i)
+        std::putchar('-');
+    std::printf("\n");
+    for (DeploymentKind kind : kAllDeployments) {
+        const DeploymentSpec spec = deploymentSpec(kind);
+        std::string energy;
+        for (std::size_t i = 0; i < spec.energySources.size(); ++i) {
+            if (i)
+                energy += ", ";
+            energy += energySourceName(spec.energySources[i]);
+        }
+        std::printf("%-34s %-18s %-28s %s\n", spec.name.c_str(),
+                    energy.c_str(), topologyName(spec.topology).c_str(),
+                    spec.transmittedData.c_str());
+    }
+
+    std::printf("\nRetrofit study: 5 h of typical income per "
+                "deployment\n\n");
+    std::printf("%-34s %10s %10s %8s   %s\n", "System", "as built",
+                "NEOFog", "gain", "energy split (NEOFog)");
+    for (int i = 0; i < 100; ++i)
+        std::putchar('-');
+    std::printf("\n");
+
+    for (DeploymentKind kind : kAllDeployments) {
+        const DeploymentSpec spec = deploymentSpec(kind);
+
+        ScenarioConfig as_built =
+            deploymentScenario(kind, presets::nosVp(), 21);
+        FogSystem vp(as_built);
+        const SystemReport vp_r = vp.run();
+
+        ScenarioConfig retrofit =
+            deploymentScenario(kind, presets::fiosNeofog(), 21);
+        FogSystem neo(retrofit);
+        const SystemReport neo_r = neo.run();
+
+        const double gain = vp_r.totalProcessed()
+            ? static_cast<double>(neo_r.totalProcessed()) /
+              static_cast<double>(vp_r.totalProcessed())
+            : 0.0;
+        std::printf("%-34s %10llu %10llu %7.2fx   compute %.0f%%, "
+                    "radio %.0f%%\n",
+                    spec.name.c_str(),
+                    static_cast<unsigned long long>(
+                        vp_r.totalProcessed()),
+                    static_cast<unsigned long long>(
+                        neo_r.totalProcessed()),
+                    gain, neo_r.computeRatio() * 100.0,
+                    neo_r.radioRatio() * 100.0);
+    }
+
+    std::printf("\nEvery fielded design shipped raw data because "
+                "computation used to be the\nrisky part; with NV-motes "
+                "the energy moves into local processing and the\nsame "
+                "harvest delivers a multiple of the useful output.\n");
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Forest fire monitoring — the paper's independent-power deployment
+ * (§5.2.1).
+ *
+ * Part 1 runs the fog-offloaded computation for real: scattered
+ * temperature point samples are gridded into a volumetric map (IDW
+ * reconstruction), and a hotspot is detected from the map.
+ *
+ * Part 2 simulates the 10-node chain for 5 hours under strongly
+ * independent (canopy/wind) power, sweeping the three systems and the
+ * balancing policies — an ablation of where NEOFog's gains come from.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "fog/fog_system.hh"
+#include "fog/presets.hh"
+#include "kernels/volumetric.hh"
+#include "sim/rng.hh"
+
+using namespace neofog;
+
+namespace {
+
+void
+runVolumetricReconstruction()
+{
+    std::printf("== In-fog volumetric temperature map ==\n");
+    Rng rng(7);
+
+    // The true field: ambient 18 C with a fire plume at (0.75, 0.25).
+    auto field = [](double x, double y, double z) {
+        const double dx = x - 0.75, dy = y - 0.25;
+        const double core =
+            55.0 * std::exp(-10.0 * (dx * dx + dy * dy));
+        return 18.0 + core * (1.0 - 0.4 * z);
+    };
+
+    // 120 motes report their point samples.
+    std::vector<kernels::PointSample> samples;
+    for (int i = 0; i < 120; ++i) {
+        kernels::PointSample s;
+        s.x = rng.uniform();
+        s.y = rng.uniform();
+        s.z = rng.uniform(0.0, 0.3); // near-ground sensors
+        s.value = field(s.x, s.y, s.z) + rng.normal(0.0, 0.4);
+        samples.push_back(s);
+    }
+
+    const auto grid = kernels::reconstructVolume(samples, 12, 12, 2);
+
+    // Detect the hotspot cell.
+    std::size_t hx = 0, hy = 0;
+    double peak = -1e18;
+    for (std::size_t ix = 0; ix < grid.nx; ++ix) {
+        for (std::size_t iy = 0; iy < grid.ny; ++iy) {
+            if (grid.at(ix, iy, 0) > peak) {
+                peak = grid.at(ix, iy, 0);
+                hx = ix;
+                hy = iy;
+            }
+        }
+    }
+    std::printf("  reconstructed %zux%zux%zu map from %zu samples\n",
+                grid.nx, grid.ny, grid.nz, samples.size());
+    std::printf("  hotspot at cell (%zu,%zu) -> (%.2f, %.2f), "
+                "peak %.1f C (true plume at 0.75, 0.25)\n\n",
+                hx, hy,
+                (static_cast<double>(hx) + 0.5) / 12.0,
+                (static_cast<double>(hy) + 0.5) / 12.0, peak);
+}
+
+void
+runPolicyAblation()
+{
+    std::printf("== 5 h chain simulation, independent power: policy "
+                "ablation ==\n");
+    struct Row
+    {
+        const char *label;
+        OperatingMode mode;
+        const char *policy;
+    };
+    const Row rows[] = {
+        {"NOS-VP, no LB", OperatingMode::NosVp, "none"},
+        {"NOS-NVP, no LB", OperatingMode::NosNvp, "none"},
+        {"NOS-NVP, tree LB", OperatingMode::NosNvp, "tree"},
+        {"FIOS, cluster LB", OperatingMode::FiosNvMote, "cluster"},
+        {"FIOS, no LB", OperatingMode::FiosNvMote, "none"},
+        {"FIOS, tree LB", OperatingMode::FiosNvMote, "tree"},
+        {"FIOS, distributed LB", OperatingMode::FiosNvMote,
+         "distributed"},
+    };
+
+    for (const Row &row : rows) {
+        presets::SystemUnderTest sut{row.mode, row.policy, row.label};
+        ScenarioConfig cfg = presets::fig10(sut, 0);
+        FogSystem system(cfg);
+        const SystemReport r = system.run();
+        std::printf("  %-22s total %5llu  fog %5llu  balanced %4llu  "
+                    "yield %5.1f%%\n",
+                    row.label,
+                    static_cast<unsigned long long>(r.totalProcessed()),
+                    static_cast<unsigned long long>(r.packagesInFog),
+                    static_cast<unsigned long long>(r.tasksBalancedAway),
+                    r.yield() * 100.0);
+    }
+    std::printf("\nEach NEOFog ingredient contributes: nonvolatility "
+                "cuts the RF tax, the FIOS\nfront end feeds computation "
+                "directly, and the distributed balancer exploits\nthe "
+                "large node-to-node income variance of a wind-blown "
+                "canopy.\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("NEOFog example: forest fire monitoring\n\n");
+    runVolumetricReconstruction();
+    runPolicyAblation();
+    return 0;
+}

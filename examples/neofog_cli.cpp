@@ -1,0 +1,208 @@
+/**
+ * @file
+ * neofog_cli — command-line driver for arbitrary system scenarios.
+ *
+ * Lets a user run any deployment without writing C++:
+ *
+ *   neofog_cli --mode fios --balancer distributed --trace forest \
+ *              --income-mw 2.6 --nodes 10 --chains 1 --hours 5 \
+ *              --mux 1 --seed 1 [--incidental] [--dump-energy node]
+ *
+ * Prints the full SystemReport, and optionally one node's stored-
+ * energy series as CSV for plotting.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "fog/fog_system.hh"
+#include "fog/presets.hh"
+#include "sim/logging.hh"
+
+using namespace neofog;
+
+namespace {
+
+void
+usage(const char *argv0)
+{
+    std::printf(
+        "usage: %s [options]\n"
+        "  --mode vp|nvp|fios        node architecture (default fios)\n"
+        "  --balancer none|tree|distributed   (default distributed)\n"
+        "  --trace forest|bridge|mountain|rain|constant "
+        "(default forest)\n"
+        "  --income-mw X             mean ambient income (default 2.6)\n"
+        "  --nodes N                 logical nodes per chain "
+        "(default 10)\n"
+        "  --chains N                independent chains (default 1)\n"
+        "  --hours X                 horizon (default 5)\n"
+        "  --slot-s X                slot interval seconds "
+        "(default 12)\n"
+        "  --mux K                   NVD4Q multiplexing (default 1)\n"
+        "  --profile P               day profile 0-4 (default 0)\n"
+        "  --seed S                  RNG seed (default 1)\n"
+        "  --incidental              enable incidental computing\n"
+        "  --relay                   hop-by-hop relaying to the sink\n"
+        "  --rt-chance P             real-time request probability\n"
+        "  --freq-scaling            Spendthrift clock scaling\n"
+        "  --dump-energy I           print node I's energy series CSV\n"
+        "  --help\n",
+        argv0);
+}
+
+bool
+parseMode(const std::string &v, OperatingMode &out)
+{
+    if (v == "vp") {
+        out = OperatingMode::NosVp;
+    } else if (v == "nvp") {
+        out = OperatingMode::NosNvp;
+    } else if (v == "fios") {
+        out = OperatingMode::FiosNvMote;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+bool
+parseTrace(const std::string &v, TraceKind &out)
+{
+    if (v == "forest") {
+        out = TraceKind::ForestIndependent;
+    } else if (v == "bridge") {
+        out = TraceKind::BridgeDependent;
+    } else if (v == "mountain") {
+        out = TraceKind::MountainSunny;
+    } else if (v == "rain") {
+        out = TraceKind::RainLow;
+    } else if (v == "constant") {
+        out = TraceKind::Constant;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ScenarioConfig cfg;
+    cfg.nodesPerChain = 10;
+    cfg.chains = 1;
+    cfg.horizon = 5 * kHour;
+    cfg.slotInterval = 12 * kSec;
+    cfg.traceKind = TraceKind::ForestIndependent;
+    cfg.meanIncome = Power::fromMilliwatts(2.6);
+    cfg.mode = OperatingMode::FiosNvMote;
+    cfg.balancerPolicy = "distributed";
+    cfg.nodeTemplate = presets::systemNodeTemplate();
+    cfg.seed = 1;
+
+    int dump_energy = -1;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n",
+                             arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage(argv[0]);
+            return 0;
+        } else if (arg == "--mode") {
+            if (!parseMode(next(), cfg.mode)) {
+                std::fprintf(stderr, "bad --mode\n");
+                return 2;
+            }
+        } else if (arg == "--balancer") {
+            cfg.balancerPolicy = next();
+        } else if (arg == "--trace") {
+            if (!parseTrace(next(), cfg.traceKind)) {
+                std::fprintf(stderr, "bad --trace\n");
+                return 2;
+            }
+        } else if (arg == "--income-mw") {
+            cfg.meanIncome =
+                Power::fromMilliwatts(std::atof(next().c_str()));
+        } else if (arg == "--nodes") {
+            cfg.nodesPerChain =
+                static_cast<std::size_t>(std::atoll(next().c_str()));
+        } else if (arg == "--chains") {
+            cfg.chains =
+                static_cast<std::size_t>(std::atoll(next().c_str()));
+        } else if (arg == "--hours") {
+            cfg.horizon = ticksFromSeconds(
+                std::atof(next().c_str()) * 3600.0);
+        } else if (arg == "--slot-s") {
+            cfg.slotInterval =
+                ticksFromSeconds(std::atof(next().c_str()));
+        } else if (arg == "--mux") {
+            cfg.multiplexing = std::atoi(next().c_str());
+        } else if (arg == "--profile") {
+            cfg.profileIndex = std::atoi(next().c_str());
+        } else if (arg == "--seed") {
+            cfg.seed =
+                static_cast<std::uint64_t>(std::atoll(next().c_str()));
+        } else if (arg == "--incidental") {
+            cfg.nodeTemplate.enableIncidentalComputing = true;
+        } else if (arg == "--relay") {
+            cfg.hopByHopRelay = true;
+        } else if (arg == "--rt-chance") {
+            cfg.realTimeRequestChance = std::atof(next().c_str());
+        } else if (arg == "--freq-scaling") {
+            cfg.nodeTemplate.enableFrequencyScaling = true;
+        } else if (arg == "--dump-energy") {
+            dump_energy = std::atoi(next().c_str());
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+            usage(argv[0]);
+            return 2;
+        }
+    }
+
+    try {
+        FogSystem system(cfg);
+        const SystemReport report = system.run();
+
+        std::printf("scenario: %s, %s balancer, %s @ %.2f mW, "
+                    "%zux%zu nodes, mux %d, %.1f h\n\n",
+                    operatingModeName(cfg.mode).c_str(),
+                    cfg.balancerPolicy.c_str(),
+                    traceKindName(cfg.traceKind).c_str(),
+                    cfg.meanIncome.milliwatts(), cfg.chains,
+                    cfg.nodesPerChain, cfg.multiplexing,
+                    secondsFromTicks(cfg.horizon) / 3600.0);
+        report.print(std::cout, "result");
+
+        if (dump_energy >= 0) {
+            const auto idx = static_cast<std::size_t>(dump_energy);
+            if (idx >= system.physicalPerChain()) {
+                std::fprintf(stderr, "node index out of range\n");
+                return 2;
+            }
+            std::printf("\ntime_min,stored_mj\n");
+            const auto &series =
+                system.node(0, idx).stats().storedEnergyMj;
+            for (const auto &pt : series.downsampled(400)) {
+                std::printf("%.2f,%.3f\n",
+                            secondsFromTicks(pt.when) / 60.0,
+                            pt.value);
+            }
+        }
+    } catch (const FatalError &err) {
+        std::fprintf(stderr, "fatal: %s\n", err.what());
+        return 1;
+    }
+    return 0;
+}

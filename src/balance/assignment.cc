@@ -1,0 +1,243 @@
+#include "balance/assignment.hh"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace neofog {
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max() / 4;
+
+} // namespace
+
+AssignResult
+assignTasks(const std::vector<std::int64_t> &left_costs,
+            const std::vector<std::int64_t> &right_costs,
+            std::int64_t max_time)
+{
+    const std::size_t n = left_costs.size();
+    if (right_costs.size() != n)
+        fatal("assignTasks: cost arrays differ in length");
+    for (std::size_t k = 0; k < n; ++k) {
+        if (left_costs[k] <= 0 || right_costs[k] <= 0)
+            fatal("assignTasks: task costs must be positive");
+    }
+    if (max_time < 0)
+        fatal("assignTasks: negative MAXTIME");
+
+    AssignResult result;
+    if (n == 0) {
+        result.feasible = true;
+        return result;
+    }
+
+    // The left budget axis only needs to reach min(sum(a), MAXTIME).
+    const std::int64_t sum_a =
+        std::accumulate(left_costs.begin(), left_costs.end(),
+                        std::int64_t{0});
+    const std::int64_t budget = std::min(sum_a, max_time);
+
+    // dp[k][i] = min right-side time for the first k tasks with the
+    // left side using at most i time units.  Keep all rows for the
+    // traceback (n * budget entries; callers quantize time so this
+    // stays small).
+    const auto width = static_cast<std::size_t>(budget) + 1;
+    std::vector<std::vector<std::int64_t>> dp(
+        n + 1, std::vector<std::int64_t>(width, kInf));
+    for (std::size_t i = 0; i < width; ++i)
+        dp[0][i] = 0;
+
+    for (std::size_t k = 1; k <= n; ++k) {
+        const std::int64_t a = left_costs[k - 1];
+        const std::int64_t b = right_costs[k - 1];
+        for (std::size_t i = 0; i < width; ++i) {
+            // Task k on the right: right time grows by b.
+            std::int64_t best =
+                dp[k - 1][i] >= kInf ? kInf : dp[k - 1][i] + b;
+            // Task k on the left: needs budget a.
+            if (static_cast<std::int64_t>(i) >= a) {
+                const std::int64_t via_left =
+                    dp[k - 1][i - static_cast<std::size_t>(a)];
+                best = std::min(best, via_left);
+            }
+            dp[k][i] = best;
+        }
+    }
+
+    // Find the budget i minimizing the makespan max(i_used, right).
+    // dp is monotone nonincreasing in i, so the left time actually used
+    // at budget i is found during traceback; for the makespan search we
+    // use max(i, dp[n][i]) as the paper does.
+    std::int64_t best_makespan = kInf;
+    std::size_t best_i = 0;
+    for (std::size_t i = 0; i < width; ++i) {
+        if (dp[n][i] >= kInf)
+            continue;
+        const std::int64_t makespan =
+            std::max<std::int64_t>(static_cast<std::int64_t>(i),
+                                   dp[n][i]);
+        if (makespan < best_makespan) {
+            best_makespan = makespan;
+            best_i = i;
+        }
+    }
+    if (best_makespan >= kInf)
+        return result; // infeasible (e.g. MAXTIME too small for any split)
+
+    // Traceback.
+    result.assignment.assign(n, Side::Right);
+    std::size_t i = best_i;
+    for (std::size_t k = n; k >= 1; --k) {
+        const std::int64_t a = left_costs[k - 1];
+        const std::int64_t b = right_costs[k - 1];
+        const std::int64_t via_right =
+            dp[k - 1][i] >= kInf ? kInf : dp[k - 1][i] + b;
+        std::int64_t via_left = kInf;
+        if (static_cast<std::int64_t>(i) >= a)
+            via_left = dp[k - 1][i - static_cast<std::size_t>(a)];
+        if (via_left <= via_right) {
+            result.assignment[k - 1] = Side::Left;
+            i -= static_cast<std::size_t>(a);
+            result.leftTime += a;
+        } else {
+            result.assignment[k - 1] = Side::Right;
+            result.rightTime += b;
+        }
+    }
+    result.makespan = std::max(result.leftTime, result.rightTime);
+    result.feasible = true;
+    return result;
+}
+
+AssignResult
+assignTasksPaperListing(const std::vector<std::int64_t> &left_costs,
+                        const std::vector<std::int64_t> &right_costs,
+                        std::int64_t max_time)
+{
+    // Line 1: n <- Sizeof(a)
+    const std::size_t n = left_costs.size();
+    if (right_costs.size() != n)
+        fatal("assignTasksPaperListing: cost arrays differ in length");
+    AssignResult result;
+    if (n == 0) {
+        result.feasible = true;
+        return result;
+    }
+    const std::vector<std::int64_t> &a = left_costs;
+    const std::vector<std::int64_t> &b = right_costs;
+
+    // Line 2: p <- Zeros(MAXTIME, n).  The listing's row axis is the
+    // left-side time budget i; it is bounded by both MAXTIME and
+    // sum(a) (the loop "for i = 1 -> sa").
+    std::int64_t sa_total = 0;
+    for (std::int64_t v : a)
+        sa_total += v;
+    const std::int64_t rows = std::min(sa_total, max_time);
+    // p[i][k]: minimum right-side time for the first k tasks with left
+    // budget i.  Row 0 (budget 0) and column 0 (no tasks) are the base
+    // cases the listing leaves implicit.
+    std::vector<std::vector<std::int64_t>> p(
+        static_cast<std::size_t>(rows) + 1,
+        std::vector<std::int64_t>(n + 1, 0));
+
+    // Lines 4-13: build the table.
+    for (std::size_t k = 1; k <= n; ++k) {
+        for (std::int64_t i = 0; i <= rows; ++i) {
+            // p[i, k] = p[i, k-1] + b[k]  (task k on the right)
+            auto &row = p[static_cast<std::size_t>(i)];
+            row[k] = p[static_cast<std::size_t>(i)][k - 1] + b[k - 1];
+            // Line 8: if i >= a[k], consider the left side.
+            if (i >= a[k - 1]) {
+                const std::int64_t via_left =
+                    p[static_cast<std::size_t>(i - a[k - 1])][k - 1];
+                // Lines 9-13: keep the smaller.
+                if (via_left < row[k])
+                    row[k] = via_left;
+            }
+        }
+    }
+
+    // Lines 15-25: find the minimum time (temp = max(i, p[i, n])).
+    std::int64_t min_time = std::numeric_limits<std::int64_t>::max();
+    std::int64_t a_time_final = 0;
+    for (std::int64_t i = 0; i <= rows; ++i) {
+        const std::int64_t here = p[static_cast<std::size_t>(i)][n];
+        const std::int64_t temp = here >= i ? here : i;
+        if (min_time > temp) {
+            min_time = temp;
+            a_time_final = i;
+        }
+    }
+
+    // Lines 26-34: generate the assignment output.
+    result.assignment.assign(n, Side::Right);
+    std::int64_t i = a_time_final;
+    for (std::size_t k = n; k >= 1; --k) {
+        bool go_right = true;
+        if (i >= a[k - 1]) {
+            const std::int64_t via_right =
+                p[static_cast<std::size_t>(i)][k - 1] + b[k - 1];
+            const std::int64_t via_left =
+                p[static_cast<std::size_t>(i - a[k - 1])][k - 1];
+            // Line 28: right only if strictly cheaper than left.
+            go_right = via_right < via_left;
+        }
+        if (go_right) {
+            result.assignment[k - 1] = Side::Right;
+            result.rightTime += b[k - 1];
+        } else {
+            result.assignment[k - 1] = Side::Left;
+            result.leftTime += a[k - 1];
+            i -= a[k - 1];
+        }
+    }
+    result.makespan = std::max(result.leftTime, result.rightTime);
+    result.feasible = true;
+    return result;
+}
+
+AssignResult
+assignTasksBruteForce(const std::vector<std::int64_t> &left_costs,
+                      const std::vector<std::int64_t> &right_costs,
+                      std::int64_t max_time)
+{
+    const std::size_t n = left_costs.size();
+    if (right_costs.size() != n)
+        fatal("assignTasksBruteForce: cost arrays differ in length");
+    if (n > 24)
+        fatal("assignTasksBruteForce: too many tasks (", n, ")");
+
+    AssignResult best;
+    std::int64_t best_makespan = kInf;
+    for (std::uint32_t mask = 0; mask < (1u << n); ++mask) {
+        std::int64_t left = 0, right = 0;
+        for (std::size_t k = 0; k < n; ++k) {
+            if (mask & (1u << k))
+                left += left_costs[k];
+            else
+                right += right_costs[k];
+        }
+        if (left > max_time)
+            continue;
+        const std::int64_t makespan = std::max(left, right);
+        if (makespan < best_makespan) {
+            best_makespan = makespan;
+            best.assignment.assign(n, Side::Right);
+            for (std::size_t k = 0; k < n; ++k) {
+                if (mask & (1u << k))
+                    best.assignment[k] = Side::Left;
+            }
+            best.leftTime = left;
+            best.rightTime = right;
+            best.makespan = makespan;
+            best.feasible = true;
+        }
+    }
+    return best;
+}
+
+} // namespace neofog

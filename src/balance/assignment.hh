@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Algorithm 1: the distributed load-balancing assignment core.
+ *
+ * Given n tasks where task k costs a[k] time on the best-efficiency
+ * node(s) to the *left* and b[k] on the best node(s) to the *right*,
+ * choose a side for every task minimizing the makespan
+ * max(sum of chosen lefts, sum of chosen rights), subject to the left
+ * side finishing within MAXTIME (the load-balance call interval).
+ *
+ * This is the paper's dynamic program (equations (1)-(3)):
+ *   OPT(i, k) = min( OPT(i - a[k], k - 1),          // task k on left
+ *                    OPT(i, k - 1) + b[k] )          // task k on right
+ * where OPT(i, k) is the minimum right-side total time for the first k
+ * tasks when the left side uses at most i time units.  Complexity
+ * O(n * MAXTIME).
+ */
+
+#ifndef NEOFOG_BALANCE_ASSIGNMENT_HH
+#define NEOFOG_BALANCE_ASSIGNMENT_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace neofog {
+
+/** Which neighbour side a task is assigned to. */
+enum class Side : std::uint8_t
+{
+    Left,
+    Right,
+};
+
+/** Output of the assignment DP. */
+struct AssignResult
+{
+    /** Per-task side choice. */
+    std::vector<Side> assignment;
+    /** Total time of tasks assigned left ("ATimeFinal"). */
+    std::int64_t leftTime = 0;
+    /** Total time of tasks assigned right ("BTimeFinal"). */
+    std::int64_t rightTime = 0;
+    /** max(leftTime, rightTime): the quantity minimized. */
+    std::int64_t makespan = 0;
+    /** Whether a feasible assignment within MAXTIME was found. */
+    bool feasible = false;
+};
+
+/**
+ * Run the Algorithm 1 dynamic program.
+ *
+ * @param left_costs Time cost of each task if run on the left (a[]).
+ * @param right_costs Time cost of each task if run on the right (b[]).
+ *        Must have the same length as @p left_costs; all costs > 0.
+ * @param max_time MAXTIME: the load-balance call interval bounding the
+ *        left side's total time (and the DP table height).
+ */
+AssignResult assignTasks(const std::vector<std::int64_t> &left_costs,
+                         const std::vector<std::int64_t> &right_costs,
+                         std::int64_t max_time);
+
+/**
+ * Exhaustive-search reference (O(2^n)); for testing optimality of the
+ * DP on small inputs only.
+ */
+AssignResult assignTasksBruteForce(
+    const std::vector<std::int64_t> &left_costs,
+    const std::vector<std::int64_t> &right_costs,
+    std::int64_t max_time);
+
+/**
+ * Transliteration of the paper's Algorithm 1 pseudocode (three steps:
+ * build the table, find the minimum time, generate the assignment),
+ * kept as close to the listing as a correct implementation allows.
+ * It produces the same makespans as assignTasks(); the cleaned-up DP
+ * above is the one production code uses.  Useful for readers checking
+ * this code against the paper line by line.
+ */
+AssignResult assignTasksPaperListing(
+    const std::vector<std::int64_t> &left_costs,
+    const std::vector<std::int64_t> &right_costs,
+    std::int64_t max_time);
+
+} // namespace neofog
+
+#endif // NEOFOG_BALANCE_ASSIGNMENT_HH

@@ -1,0 +1,74 @@
+#include "energy/capacitor.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace neofog {
+
+SuperCapacitor::SuperCapacitor(const Config &cfg)
+    : _cfg(cfg), _stored(cfg.initial)
+{
+    if (_cfg.capacity.joules() <= 0.0)
+        fatal("super-capacitor capacity must be positive");
+    if (_cfg.initial > _cfg.capacity)
+        fatal("super-capacitor initial charge exceeds capacity");
+    if (_cfg.initial.joules() < 0.0)
+        fatal("super-capacitor initial charge negative");
+}
+
+Energy
+SuperCapacitor::charge(Energy amount)
+{
+    NEOFOG_ASSERT(amount.joules() >= -1e-15, "charging negative energy");
+    amount = amount.clampedNonNegative();
+    const Energy room = _cfg.capacity - _stored;
+    const Energy accepted = std::min(amount, room);
+    const Energy rejected = amount - accepted;
+    _stored += accepted;
+    _chargedTotal += accepted;
+    _overflowTotal += rejected;
+    return accepted;
+}
+
+bool
+SuperCapacitor::tryDischarge(Energy amount)
+{
+    NEOFOG_ASSERT(amount.joules() >= -1e-15, "discharging negative energy");
+    amount = amount.clampedNonNegative();
+    if (_stored < amount)
+        return false;
+    _stored -= amount;
+    _dischargedTotal += amount;
+    return true;
+}
+
+Energy
+SuperCapacitor::drain(Energy amount)
+{
+    NEOFOG_ASSERT(amount.joules() >= -1e-15, "draining negative energy");
+    amount = amount.clampedNonNegative();
+    const Energy removed = std::min(amount, _stored);
+    _stored -= removed;
+    _dischargedTotal += removed;
+    return removed;
+}
+
+void
+SuperCapacitor::leak(Tick duration)
+{
+    NEOFOG_ASSERT(duration >= 0, "negative leak duration");
+    const Energy loss = std::min(_cfg.leakage * duration, _stored);
+    _stored -= loss;
+    _leakedTotal += loss;
+}
+
+void
+SuperCapacitor::setStored(Energy e)
+{
+    if (e.joules() < 0.0 || e > _cfg.capacity)
+        fatal("setStored outside [0, capacity]");
+    _stored = e;
+}
+
+} // namespace neofog

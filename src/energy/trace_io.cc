@@ -1,0 +1,115 @@
+#include "energy/trace_io.hh"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace neofog {
+
+std::unique_ptr<PiecewiseTrace>
+readCsvTrace(std::istream &in)
+{
+    std::vector<PiecewiseTrace::Segment> segments;
+    std::string line;
+    std::size_t line_no = 0;
+    Tick prev = -1;
+    while (std::getline(in, line)) {
+        ++line_no;
+        // Strip comments and whitespace-only lines.
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line.erase(hash);
+        if (line.find_first_not_of(" \t\r") == std::string::npos)
+            continue;
+        // Optional header.
+        if (line.find("time_s") != std::string::npos)
+            continue;
+
+        std::istringstream row(line);
+        std::string t_str, p_str;
+        if (!std::getline(row, t_str, ',') ||
+            !std::getline(row, p_str)) {
+            fatal("trace CSV line ", line_no,
+                  ": expected 'time_s,power_mw'");
+        }
+        char *end = nullptr;
+        const double t_s = std::strtod(t_str.c_str(), &end);
+        if (end == t_str.c_str())
+            fatal("trace CSV line ", line_no, ": bad time '", t_str,
+                  "'");
+        const double p_mw = std::strtod(p_str.c_str(), &end);
+        if (end == p_str.c_str())
+            fatal("trace CSV line ", line_no, ": bad power '", p_str,
+                  "'");
+        if (t_s < 0.0 || p_mw < 0.0)
+            fatal("trace CSV line ", line_no, ": negative value");
+        const Tick t = ticksFromSeconds(t_s);
+        if (t < prev)
+            fatal("trace CSV line ", line_no,
+                  ": time goes backwards");
+        prev = t;
+        segments.push_back({t, Power::fromMilliwatts(p_mw)});
+    }
+    if (segments.empty())
+        fatal("trace CSV contained no data rows");
+    return std::make_unique<PiecewiseTrace>(std::move(segments));
+}
+
+std::unique_ptr<PiecewiseTrace>
+loadCsvTrace(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file: ", path);
+    return readCsvTrace(in);
+}
+
+std::unique_ptr<InterpolatedTrace>
+readCsvTraceInterpolated(std::istream &in)
+{
+    const auto step = readCsvTrace(in);
+    std::vector<InterpolatedTrace::Knot> knots;
+    knots.reserve(step->segments().size());
+    for (const auto &seg : step->segments()) {
+        if (!knots.empty() && seg.start <= knots.back().at)
+            fatal("interpolated trace needs strictly increasing times");
+        knots.push_back({seg.start, seg.level});
+    }
+    return std::make_unique<InterpolatedTrace>(std::move(knots));
+}
+
+std::unique_ptr<InterpolatedTrace>
+loadCsvTraceInterpolated(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file: ", path);
+    return readCsvTraceInterpolated(in);
+}
+
+void
+writeCsvTrace(const PowerTrace &trace, Tick horizon, Tick step,
+              std::ostream &out)
+{
+    if (step <= 0 || horizon <= 0)
+        fatal("writeCsvTrace: positive step and horizon required");
+    out << "time_s,power_mw\n";
+    for (Tick t = 0; t < horizon; t += step) {
+        out << secondsFromTicks(t) << ','
+            << trace.at(t).milliwatts() << '\n';
+    }
+}
+
+void
+saveCsvTrace(const PowerTrace &trace, Tick horizon, Tick step,
+             const std::string &path)
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write trace file: ", path);
+    writeCsvTrace(trace, horizon, step, out);
+}
+
+} // namespace neofog

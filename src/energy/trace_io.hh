@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Power-trace file I/O.
+ *
+ * The paper's experiments are driven by measured traces (NREL MIDC and
+ * field deployments).  This module lets users plug their own measured
+ * data in: a two-column CSV (`time_s,power_mw`) loads as a
+ * piecewise-constant trace, and any trace can be exported for
+ * plotting or reuse.
+ */
+
+#ifndef NEOFOG_ENERGY_TRACE_IO_HH
+#define NEOFOG_ENERGY_TRACE_IO_HH
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "energy/power_trace.hh"
+
+namespace neofog {
+
+/**
+ * Parse a `time_s,power_mw` CSV stream into a piecewise-constant
+ * trace.  Lines starting with '#' and a leading `time_s,power_mw`
+ * header are ignored.  Rows must be in nondecreasing time order.
+ * fatal() on malformed input.
+ */
+std::unique_ptr<PiecewiseTrace> readCsvTrace(std::istream &in);
+
+/** readCsvTrace() from a file path; fatal() if unreadable. */
+std::unique_ptr<PiecewiseTrace>
+loadCsvTrace(const std::string &path);
+
+/**
+ * Parse the same CSV format into a linearly-interpolating trace —
+ * preferred for slowly-sampled measurements (e.g. one-minute NREL
+ * MIDC irradiance averages), where step playback would inject power
+ * cliffs.  Rows must be in strictly increasing time order.
+ */
+std::unique_ptr<InterpolatedTrace>
+readCsvTraceInterpolated(std::istream &in);
+
+/** readCsvTraceInterpolated() from a file path. */
+std::unique_ptr<InterpolatedTrace>
+loadCsvTraceInterpolated(const std::string &path);
+
+/**
+ * Sample @p trace every @p step over [0, horizon) and write
+ * `time_s,power_mw` rows (with header) to @p out.
+ */
+void writeCsvTrace(const PowerTrace &trace, Tick horizon, Tick step,
+                   std::ostream &out);
+
+/** writeCsvTrace() to a file path; fatal() if unwritable. */
+void saveCsvTrace(const PowerTrace &trace, Tick horizon, Tick step,
+                  const std::string &path);
+
+} // namespace neofog
+
+#endif // NEOFOG_ENERGY_TRACE_IO_HH

@@ -1,0 +1,123 @@
+#include "fog/deployments.hh"
+
+#include "hw/sensor.hh"
+#include "sim/logging.hh"
+
+namespace neofog {
+
+DeploymentSpec
+deploymentSpec(DeploymentKind kind)
+{
+    DeploymentSpec spec;
+    spec.kind = kind;
+    switch (kind) {
+      case DeploymentKind::BridgeHealthMonitor:
+        spec.name = "Bridge Health Monitor";
+        spec.energySources = {EnergySource::Solar,
+                              EnergySource::Piezoelectric};
+        spec.sensors = "Accelerometers, piezo-sensors";
+        spec.topology = TopologyKind::ZigbeeChainMesh;
+        spec.transmittedData = "Raw sampled data";
+        spec.app = AppKind::BridgeHealth;
+        spec.typicalIncome = Power::fromMilliwatts(2.4);
+        spec.typicalNodes = 10;
+        spec.traceKind = TraceKind::BridgeDependent;
+        break;
+      case DeploymentKind::WearableUvMeter:
+        spec.name = "Wearable UV Meter";
+        spec.energySources = {EnergySource::Solar};
+        spec.sensors = "UV sensor";
+        spec.topology = TopologyKind::Star;
+        spec.transmittedData = "Raw data";
+        spec.app = AppKind::UvMeter;
+        spec.typicalIncome = Power::fromMilliwatts(1.6);
+        spec.typicalNodes = 6;
+        spec.traceKind = TraceKind::ForestIndependent;
+        break;
+      case DeploymentKind::RailwayTempMonitor:
+        spec.name = "Joint-less Railway Temp. Monitor";
+        spec.energySources = {EnergySource::Solar};
+        spec.sensors = "Multiple temperature sensors";
+        spec.topology = TopologyKind::ZigbeeChainMesh;
+        spec.transmittedData = "Raw uncompressed data";
+        spec.app = AppKind::WsnTemp;
+        spec.typicalIncome = Power::fromMilliwatts(3.0);
+        spec.typicalNodes = 12;
+        spec.traceKind = TraceKind::BridgeDependent;
+        break;
+      case DeploymentKind::MachineHealthMonitor:
+        spec.name = "Machine Health Monitor";
+        spec.energySources = {EnergySource::Piezoelectric,
+                              EnergySource::Thermal, EnergySource::Rf};
+        spec.sensors =
+            "3-axis accelerometer, vibration sensors, temperature";
+        spec.topology = TopologyKind::StarBusOrTree;
+        spec.transmittedData = "Raw data";
+        spec.app = AppKind::WsnAccel;
+        spec.typicalIncome = Power::fromMilliwatts(1.0);
+        spec.typicalNodes = 8;
+        spec.traceKind = TraceKind::ForestIndependent;
+        break;
+      case DeploymentKind::RfPoweredCamera:
+        spec.name = "RF Powered Camera";
+        spec.energySources = {EnergySource::Rf, EnergySource::Wifi};
+        spec.sensors = "Image sensor";
+        spec.topology = TopologyKind::PointToPointBackscatter;
+        spec.transmittedData = "Raw image pixels";
+        spec.app = AppKind::PatternMatching;
+        spec.typicalIncome = Power::fromMicrowatts(250.0);
+        spec.typicalNodes = 4;
+        spec.traceKind = TraceKind::Constant;
+        break;
+    }
+    return spec;
+}
+
+std::string
+energySourceName(EnergySource source)
+{
+    switch (source) {
+      case EnergySource::Solar: return "solar";
+      case EnergySource::Piezoelectric: return "piezo";
+      case EnergySource::Thermal: return "thermal";
+      case EnergySource::Rf: return "RF";
+      case EnergySource::Wifi: return "WiFi";
+    }
+    return "?";
+}
+
+std::string
+topologyName(TopologyKind kind)
+{
+    switch (kind) {
+      case TopologyKind::ZigbeeChainMesh: return "Zigbee chain mesh";
+      case TopologyKind::Star: return "star";
+      case TopologyKind::StarBusOrTree: return "star/bus/tree";
+      case TopologyKind::PointToPointBackscatter:
+        return "point-to-point backscatter";
+    }
+    return "?";
+}
+
+ScenarioConfig
+deploymentScenario(DeploymentKind kind,
+                   const presets::SystemUnderTest &sut,
+                   std::uint64_t seed)
+{
+    const DeploymentSpec spec = deploymentSpec(kind);
+    ScenarioConfig cfg;
+    cfg.nodesPerChain = spec.typicalNodes;
+    cfg.chains = 1;
+    cfg.horizon = 5 * kHour;
+    cfg.slotInterval = 12 * kSec;
+    cfg.traceKind = spec.traceKind;
+    cfg.meanIncome = spec.typicalIncome;
+    cfg.mode = sut.mode;
+    cfg.balancerPolicy = sut.balancerPolicy;
+    cfg.nodeTemplate = presets::systemNodeTemplate();
+    cfg.nodeTemplate.sensor = appProfile(spec.app).sensor;
+    cfg.seed = seed;
+    return cfg;
+}
+
+} // namespace neofog

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Deployment catalog — the real systems of the paper's Table 1.
+ *
+ * Table 1 surveys five deployed energy-harvesting WSN applications.
+ * This module encodes them as structured specifications and can build
+ * a ready-to-run ScenarioConfig for each, so users start from a
+ * realistic deployment rather than bare parameters:
+ *
+ *  - Bridge Health Monitor: solar + piezo, accelerometers and piezo
+ *    pickups, Zigbee chain mesh, ships raw sampled data.
+ *  - Wearable UV Meter: solar, UV sensor, star topology, raw data.
+ *  - Joint-less Railway Temperature Monitor: solar, multiple
+ *    temperature sensors, Zigbee chain mesh + GPRS uplink.
+ *  - Machine Health Monitor: piezo/thermal/RF, 3-axis accelerometer +
+ *    vibration + temperature, star/bus/tree.
+ *  - RF-Powered Camera (WispCam): RF harvesting, image sensor,
+ *    point-to-point backscatter.
+ */
+
+#ifndef NEOFOG_FOG_DEPLOYMENTS_HH
+#define NEOFOG_FOG_DEPLOYMENTS_HH
+
+#include <string>
+#include <vector>
+
+#include "fog/presets.hh"
+#include "fog/scenario.hh"
+#include "workload/app_profile.hh"
+
+namespace neofog {
+
+/** The five deployed systems of Table 1. */
+enum class DeploymentKind
+{
+    BridgeHealthMonitor,
+    WearableUvMeter,
+    RailwayTempMonitor,
+    MachineHealthMonitor,
+    RfPoweredCamera,
+};
+
+/** All catalog entries. */
+inline constexpr DeploymentKind kAllDeployments[] = {
+    DeploymentKind::BridgeHealthMonitor,
+    DeploymentKind::WearableUvMeter,
+    DeploymentKind::RailwayTempMonitor,
+    DeploymentKind::MachineHealthMonitor,
+    DeploymentKind::RfPoweredCamera,
+};
+
+/** Energy sources a deployment harvests (Table 1 column 2). */
+enum class EnergySource
+{
+    Solar,
+    Piezoelectric,
+    Thermal,
+    Rf,
+    Wifi,
+};
+
+/** Network topology of the deployment (Table 1 column 4). */
+enum class TopologyKind
+{
+    ZigbeeChainMesh,
+    Star,
+    StarBusOrTree,
+    PointToPointBackscatter,
+};
+
+/** Structured Table 1 row. */
+struct DeploymentSpec
+{
+    DeploymentKind kind;
+    std::string name;
+    std::vector<EnergySource> energySources;
+    std::string sensors;
+    TopologyKind topology;
+    std::string transmittedData;
+    /** Which Table 2 workload the deployment runs. */
+    AppKind app;
+    /** Typical mean income the harvesters see. */
+    Power typicalIncome;
+    /** Typical logical node count in the field deployment. */
+    std::size_t typicalNodes;
+    /** Which trace family best matches the siting. */
+    TraceKind traceKind;
+};
+
+/** Catalog lookup. */
+DeploymentSpec deploymentSpec(DeploymentKind kind);
+
+/** Display name of an energy source. */
+std::string energySourceName(EnergySource source);
+
+/** Display name of a topology kind. */
+std::string topologyName(TopologyKind kind);
+
+/**
+ * Build a runnable scenario for a cataloged deployment under a given
+ * node architecture, with the deployment's income, trace family, node
+ * count, and sensor plugged in.
+ */
+ScenarioConfig deploymentScenario(DeploymentKind kind,
+                                  const presets::SystemUnderTest &sut,
+                                  std::uint64_t seed = 1);
+
+} // namespace neofog
+
+#endif // NEOFOG_FOG_DEPLOYMENTS_HH

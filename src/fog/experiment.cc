@@ -1,0 +1,79 @@
+#include "fog/experiment.hh"
+
+#include "sim/logging.hh"
+
+namespace neofog {
+
+void
+AggregateReport::print(std::ostream &os, const std::string &label) const
+{
+    auto row = [&](const char *name, const ScalarStat &s) {
+        os << "  " << name << " " << s.mean() << " +- " << s.stddev()
+           << " [" << s.min() << ", " << s.max() << "]\n";
+    };
+    os << label << " (" << runs << " seeds):\n";
+    row("total processed ", totalProcessed);
+    row("fog processed   ", packagesInFog);
+    row("cloud processed ", packagesToCloud);
+    row("incidental      ", packagesIncidental);
+    row("wakeups         ", wakeups);
+    row("failures        ", depletionFailures);
+    row("balanced tasks  ", tasksBalancedAway);
+    row("yield           ", yield);
+    row("compute ratio   ", computeRatio);
+}
+
+AggregateReport
+ExperimentRunner::runSeeds(const ScenarioConfig &cfg, int runs,
+                           std::uint64_t base_seed)
+{
+    if (runs < 1)
+        fatal("experiment needs at least one run");
+    AggregateReport agg;
+    agg.runs = runs;
+    agg.reports.reserve(static_cast<std::size_t>(runs));
+    for (int i = 0; i < runs; ++i) {
+        ScenarioConfig run_cfg = cfg;
+        run_cfg.seed = base_seed + static_cast<std::uint64_t>(i);
+        FogSystem sys(run_cfg);
+        const SystemReport r = sys.run();
+        agg.totalProcessed.sample(
+            static_cast<double>(r.totalProcessed()));
+        agg.packagesInFog.sample(static_cast<double>(r.packagesInFog));
+        agg.packagesToCloud.sample(
+            static_cast<double>(r.packagesToCloud));
+        agg.packagesIncidental.sample(
+            static_cast<double>(r.packagesIncidental));
+        agg.wakeups.sample(static_cast<double>(r.wakeups));
+        agg.depletionFailures.sample(
+            static_cast<double>(r.depletionFailures));
+        agg.tasksBalancedAway.sample(
+            static_cast<double>(r.tasksBalancedAway));
+        agg.yield.sample(r.yield());
+        agg.computeRatio.sample(r.computeRatio());
+        agg.reports.push_back(r);
+    }
+    return agg;
+}
+
+ScalarStat
+ExperimentRunner::compareTotals(const ScenarioConfig &a,
+                                const ScenarioConfig &b, int runs,
+                                std::uint64_t base_seed)
+{
+    ScalarStat ratios;
+    for (int i = 0; i < runs; ++i) {
+        ScenarioConfig ca = a;
+        ScenarioConfig cb = b;
+        ca.seed = cb.seed = base_seed + static_cast<std::uint64_t>(i);
+        const auto ra = FogSystem(ca).run();
+        const auto rb = FogSystem(cb).run();
+        if (ra.totalProcessed() > 0) {
+            ratios.sample(static_cast<double>(rb.totalProcessed()) /
+                          static_cast<double>(ra.totalProcessed()));
+        }
+    }
+    return ratios;
+}
+
+} // namespace neofog

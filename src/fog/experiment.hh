@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Multi-seed experiment runner with statistical aggregation.
+ *
+ * A single run of a stochastic scenario is an anecdote; the paper
+ * itself averages five power profiles per figure.  ExperimentRunner
+ * replays one scenario across many seeds and aggregates every report
+ * field into mean/stddev/min/max summaries, so users can put error
+ * bars on their results and compare systems with confidence.
+ */
+
+#ifndef NEOFOG_FOG_EXPERIMENT_HH
+#define NEOFOG_FOG_EXPERIMENT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "fog/fog_system.hh"
+#include "fog/scenario.hh"
+#include "sim/stats.hh"
+
+namespace neofog {
+
+/** Statistical summary of SystemReport fields across seeds. */
+struct AggregateReport
+{
+    int runs = 0;
+    ScalarStat totalProcessed;
+    ScalarStat packagesInFog;
+    ScalarStat packagesToCloud;
+    ScalarStat packagesIncidental;
+    ScalarStat wakeups;
+    ScalarStat depletionFailures;
+    ScalarStat tasksBalancedAway;
+    ScalarStat yield;
+    ScalarStat computeRatio;
+
+    /** The individual reports, in seed order. */
+    std::vector<SystemReport> reports;
+
+    /** Print "mean +- stddev [min, max]" rows. */
+    void print(std::ostream &os, const std::string &label) const;
+};
+
+/**
+ * Deterministic multi-seed replay of a scenario.
+ */
+class ExperimentRunner
+{
+  public:
+    /**
+     * Run @p cfg with seeds base_seed, base_seed+1, ...,
+     * base_seed+runs-1 and aggregate.
+     */
+    static AggregateReport runSeeds(const ScenarioConfig &cfg,
+                                    int runs,
+                                    std::uint64_t base_seed = 1);
+
+    /**
+     * Two-system comparison across the same seeds: returns the
+     * per-seed ratio statistics of totalProcessed (b over a).
+     */
+    static ScalarStat compareTotals(const ScenarioConfig &a,
+                                    const ScenarioConfig &b, int runs,
+                                    std::uint64_t base_seed = 1);
+};
+
+} // namespace neofog
+
+#endif // NEOFOG_FOG_EXPERIMENT_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Calibrated scenario presets for every system-level figure.
+ *
+ * Each preset fixes the deployment and power regime of one paper
+ * experiment; the bench binaries sweep modes/policies/multiplexing on
+ * top.  Calibration targets (see EXPERIMENTS.md): the VP baseline
+ * lands near the paper's absolute package counts, and the NVP/NEOFog
+ * systems are then *predicted* by the model, reproducing the ordering
+ * and approximate factors.
+ */
+
+#ifndef NEOFOG_FOG_PRESETS_HH
+#define NEOFOG_FOG_PRESETS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "fog/scenario.hh"
+
+namespace neofog::presets {
+
+/** Common node template used by the system experiments. */
+Node::Config systemNodeTemplate();
+
+/**
+ * One of the three compared systems (Fig 10/11 legend).
+ */
+struct SystemUnderTest
+{
+    OperatingMode mode;
+    std::string balancerPolicy;
+    std::string label;
+};
+
+/** NOS-VP without load balance. */
+SystemUnderTest nosVp();
+/** NOS-NVP with the baseline tree load balance. */
+SystemUnderTest nosNvpBaseline();
+/** FIOS NEOFog with the distributed load balance. */
+SystemUnderTest fiosNeofog();
+
+/**
+ * Fig 10: forest fire monitoring, ample independent power.
+ * @param profile 0-4 selects the power profile (seeds the traces).
+ */
+ScenarioConfig fig10(const SystemUnderTest &sut, int profile);
+
+/** Fig 11: bridge monitoring, ample dependent power (5 day profiles). */
+ScenarioConfig fig11(const SystemUnderTest &sut, int profile);
+
+/**
+ * Fig 12: mountain-slide monitoring on a sunny day (high power, large
+ * independent variance) at a given multiplexing (1 = 100% ... 5 = 500%).
+ */
+ScenarioConfig fig12(const SystemUnderTest &sut, int multiplexing);
+
+/** Fig 13: the same system in heavy rain (very low dependent power). */
+ScenarioConfig fig13(const SystemUnderTest &sut, int multiplexing);
+
+/**
+ * Fig 9: stored-energy time series of 3 consecutive nodes over 300
+ * minutes of daytime solar.
+ */
+ScenarioConfig fig9(const SystemUnderTest &sut);
+
+} // namespace neofog::presets
+
+#endif // NEOFOG_FOG_PRESETS_HH

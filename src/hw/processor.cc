@@ -1,0 +1,153 @@
+#include "hw/processor.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace neofog {
+
+SpendthriftPolicy::SpendthriftPolicy()
+    : SpendthriftPolicy(Config{})
+{
+}
+
+SpendthriftPolicy::SpendthriftPolicy(const Config &cfg)
+    : _cfg(cfg)
+{
+    if (_cfg.lowIncome >= _cfg.highIncome)
+        fatal("Spendthrift income corner points reversed");
+    if (_cfg.maxBenefit < _cfg.minBenefit || _cfg.minBenefit < 1.0)
+        fatal("Spendthrift benefits must satisfy max >= min >= 1");
+}
+
+double
+SpendthriftPolicy::benefit(Power income) const
+{
+    if (income <= _cfg.lowIncome)
+        return _cfg.maxBenefit;
+    if (income >= _cfg.highIncome)
+        return _cfg.minBenefit;
+    const double t = (income.watts() - _cfg.lowIncome.watts()) /
+                     (_cfg.highIncome.watts() - _cfg.lowIncome.watts());
+    return _cfg.maxBenefit + t * (_cfg.minBenefit - _cfg.maxBenefit);
+}
+
+double
+SpendthriftPolicy::frequencyScale(Power income) const
+{
+    // Scale frequency with income between 25% and 100%: a node seeing a
+    // trickle clocks down so conversion losses shrink.
+    if (income >= _cfg.highIncome)
+        return 1.0;
+    if (income <= _cfg.lowIncome)
+        return 0.25;
+    const double t = (income.watts() - _cfg.lowIncome.watts()) /
+                     (_cfg.highIncome.watts() - _cfg.lowIncome.watts());
+    return 0.25 + 0.75 * t;
+}
+
+Processor::Processor(const Config &cfg)
+    : _cfg(cfg)
+{
+    if (_cfg.frequencyHz <= 0.0)
+        fatal("processor frequency must be positive");
+    if (_cfg.cyclesPerInstruction <= 0.0)
+        fatal("cyclesPerInstruction must be positive");
+}
+
+Tick
+Processor::computeTime(std::uint64_t instructions) const
+{
+    const double seconds = static_cast<double>(instructions) *
+                           _cfg.cyclesPerInstruction / _cfg.frequencyHz;
+    return std::max<Tick>(ticksFromSeconds(seconds), 0);
+}
+
+Energy
+Processor::computeEnergy(std::uint64_t instructions) const
+{
+    // Computed analytically (not via integer ticks) so the per-
+    // instruction energy is exact at any clock frequency.
+    const double seconds = static_cast<double>(instructions) *
+                           _cfg.cyclesPerInstruction / _cfg.frequencyHz;
+    return Energy::fromJoules(_cfg.activePower.watts() * seconds);
+}
+
+Energy
+Processor::instructionEnergy() const
+{
+    return computeEnergy(1);
+}
+
+VolatileProcessor::VolatileProcessor()
+    : VolatileProcessor(VpConfig{})
+{
+}
+
+VolatileProcessor::VolatileProcessor(const VpConfig &cfg)
+    : Processor(cfg.base), _vp(cfg)
+{
+}
+
+Tick
+VolatileProcessor::wakeLatency() const
+{
+    return _vp.restartLatency;
+}
+
+Energy
+VolatileProcessor::wakeEnergy() const
+{
+    return _cfg.activePower * _vp.restartLatency + _vp.restartExtraEnergy;
+}
+
+NvProcessor::NvProcessor()
+    : NvProcessor(NvpConfig{})
+{
+}
+
+NvProcessor::NvProcessor(const NvpConfig &cfg)
+    : Processor(cfg.base), _nvp(cfg), _policy(cfg.spendthrift)
+{
+}
+
+NvProcessor::NvpConfig
+NvProcessor::fiosConfig()
+{
+    NvpConfig cfg;
+    cfg.restoreLatency = 7 * kUs;
+    return cfg;
+}
+
+Tick
+NvProcessor::wakeLatency() const
+{
+    return _nvp.restoreLatency;
+}
+
+Energy
+NvProcessor::wakeEnergy() const
+{
+    return _cfg.activePower * _nvp.restoreLatency + _nvp.restoreEnergy;
+}
+
+Tick
+NvProcessor::backupLatency() const
+{
+    return _nvp.backupLatency;
+}
+
+Energy
+NvProcessor::backupEnergy() const
+{
+    return _nvp.backupEnergy;
+}
+
+Energy
+NvProcessor::effectiveComputeEnergy(std::uint64_t instructions,
+                                    Power income) const
+{
+    return computeEnergy(instructions) / _policy.benefit(income);
+}
+
+} // namespace neofog

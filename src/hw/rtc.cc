@@ -1,0 +1,48 @@
+#include "hw/rtc.hh"
+
+#include "sim/logging.hh"
+
+namespace neofog {
+
+Rtc::Rtc(const Config &cfg)
+    : _cfg(cfg), _cap(cfg.cap)
+{
+    if (_cfg.interval <= 0)
+        fatal("RTC interval must be positive");
+    if (_cfg.chargePriority < 0.0 || _cfg.chargePriority > 1.0)
+        fatal("RTC charge priority must be in [0,1]");
+}
+
+void
+Rtc::advance(Tick duration, Energy income)
+{
+    NEOFOG_ASSERT(duration >= 0, "negative RTC advance");
+    _cap.charge(income);
+    _cap.leak(duration);
+    const Energy need = _cfg.draw * duration;
+    if (!_cap.tryDischarge(need)) {
+        _cap.drain(need);
+        if (_synchronized) {
+            _synchronized = false;
+            ++_desyncs;
+        }
+    }
+}
+
+Tick
+Rtc::nextWake(Tick now, int phase_offset, int interval_multiplier) const
+{
+    NEOFOG_ASSERT(interval_multiplier >= 1, "interval multiplier >= 1");
+    NEOFOG_ASSERT(phase_offset >= 0 && phase_offset < interval_multiplier,
+                  "phase offset must be in [0, multiplier)");
+    const Tick stride = _cfg.interval * interval_multiplier;
+    const Tick offset = _cfg.interval * phase_offset;
+    // Smallest k*stride + offset strictly greater than now.
+    Tick k = (now - offset) / stride;
+    Tick candidate = k * stride + offset;
+    while (candidate <= now)
+        candidate += stride;
+    return candidate;
+}
+
+} // namespace neofog

@@ -1,0 +1,118 @@
+#include "kernels/ar_model.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace neofog::kernels {
+
+std::vector<double>
+autocorrelation(const std::vector<double> &x, std::size_t max_lag)
+{
+    const std::size_t n = x.size();
+    NEOFOG_ASSERT(max_lag < n, "autocorrelation lag >= signal length");
+    std::vector<double> r(max_lag + 1, 0.0);
+    for (std::size_t lag = 0; lag <= max_lag; ++lag) {
+        double sum = 0.0;
+        for (std::size_t i = lag; i < n; ++i)
+            sum += x[i] * x[i - lag];
+        r[lag] = sum / static_cast<double>(n);
+    }
+    return r;
+}
+
+ArFit
+fitAr(const std::vector<double> &x, std::size_t order)
+{
+    NEOFOG_ASSERT(order >= 1, "AR order must be >= 1");
+    if (x.size() <= order)
+        fatal("AR fit needs more samples (", x.size(), ") than order (",
+              order, ")");
+
+    const auto r = autocorrelation(x, order);
+    if (r[0] <= 0.0) {
+        // Degenerate (all-zero) signal: return a zero model.
+        ArFit fit;
+        fit.coefficients.assign(order, 0.0);
+        fit.noiseVariance = 0.0;
+        return fit;
+    }
+
+    // Levinson-Durbin recursion.
+    std::vector<double> a(order + 1, 0.0); // a[0] unused
+    double e = r[0];
+    for (std::size_t k = 1; k <= order; ++k) {
+        double acc = r[k];
+        for (std::size_t j = 1; j < k; ++j)
+            acc -= a[j] * r[k - j];
+        const double reflection = acc / e;
+        std::vector<double> a_new = a;
+        a_new[k] = reflection;
+        for (std::size_t j = 1; j < k; ++j)
+            a_new[j] = a[j] - reflection * a[k - j];
+        a = a_new;
+        e *= (1.0 - reflection * reflection);
+        if (e <= 0.0) {
+            e = 1e-12; // numerically singular; keep going defensively
+        }
+    }
+
+    ArFit fit;
+    fit.coefficients.assign(a.begin() + 1, a.end());
+    fit.noiseVariance = e;
+    return fit;
+}
+
+double
+arDistance(const std::vector<double> &a, const std::vector<double> &b)
+{
+    NEOFOG_ASSERT(a.size() == b.size(), "AR coefficient length mismatch");
+    double sum = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = a[i] - b[i];
+        sum += d * d;
+    }
+    return std::sqrt(sum);
+}
+
+double
+damageIndicator(const std::vector<double> &healthy,
+                const std::vector<double> &current, std::size_t order)
+{
+    const ArFit base = fitAr(healthy, order);
+    const ArFit cur = fitAr(current, order);
+    double base_norm = 0.0;
+    for (double c : base.coefficients)
+        base_norm += c * c;
+    base_norm = std::sqrt(base_norm);
+    if (base_norm <= 1e-12)
+        return arDistance(base.coefficients, cur.coefficients);
+    return arDistance(base.coefficients, cur.coefficients) / base_norm;
+}
+
+std::vector<double>
+arPredict(const std::vector<double> &x, const ArFit &fit)
+{
+    const std::size_t p = fit.coefficients.size();
+    std::vector<double> out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        if (i < p) {
+            out[i] = x[i];
+            continue;
+        }
+        double pred = 0.0;
+        for (std::size_t k = 0; k < p; ++k)
+            pred += fit.coefficients[k] * x[i - 1 - k];
+        out[i] = pred;
+    }
+    return out;
+}
+
+std::size_t
+arFitOpCount(std::size_t n, std::size_t order)
+{
+    // Autocorrelation: ~2*n per lag; Levinson-Durbin: ~4*order^2.
+    return 2 * n * (order + 1) + 4 * order * order;
+}
+
+} // namespace neofog::kernels

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Autoregressive (AR) modeling for structural damage detection.
+ *
+ * The dependent-power experiment (paper §5.2.2) offloads the structural
+ * health monitoring algorithms of Yao & Pakzad [84] to the fog: fit an
+ * AR(p) model to each vibration batch and use the distance between the
+ * current AR coefficient vector and a healthy baseline as a damage
+ * indicator.  Implemented via Yule-Walker equations solved with
+ * Levinson-Durbin recursion.
+ */
+
+#ifndef NEOFOG_KERNELS_AR_MODEL_HH
+#define NEOFOG_KERNELS_AR_MODEL_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace neofog::kernels {
+
+/** Result of fitting an AR(p) model. */
+struct ArFit
+{
+    /** AR coefficients a1..ap (prediction: x[t] = sum a_k x[t-k] + e). */
+    std::vector<double> coefficients;
+    /** Innovation (residual) variance. */
+    double noiseVariance = 0.0;
+};
+
+/**
+ * Biased autocorrelation r[0..max_lag] of a signal.
+ */
+std::vector<double> autocorrelation(const std::vector<double> &x,
+                                    std::size_t max_lag);
+
+/**
+ * Fit an AR(p) model with the Yule-Walker method (Levinson-Durbin).
+ * @param x Input signal; length must exceed @p order.
+ * @param order Model order p (>= 1).
+ */
+ArFit fitAr(const std::vector<double> &x, std::size_t order);
+
+/**
+ * Euclidean distance between two AR coefficient vectors; the classic
+ * AR-distance damage feature.  Vectors must have equal length.
+ */
+double arDistance(const std::vector<double> &a,
+                  const std::vector<double> &b);
+
+/**
+ * Convenience damage indicator: fit AR(order) to @p healthy and
+ * @p current and return their coefficient distance normalized by the
+ * healthy coefficient norm.  Values near 0 mean undamaged.
+ */
+double damageIndicator(const std::vector<double> &healthy,
+                       const std::vector<double> &current,
+                       std::size_t order);
+
+/**
+ * One-step-ahead predictions of an AR model over a signal (first
+ * `order` outputs repeat the inputs).  Useful for residual analysis.
+ */
+std::vector<double> arPredict(const std::vector<double> &x,
+                              const ArFit &fit);
+
+/** Approximate op count of fitting AR(order) to n samples. */
+std::size_t arFitOpCount(std::size_t n, std::size_t order);
+
+} // namespace neofog::kernels
+
+#endif // NEOFOG_KERNELS_AR_MODEL_HH

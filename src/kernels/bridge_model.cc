@@ -1,0 +1,94 @@
+#include "kernels/bridge_model.hh"
+
+#include <cmath>
+
+#include "kernels/fft.hh"
+#include "kernels/filters.hh"
+#include "kernels/window.hh"
+#include "sim/logging.hh"
+
+namespace neofog::kernels {
+
+double
+tensionFromHarmonic(double freq_hz, int harmonic, const CableSpec &spec)
+{
+    NEOFOG_ASSERT(harmonic >= 1, "harmonic index");
+    NEOFOG_ASSERT(freq_hz > 0.0, "non-positive frequency");
+    const double f1 = freq_hz / static_cast<double>(harmonic);
+    return 4.0 * spec.massPerMeterKg * spec.lengthM * spec.lengthM *
+           f1 * f1;
+}
+
+StrengthEstimate
+estimateStrength(const std::vector<double> &ax,
+                 const std::vector<double> &ay,
+                 const std::vector<double> &az,
+                 const std::array<double, 3> &direction,
+                 double sample_rate_hz, const CableSpec &spec,
+                 double temperature_c)
+{
+    // 1. Combine axes into the cable-vertical component.
+    auto combined = projectAxes(ax, ay, az, direction);
+    // 2. Noise removal: detrend then light smoothing.
+    combined = detrend(combined);
+    combined = movingAverage(combined, 1);
+    // 3. Spectral peaks, with a Hann window against leakage.
+    const auto windowed = applyWindow(combined, WindowKind::Hann);
+    const auto peaks = dominantFrequencies(windowed, sample_rate_hz, 3);
+
+    StrengthEstimate est;
+    if (peaks.empty())
+        return est;
+
+    // The strongest peak is the fundamental for a taut cable; guard
+    // against the 2nd harmonic dominating by preferring the lowest of
+    // the top peaks within a plausible band.
+    double fundamental = peaks.front();
+    for (double p : peaks) {
+        if (p > 0.05 && p < fundamental)
+            fundamental = p;
+    }
+    est.fundamentalHz = fundamental;
+
+    // 4. Three structure-specialized models: tension inferred
+    //    independently from harmonics 1..3 (each harmonic is matched to
+    //    the spectral peak nearest its expected multiple).
+    for (int h = 1; h <= 3; ++h) {
+        const double expect = fundamental * h;
+        double best = expect;
+        double best_err = 1e18;
+        for (double p : peaks) {
+            const double err = std::abs(p - expect);
+            if (err < best_err) {
+                best_err = err;
+                best = p;
+            }
+        }
+        est.modelTensionsN[static_cast<std::size_t>(h - 1)] =
+            tensionFromHarmonic(best, h, spec);
+    }
+
+    // 5. Temperature compensation: thermal expansion slackens the cable
+    //    ~0.4% tension per 10C above nominal 20C (steel, typical span).
+    const double comp = 1.0 + 0.0004 * (temperature_c - 20.0) * 10.0;
+
+    // 6. Average the three models.
+    double sum = 0.0;
+    for (double t : est.modelTensionsN)
+        sum += t;
+    est.tensionN = comp * sum / 3.0;
+    est.strengthRatio = est.tensionN / spec.nominalTensionN;
+    return est;
+}
+
+std::size_t
+strengthOpCount(std::size_t n)
+{
+    const std::size_t n_fft = nextPowerOfTwo(n);
+    return 3 * n                     // axis projection
+           + 8 * n                   // detrend + smoothing
+           + fftOpCount(n_fft)       // spectrum
+           + 64;                     // peaks, models, compensation
+}
+
+} // namespace neofog::kernels

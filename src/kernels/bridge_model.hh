@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Bridge cable strength estimation — the flagship in-fog pipeline.
+ *
+ * Paper §3.1 describes the fog-offloaded bridge-health task: combine
+ * 3-axis acceleration into the cable-vertical direction, remove noise,
+ * FFT, estimate strength in three structure-specialized models, apply
+ * temperature/humidity compensation, average, and compress.  This module
+ * implements that pipeline end to end on top of the other kernels, using
+ * taut-string theory for cable tension: T = 4 * m * L^2 * (f1/n)^2 for
+ * the n-th harmonic at frequency f_n.
+ */
+
+#ifndef NEOFOG_KERNELS_BRIDGE_MODEL_HH
+#define NEOFOG_KERNELS_BRIDGE_MODEL_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace neofog::kernels {
+
+/** Physical parameters of one bridge cable. */
+struct CableSpec
+{
+    double lengthM = 100.0;       ///< free cable length (m)
+    double massPerMeterKg = 60.0; ///< linear density (kg/m)
+    double nominalTensionN = 4.0e6; ///< design tension (N)
+};
+
+/** Output of the strength pipeline for one batch. */
+struct StrengthEstimate
+{
+    double fundamentalHz = 0.0;  ///< detected fundamental frequency
+    double tensionN = 0.0;       ///< averaged tension estimate
+    double strengthRatio = 0.0;  ///< tension / nominal (1.0 = healthy)
+    /** Per-model tension estimates (three structure models). */
+    std::array<double, 3> modelTensionsN{};
+};
+
+/**
+ * Cable tension from the n-th harmonic frequency via taut-string
+ * theory: f_n = (n / (2 L)) * sqrt(T / m)  =>  T = 4 m L^2 (f_n / n)^2.
+ */
+double tensionFromHarmonic(double freq_hz, int harmonic,
+                           const CableSpec &spec);
+
+/**
+ * Run the full strength pipeline on a 3-axis acceleration batch.
+ *
+ * Steps: project axes onto @p direction, detrend, moving-average noise
+ * removal, FFT peak extraction, tension from the first three harmonics
+ * (the "three structure-specialized models"), temperature compensation
+ * (steel cables lengthen/slacken when hot), and averaging.
+ *
+ * @param ax,ay,az 3-axis acceleration batch.
+ * @param direction Cable-vertical unit direction.
+ * @param sample_rate_hz Accelerometer sampling rate.
+ * @param spec Cable physical parameters.
+ * @param temperature_c Batch-average ambient temperature.
+ */
+StrengthEstimate estimateStrength(const std::vector<double> &ax,
+                                  const std::vector<double> &ay,
+                                  const std::vector<double> &az,
+                                  const std::array<double, 3> &direction,
+                                  double sample_rate_hz,
+                                  const CableSpec &spec,
+                                  double temperature_c = 20.0);
+
+/** Approximate op count of one strength pipeline run on n samples. */
+std::size_t strengthOpCount(std::size_t n);
+
+} // namespace neofog::kernels
+
+#endif // NEOFOG_KERNELS_BRIDGE_MODEL_HH

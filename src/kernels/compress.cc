@@ -1,0 +1,405 @@
+#include "kernels/compress.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "sim/logging.hh"
+
+namespace neofog::kernels {
+
+namespace {
+
+/** Method byte prepended by compress(). */
+enum Method : std::uint8_t
+{
+    kRaw = 0,
+    kDeltaLz = 1,
+    kDeltaRle = 2,
+    kDelta16Lz = 3,
+    kDelta16Rle = 4,
+};
+
+} // namespace
+
+void
+putVarint(Bytes &out, std::uint64_t value)
+{
+    while (value >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(value | 0x80));
+        value >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(value));
+}
+
+std::uint64_t
+getVarint(const Bytes &in, std::size_t &pos)
+{
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+        if (pos >= in.size())
+            fatal("truncated varint");
+        const std::uint8_t byte = in[pos++];
+        value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if (!(byte & 0x80))
+            break;
+        shift += 7;
+        if (shift >= 64)
+            fatal("varint overflow");
+    }
+    return value;
+}
+
+std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t
+zigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+Bytes
+deltaEncode(const Bytes &in)
+{
+    Bytes out(in.size());
+    std::uint8_t prev = 0;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        out[i] = static_cast<std::uint8_t>(in[i] - prev);
+        prev = in[i];
+    }
+    return out;
+}
+
+Bytes
+deltaDecode(const Bytes &in)
+{
+    Bytes out(in.size());
+    std::uint8_t prev = 0;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        prev = static_cast<std::uint8_t>(prev + in[i]);
+        out[i] = prev;
+    }
+    return out;
+}
+
+Bytes
+deltaEncodeLag(const Bytes &in, std::size_t lag)
+{
+    NEOFOG_ASSERT(lag >= 1, "delta lag must be >= 1");
+    Bytes out(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        const std::uint8_t prev = i >= lag ? in[i - lag] : 0;
+        out[i] = static_cast<std::uint8_t>(in[i] - prev);
+    }
+    return out;
+}
+
+Bytes
+deltaDecodeLag(const Bytes &in, std::size_t lag)
+{
+    NEOFOG_ASSERT(lag >= 1, "delta lag must be >= 1");
+    Bytes out(in.size());
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        const std::uint8_t prev = i >= lag ? out[i - lag] : 0;
+        out[i] = static_cast<std::uint8_t>(in[i] + prev);
+    }
+    return out;
+}
+
+Bytes
+rleEncode(const Bytes &in)
+{
+    // Token stream: (literal-length varint, literal bytes,
+    //                run-length varint, run byte if run > 0) repeated.
+    Bytes out;
+    std::size_t i = 0;
+    while (i < in.size()) {
+        // Scan literals until a run of >= 4 identical bytes starts.
+        const std::size_t lit_start = i;
+        std::size_t run_start = in.size();
+        while (i < in.size()) {
+            std::size_t j = i;
+            while (j < in.size() && in[j] == in[i])
+                ++j;
+            if (j - i >= 4) {
+                run_start = i;
+                break;
+            }
+            i = j;
+        }
+        const std::size_t lit_len =
+            (run_start == in.size() ? in.size() : run_start) - lit_start;
+        putVarint(out, lit_len);
+        out.insert(out.end(),
+                   in.begin() + static_cast<std::ptrdiff_t>(lit_start),
+                   in.begin() +
+                       static_cast<std::ptrdiff_t>(lit_start + lit_len));
+        if (run_start == in.size()) {
+            putVarint(out, 0);
+            break;
+        }
+        std::size_t j = run_start;
+        while (j < in.size() && in[j] == in[run_start])
+            ++j;
+        putVarint(out, j - run_start);
+        out.push_back(in[run_start]);
+        i = j;
+    }
+    if (in.empty())
+        putVarint(out, 0), putVarint(out, 0);
+    return out;
+}
+
+Bytes
+rleDecode(const Bytes &in)
+{
+    Bytes out;
+    std::size_t pos = 0;
+    while (pos < in.size()) {
+        const std::uint64_t lit_len = getVarint(in, pos);
+        if (pos + lit_len > in.size())
+            fatal("truncated RLE literals");
+        out.insert(out.end(),
+                   in.begin() + static_cast<std::ptrdiff_t>(pos),
+                   in.begin() + static_cast<std::ptrdiff_t>(pos + lit_len));
+        pos += lit_len;
+        if (pos >= in.size())
+            break;
+        const std::uint64_t run_len = getVarint(in, pos);
+        if (run_len == 0)
+            break;
+        if (pos >= in.size())
+            fatal("truncated RLE run byte");
+        out.insert(out.end(), run_len, in[pos++]);
+    }
+    return out;
+}
+
+Bytes
+lz77Encode(const Bytes &in)
+{
+    constexpr std::size_t kWindow = 64 * 1024;
+    constexpr std::size_t kMinMatch = 3;
+    constexpr std::size_t kMaxMatch = 1 << 16;
+
+    // Hash chains over 3-byte prefixes.
+    auto hash3 = [&](std::size_t i) {
+        return (static_cast<std::uint32_t>(in[i]) * 506832829u) ^
+               (static_cast<std::uint32_t>(in[i + 1]) * 2654435761u) ^
+               (static_cast<std::uint32_t>(in[i + 2]) * 2246822519u);
+    };
+    std::unordered_map<std::uint32_t, std::vector<std::size_t>> chains;
+
+    Bytes out;
+    std::size_t i = 0;
+    std::size_t lit_start = 0;
+
+    auto flush = [&](std::size_t lit_end, std::size_t offset,
+                     std::size_t length) {
+        putVarint(out, lit_end - lit_start);
+        out.insert(out.end(),
+                   in.begin() + static_cast<std::ptrdiff_t>(lit_start),
+                   in.begin() + static_cast<std::ptrdiff_t>(lit_end));
+        putVarint(out, offset);
+        putVarint(out, length);
+    };
+
+    while (i < in.size()) {
+        std::size_t best_len = 0;
+        std::size_t best_off = 0;
+        if (i + kMinMatch <= in.size()) {
+            const auto h = hash3(i);
+            auto it = chains.find(h);
+            if (it != chains.end()) {
+                // Search most recent candidates first; cap the effort.
+                int tries = 16;
+                for (auto rit = it->second.rbegin();
+                     rit != it->second.rend() && tries > 0; ++rit) {
+                    const std::size_t cand = *rit;
+                    if (i - cand > kWindow)
+                        break;
+                    --tries;
+                    std::size_t len = 0;
+                    const std::size_t max_len =
+                        std::min(in.size() - i, kMaxMatch);
+                    while (len < max_len && in[cand + len] == in[i + len])
+                        ++len;
+                    if (len >= kMinMatch && len > best_len) {
+                        best_len = len;
+                        best_off = i - cand;
+                    }
+                }
+            }
+        }
+
+        if (best_len >= kMinMatch) {
+            flush(i, best_off, best_len);
+            // Index the skipped region (sparsely, every other byte, to
+            // bound cost) then continue past the match.
+            const std::size_t end = i + best_len;
+            for (std::size_t k = i; k + kMinMatch <= in.size() && k < end;
+                 k += 2)
+                chains[hash3(k)].push_back(k);
+            i = end;
+            lit_start = i;
+        } else {
+            if (i + kMinMatch <= in.size())
+                chains[hash3(i)].push_back(i);
+            ++i;
+        }
+    }
+    // Trailing literals with a zero match.
+    putVarint(out, i - lit_start);
+    out.insert(out.end(),
+               in.begin() + static_cast<std::ptrdiff_t>(lit_start),
+               in.begin() + static_cast<std::ptrdiff_t>(i));
+    putVarint(out, 0);
+    putVarint(out, 0);
+    return out;
+}
+
+Bytes
+lz77Decode(const Bytes &in)
+{
+    Bytes out;
+    std::size_t pos = 0;
+    while (pos < in.size()) {
+        const std::uint64_t lit_len = getVarint(in, pos);
+        if (pos + lit_len > in.size())
+            fatal("truncated LZ77 literals");
+        out.insert(out.end(),
+                   in.begin() + static_cast<std::ptrdiff_t>(pos),
+                   in.begin() + static_cast<std::ptrdiff_t>(pos + lit_len));
+        pos += lit_len;
+        if (pos >= in.size())
+            break;
+        const std::uint64_t offset = getVarint(in, pos);
+        const std::uint64_t length = getVarint(in, pos);
+        if (offset == 0 && length == 0)
+            break;
+        if (offset == 0 || offset > out.size())
+            fatal("corrupt LZ77 offset");
+        // Byte-by-byte copy supports overlapping matches.
+        std::size_t src = out.size() - offset;
+        for (std::uint64_t k = 0; k < length; ++k)
+            out.push_back(out[src + k]);
+    }
+    return out;
+}
+
+Bytes
+compress(const Bytes &in)
+{
+    const Bytes delta1 = deltaEncode(in);
+    const Bytes delta2 = deltaEncodeLag(in, 2);
+
+    struct Candidate
+    {
+        Method method;
+        Bytes encoded;
+    };
+    Candidate candidates[] = {
+        {kDeltaLz, lz77Encode(delta1)},
+        {kDeltaRle, rleEncode(delta1)},
+        {kDelta16Lz, lz77Encode(delta2)},
+        {kDelta16Rle, rleEncode(delta2)},
+    };
+
+    const Candidate *best = nullptr;
+    for (const Candidate &c : candidates) {
+        if (c.encoded.size() < in.size() &&
+            (!best || c.encoded.size() < best->encoded.size()))
+            best = &c;
+    }
+
+    Bytes out;
+    if (best) {
+        out.reserve(best->encoded.size() + 1);
+        out.push_back(best->method);
+        out.insert(out.end(), best->encoded.begin(),
+                   best->encoded.end());
+    } else {
+        out.reserve(in.size() + 1);
+        out.push_back(kRaw);
+        out.insert(out.end(), in.begin(), in.end());
+    }
+    return out;
+}
+
+Bytes
+decompress(const Bytes &in)
+{
+    if (in.empty())
+        fatal("decompress: empty input");
+    const Bytes body(in.begin() + 1, in.end());
+    switch (in[0]) {
+      case kRaw:
+        return body;
+      case kDeltaLz:
+        return deltaDecode(lz77Decode(body));
+      case kDeltaRle:
+        return deltaDecode(rleDecode(body));
+      case kDelta16Lz:
+        return deltaDecodeLag(lz77Decode(body), 2);
+      case kDelta16Rle:
+        return deltaDecodeLag(rleDecode(body), 2);
+      default:
+        fatal("decompress: unknown method byte ", int{in[0]});
+    }
+}
+
+double
+compressionRatio(const Bytes &in)
+{
+    if (in.empty())
+        return 0.0;
+    return static_cast<double>(compress(in).size()) /
+           static_cast<double>(in.size());
+}
+
+Bytes
+quantize16(const std::vector<double> &signal, double lo, double hi)
+{
+    NEOFOG_ASSERT(hi > lo, "quantize16 bounds");
+    Bytes out;
+    out.reserve(signal.size() * 2);
+    const double scale = 65535.0 / (hi - lo);
+    for (double v : signal) {
+        const double clamped = std::clamp(v, lo, hi);
+        const auto q =
+            static_cast<std::uint16_t>(std::lround((clamped - lo) * scale));
+        out.push_back(static_cast<std::uint8_t>(q & 0xFF));
+        out.push_back(static_cast<std::uint8_t>(q >> 8));
+    }
+    return out;
+}
+
+std::vector<double>
+dequantize16(const Bytes &data, double lo, double hi)
+{
+    NEOFOG_ASSERT(data.size() % 2 == 0, "dequantize16 odd byte count");
+    std::vector<double> out(data.size() / 2);
+    const double scale = (hi - lo) / 65535.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        const std::uint16_t q = static_cast<std::uint16_t>(
+            data[2 * i] | (data[2 * i + 1] << 8));
+        out[i] = lo + static_cast<double>(q) * scale;
+    }
+    return out;
+}
+
+std::size_t
+compressOpCount(std::size_t n)
+{
+    // Delta pass + hash-chain LZ with capped probes: ~40 ops/byte.
+    return 40 * n + 1;
+}
+
+} // namespace neofog::kernels

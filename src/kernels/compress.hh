@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Lossless compression pipeline for sensed data.
+ *
+ * The buffered FIOS strategy compresses the 64 kB NV buffer before
+ * transmission (paper §5.1: output is 3%-14.5% of the input because
+ * sensed data is highly repetitive).  We implement a real pipeline —
+ * zig-zag delta coding, run-length coding, and greedy LZ77 with varint
+ * token encoding — plus the matching decompressor, so tests can verify
+ * losslessness and benches can measure actual ratios on realistic
+ * synthetic sensor batches.
+ */
+
+#ifndef NEOFOG_KERNELS_COMPRESS_HH
+#define NEOFOG_KERNELS_COMPRESS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace neofog::kernels {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/** Append an unsigned LEB128 varint to a buffer. */
+void putVarint(Bytes &out, std::uint64_t value);
+
+/**
+ * Read a varint starting at @p pos (advanced past the value).
+ * Fatal on truncated input.
+ */
+std::uint64_t getVarint(const Bytes &in, std::size_t &pos);
+
+/** Zig-zag map signed -> unsigned (0,-1,1,-2,... -> 0,1,2,3,...). */
+std::uint64_t zigzagEncode(std::int64_t v);
+/** Inverse of zigzagEncode. */
+std::int64_t zigzagDecode(std::uint64_t v);
+
+/** Byte-wise delta coding: out[0]=in[0], out[i]=in[i]-in[i-1] (mod 256). */
+Bytes deltaEncode(const Bytes &in);
+/** Inverse of deltaEncode. */
+Bytes deltaDecode(const Bytes &in);
+
+/**
+ * Lagged delta coding: out[i] = in[i] - in[i-lag] (mod 256); the first
+ * lag bytes pass through.  lag=2 aligns deltas to 16-bit little-endian
+ * samples, the on-wire format of sensed batches.
+ */
+Bytes deltaEncodeLag(const Bytes &in, std::size_t lag);
+/** Inverse of deltaEncodeLag. */
+Bytes deltaDecodeLag(const Bytes &in, std::size_t lag);
+
+/**
+ * Run-length encode: pairs of (count varint, byte) for runs >= 4, raw
+ * literal blocks otherwise.
+ */
+Bytes rleEncode(const Bytes &in);
+/** Inverse of rleEncode. */
+Bytes rleDecode(const Bytes &in);
+
+/**
+ * Greedy LZ77 with a 64 kB window and 3-byte minimum match, emitting
+ * varint-coded (literal-run, match-offset, match-length) token groups.
+ */
+Bytes lz77Encode(const Bytes &in);
+/** Inverse of lz77Encode. */
+Bytes lz77Decode(const Bytes &in);
+
+/**
+ * Full sensor pipeline: delta + LZ77 (+RLE fallback if smaller), with a
+ * 1-byte method header so decompression is self-describing.  If no
+ * method shrinks the data, stores it raw.
+ */
+Bytes compress(const Bytes &in);
+/** Inverse of compress. */
+Bytes decompress(const Bytes &in);
+
+/** compressed size / original size for the full pipeline (0 if empty). */
+double compressionRatio(const Bytes &in);
+
+/**
+ * Quantize a double signal into 16-bit little-endian samples spanning
+ * [lo, hi]; the on-wire representation of sensed batches.
+ */
+Bytes quantize16(const std::vector<double> &signal, double lo, double hi);
+
+/** Inverse of quantize16 (returns midpoints of quantization cells). */
+std::vector<double> dequantize16(const Bytes &data, double lo, double hi);
+
+/** Approximate op count for compressing n bytes. */
+std::size_t compressOpCount(std::size_t n);
+
+} // namespace neofog::kernels
+
+#endif // NEOFOG_KERNELS_COMPRESS_HH

@@ -1,0 +1,122 @@
+#include "kernels/fft.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace neofog::kernels {
+
+std::size_t
+nextPowerOfTwo(std::size_t n)
+{
+    if (n <= 1)
+        return 1;
+    std::size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+void
+fft(std::vector<std::complex<double>> &data, bool inverse)
+{
+    const std::size_t n = data.size();
+    NEOFOG_ASSERT(isPowerOfTwo(n), "FFT size must be a power of two, got ",
+                  n);
+    if (n == 1)
+        return;
+
+    // Bit-reversal permutation.
+    for (std::size_t i = 1, j = 0; i < n; ++i) {
+        std::size_t bit = n >> 1;
+        for (; j & bit; bit >>= 1)
+            j ^= bit;
+        j ^= bit;
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    // Butterfly stages.
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+        const double angle =
+            (inverse ? 2.0 : -2.0) * M_PI / static_cast<double>(len);
+        const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+        for (std::size_t i = 0; i < n; i += len) {
+            std::complex<double> w(1.0, 0.0);
+            for (std::size_t k = 0; k < len / 2; ++k) {
+                const auto u = data[i + k];
+                const auto v = data[i + k + len / 2] * w;
+                data[i + k] = u + v;
+                data[i + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+    }
+
+    if (inverse) {
+        const double inv_n = 1.0 / static_cast<double>(n);
+        for (auto &x : data)
+            x *= inv_n;
+    }
+}
+
+std::vector<std::complex<double>>
+realFft(const std::vector<double> &signal)
+{
+    const std::size_t n = nextPowerOfTwo(std::max<std::size_t>(
+        signal.size(), 1));
+    std::vector<std::complex<double>> data(n, {0.0, 0.0});
+    for (std::size_t i = 0; i < signal.size(); ++i)
+        data[i] = {signal[i], 0.0};
+    fft(data);
+    return data;
+}
+
+std::vector<double>
+magnitudeSpectrum(const std::vector<double> &signal)
+{
+    const auto spec = realFft(signal);
+    std::vector<double> mags(spec.size() / 2 + 1);
+    for (std::size_t i = 0; i < mags.size(); ++i)
+        mags[i] = std::abs(spec[i]);
+    return mags;
+}
+
+std::vector<double>
+dominantFrequencies(const std::vector<double> &signal,
+                    double sample_rate_hz, std::size_t count)
+{
+    NEOFOG_ASSERT(sample_rate_hz > 0.0, "non-positive sample rate");
+    const auto mags = magnitudeSpectrum(signal);
+    const std::size_t n_fft = (mags.size() - 1) * 2;
+    if (n_fft == 0)
+        return {};
+    const double bin_hz = sample_rate_hz / static_cast<double>(n_fft);
+
+    // Local maxima, DC (bin 0) excluded.
+    std::vector<std::pair<double, double>> peaks; // (magnitude, freq)
+    for (std::size_t i = 1; i + 1 < mags.size(); ++i) {
+        if (mags[i] > mags[i - 1] && mags[i] >= mags[i + 1])
+            peaks.emplace_back(mags[i], static_cast<double>(i) * bin_hz);
+    }
+    std::sort(peaks.begin(), peaks.end(),
+              [](const auto &a, const auto &b) { return a.first > b.first; });
+    std::vector<double> out;
+    for (std::size_t i = 0; i < peaks.size() && i < count; ++i)
+        out.push_back(peaks[i].second);
+    return out;
+}
+
+std::size_t
+fftOpCount(std::size_t n)
+{
+    if (n <= 1)
+        return 1;
+    std::size_t log2n = 0;
+    for (std::size_t p = 1; p < n; p <<= 1)
+        ++log2n;
+    return 5 * n * log2n;
+}
+
+} // namespace neofog::kernels

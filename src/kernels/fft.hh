@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Radix-2 FFT and spectrum helpers.
+ *
+ * The bridge-health fog task (paper §3.1) performs noise removal and FFT
+ * on acceleration batches to extract cable harmonics.  This is a real
+ * implementation — examples and tests run it on synthetic vibration
+ * signals — and its operation count feeds the workload energy model.
+ */
+
+#ifndef NEOFOG_KERNELS_FFT_HH
+#define NEOFOG_KERNELS_FFT_HH
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace neofog::kernels {
+
+/** True if n is a power of two (and nonzero). */
+constexpr bool
+isPowerOfTwo(std::size_t n)
+{
+    return n != 0 && (n & (n - 1)) == 0;
+}
+
+/** Smallest power of two >= n. */
+std::size_t nextPowerOfTwo(std::size_t n);
+
+/**
+ * In-place iterative radix-2 Cooley-Tukey FFT.
+ * @param data Complex samples; size must be a power of two.
+ * @param inverse If true computes the inverse transform (scaled by 1/N).
+ */
+void fft(std::vector<std::complex<double>> &data, bool inverse = false);
+
+/**
+ * Forward FFT of a real signal, zero-padded to the next power of two.
+ * @return Complex spectrum of length nextPowerOfTwo(signal.size()).
+ */
+std::vector<std::complex<double>>
+realFft(const std::vector<double> &signal);
+
+/**
+ * Magnitude spectrum (first half, DC..Nyquist) of a real signal.
+ */
+std::vector<double> magnitudeSpectrum(const std::vector<double> &signal);
+
+/**
+ * Frequencies (Hz) of the @p count strongest spectral peaks of a real
+ * signal sampled at @p sample_rate_hz, strongest first.  A peak is a
+ * local maximum of the magnitude spectrum, DC excluded.
+ */
+std::vector<double> dominantFrequencies(const std::vector<double> &signal,
+                                        double sample_rate_hz,
+                                        std::size_t count);
+
+/**
+ * Approximate operation count of an N-point FFT (5 N log2 N flops),
+ * used to map kernel work onto the NVP energy model.
+ */
+std::size_t fftOpCount(std::size_t n);
+
+} // namespace neofog::kernels
+
+#endif // NEOFOG_KERNELS_FFT_HH

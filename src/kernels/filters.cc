@@ -1,0 +1,177 @@
+#include "kernels/filters.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace neofog::kernels {
+
+std::vector<double>
+movingAverage(const std::vector<double> &x, std::size_t half_window)
+{
+    const std::size_t n = x.size();
+    std::vector<double> out(n);
+    if (n == 0)
+        return out;
+    // Prefix sums let each output sample cost O(1).
+    std::vector<double> prefix(n + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+        prefix[i + 1] = prefix[i] + x[i];
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t lo = i >= half_window ? i - half_window : 0;
+        const std::size_t hi = std::min(n - 1, i + half_window);
+        out[i] = (prefix[hi + 1] - prefix[lo]) /
+                 static_cast<double>(hi - lo + 1);
+    }
+    return out;
+}
+
+std::vector<double>
+medianFilter(const std::vector<double> &x, std::size_t half_window)
+{
+    const std::size_t n = x.size();
+    std::vector<double> out(n);
+    std::vector<double> window;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t lo = i >= half_window ? i - half_window : 0;
+        const std::size_t hi = std::min(n == 0 ? 0 : n - 1,
+                                        i + half_window);
+        window.assign(x.begin() + static_cast<std::ptrdiff_t>(lo),
+                      x.begin() + static_cast<std::ptrdiff_t>(hi + 1));
+        auto mid = window.begin() +
+                   static_cast<std::ptrdiff_t>(window.size() / 2);
+        std::nth_element(window.begin(), mid, window.end());
+        double median = *mid;
+        if (window.size() % 2 == 0) {
+            const double lower =
+                *std::max_element(window.begin(), mid);
+            median = 0.5 * (median + lower);
+        }
+        out[i] = median;
+    }
+    return out;
+}
+
+std::vector<double>
+removeMean(const std::vector<double> &x)
+{
+    if (x.empty())
+        return {};
+    const double mean =
+        std::accumulate(x.begin(), x.end(), 0.0) /
+        static_cast<double>(x.size());
+    std::vector<double> out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] = x[i] - mean;
+    return out;
+}
+
+std::vector<double>
+detrend(const std::vector<double> &x)
+{
+    const std::size_t n = x.size();
+    if (n < 2)
+        return removeMean(x);
+    // Least-squares line fit over index i.
+    double sum_i = 0.0, sum_ii = 0.0, sum_x = 0.0, sum_ix = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double fi = static_cast<double>(i);
+        sum_i += fi;
+        sum_ii += fi * fi;
+        sum_x += x[i];
+        sum_ix += fi * x[i];
+    }
+    const double fn = static_cast<double>(n);
+    const double denom = fn * sum_ii - sum_i * sum_i;
+    const double slope =
+        denom != 0.0 ? (fn * sum_ix - sum_i * sum_x) / denom : 0.0;
+    const double intercept = (sum_x - slope * sum_i) / fn;
+    std::vector<double> out(n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i] = x[i] - (intercept + slope * static_cast<double>(i));
+    return out;
+}
+
+std::vector<double>
+lowPassIir(const std::vector<double> &x, double alpha)
+{
+    if (alpha <= 0.0 || alpha > 1.0)
+        fatal("IIR alpha out of (0,1]: ", alpha);
+    std::vector<double> out(x.size());
+    double y = x.empty() ? 0.0 : x[0];
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        y = alpha * x[i] + (1.0 - alpha) * y;
+        out[i] = y;
+    }
+    return out;
+}
+
+std::vector<double>
+projectAxes(const std::vector<double> &ax, const std::vector<double> &ay,
+            const std::vector<double> &az,
+            const std::array<double, 3> &direction)
+{
+    NEOFOG_ASSERT(ax.size() == ay.size() && ay.size() == az.size(),
+                  "axis length mismatch");
+    const double norm = std::sqrt(direction[0] * direction[0] +
+                                  direction[1] * direction[1] +
+                                  direction[2] * direction[2]);
+    NEOFOG_ASSERT(norm > 0.0, "zero projection direction");
+    const double dx = direction[0] / norm;
+    const double dy = direction[1] / norm;
+    const double dz = direction[2] / norm;
+    std::vector<double> out(ax.size());
+    for (std::size_t i = 0; i < ax.size(); ++i)
+        out[i] = ax[i] * dx + ay[i] * dy + az[i] * dz;
+    return out;
+}
+
+std::vector<double>
+compensate(const std::vector<double> &x,
+           const std::vector<double> &reference, double gain,
+           double ref_nominal)
+{
+    NEOFOG_ASSERT(x.size() == reference.size(),
+                  "compensation reference length mismatch");
+    std::vector<double> out(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        out[i] = x[i] - gain * (reference[i] - ref_nominal);
+    return out;
+}
+
+double
+rms(const std::vector<double> &x)
+{
+    if (x.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : x)
+        sum += v * v;
+    return std::sqrt(sum / static_cast<double>(x.size()));
+}
+
+double
+snrDb(const std::vector<double> &clean, const std::vector<double> &noisy)
+{
+    NEOFOG_ASSERT(clean.size() == noisy.size(), "SNR length mismatch");
+    double sig = 0.0, noise = 0.0;
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+        sig += clean[i] * clean[i];
+        const double d = noisy[i] - clean[i];
+        noise += d * d;
+    }
+    if (noise <= 0.0)
+        return 300.0; // effectively infinite
+    return 10.0 * std::log10(sig / noise);
+}
+
+std::size_t
+movingAverageOpCount(std::size_t n, std::size_t half_window)
+{
+    (void)half_window; // prefix-sum implementation is O(n)
+    return 6 * n;
+}
+
+} // namespace neofog::kernels

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Noise-removal and preprocessing filters used by the in-fog tasks.
+ *
+ * The bridge-health pipeline (paper §3.1) starts with combining 3-axis
+ * acceleration into one cable-vertical component, then noise removal.
+ * These filters also serve the temperature/humidity compensation steps.
+ */
+
+#ifndef NEOFOG_KERNELS_FILTERS_HH
+#define NEOFOG_KERNELS_FILTERS_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+namespace neofog::kernels {
+
+/**
+ * Centered moving-average smoother with window 2*half+1 (edges use the
+ * available samples).
+ */
+std::vector<double> movingAverage(const std::vector<double> &x,
+                                  std::size_t half_window);
+
+/**
+ * Sliding median filter with window 2*half+1; robust against impulsive
+ * sensor glitches.
+ */
+std::vector<double> medianFilter(const std::vector<double> &x,
+                                 std::size_t half_window);
+
+/** Subtract the mean. */
+std::vector<double> removeMean(const std::vector<double> &x);
+
+/** Remove a least-squares linear trend. */
+std::vector<double> detrend(const std::vector<double> &x);
+
+/**
+ * Single-pole IIR low-pass: y[i] = a*x[i] + (1-a)*y[i-1].
+ * @param alpha Smoothing factor in (0, 1]; smaller = smoother.
+ */
+std::vector<double> lowPassIir(const std::vector<double> &x, double alpha);
+
+/**
+ * Project 3-axis acceleration samples onto a unit direction vector,
+ * producing the single "cable-vertical" component the bridge model uses.
+ * All three axis vectors must have the same length.
+ */
+std::vector<double> projectAxes(const std::vector<double> &ax,
+                                const std::vector<double> &ay,
+                                const std::vector<double> &az,
+                                const std::array<double, 3> &direction);
+
+/**
+ * Linear sensor compensation: out = x - gain * (ref - ref_nominal).
+ * Used for temperature/humidity compensation of strength estimates.
+ */
+std::vector<double> compensate(const std::vector<double> &x,
+                               const std::vector<double> &reference,
+                               double gain, double ref_nominal);
+
+/** Root-mean-square of a signal. */
+double rms(const std::vector<double> &x);
+
+/** Signal-to-noise ratio in dB of signal vs (signal - reference). */
+double snrDb(const std::vector<double> &clean,
+             const std::vector<double> &noisy);
+
+/** Approximate op count of a moving average pass. */
+std::size_t movingAverageOpCount(std::size_t n, std::size_t half_window);
+
+} // namespace neofog::kernels
+
+#endif // NEOFOG_KERNELS_FILTERS_HH

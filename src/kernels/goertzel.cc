@@ -1,0 +1,83 @@
+#include "kernels/goertzel.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace neofog::kernels {
+
+double
+goertzelMagnitude(const std::vector<double> &signal, double target_hz,
+                  double sample_rate_hz)
+{
+    if (sample_rate_hz <= 0.0)
+        fatal("goertzel: non-positive sample rate");
+    if (target_hz < 0.0 || target_hz > sample_rate_hz / 2.0)
+        fatal("goertzel: target outside [0, Nyquist]");
+    const std::size_t n = signal.size();
+    if (n == 0)
+        return 0.0;
+
+    const double omega = 2.0 * M_PI * target_hz / sample_rate_hz;
+    const double coeff = 2.0 * std::cos(omega);
+    double s_prev = 0.0, s_prev2 = 0.0;
+    for (double x : signal) {
+        const double s = x + coeff * s_prev - s_prev2;
+        s_prev2 = s_prev;
+        s_prev = s;
+    }
+    const double power = s_prev * s_prev + s_prev2 * s_prev2 -
+                         coeff * s_prev * s_prev2;
+    return std::sqrt(std::max(power, 0.0));
+}
+
+double
+goertzelPowerRatio(const std::vector<double> &signal, double target_hz,
+                   double sample_rate_hz)
+{
+    const std::size_t n = signal.size();
+    if (n == 0)
+        return 0.0;
+    double total = 0.0;
+    for (double x : signal)
+        total += x * x;
+    if (total <= 0.0)
+        return 0.0;
+    const double mag =
+        goertzelMagnitude(signal, target_hz, sample_rate_hz);
+    // |X(k)|^2 carries N/2 x the per-sample power of that component.
+    const double component = 2.0 * mag * mag / static_cast<double>(n);
+    return std::min(1.0, component / total);
+}
+
+double
+goertzelRefine(const std::vector<double> &signal, double guess_hz,
+               double half_band_hz, double sample_rate_hz,
+               int grid_points)
+{
+    if (grid_points < 3)
+        fatal("goertzelRefine: need at least 3 grid points");
+    double best_hz = guess_hz;
+    double best_mag = -1.0;
+    for (int i = 0; i < grid_points; ++i) {
+        const double frac = static_cast<double>(i) /
+                            static_cast<double>(grid_points - 1);
+        double hz = guess_hz - half_band_hz + 2.0 * half_band_hz * frac;
+        hz = std::max(0.0, std::min(hz, sample_rate_hz / 2.0));
+        const double mag =
+            goertzelMagnitude(signal, hz, sample_rate_hz);
+        if (mag > best_mag) {
+            best_mag = mag;
+            best_hz = hz;
+        }
+    }
+    return best_hz;
+}
+
+std::size_t
+goertzelOpCount(std::size_t n, int bins)
+{
+    return 4 * n * static_cast<std::size_t>(bins) + 8;
+}
+
+} // namespace neofog::kernels

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Goertzel single-bin spectral detector.
+ *
+ * A full FFT is overkill when the mote only needs the magnitude at one
+ * known frequency — e.g. tracking a bridge cable's fundamental once it
+ * has been identified, or detecting a pilot tone.  The Goertzel
+ * algorithm computes one DFT bin in O(n) with two state variables,
+ * which is why 8051-class motes actually use it.
+ */
+
+#ifndef NEOFOG_KERNELS_GOERTZEL_HH
+#define NEOFOG_KERNELS_GOERTZEL_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace neofog::kernels {
+
+/**
+ * Magnitude of the DFT of @p signal at @p target_hz (sampled at
+ * @p sample_rate_hz), computed with the Goertzel recurrence.
+ */
+double goertzelMagnitude(const std::vector<double> &signal,
+                         double target_hz, double sample_rate_hz);
+
+/**
+ * Power ratio of the target frequency vs the total signal power, in
+ * [0, 1]; a cheap tone-presence detector.
+ */
+double goertzelPowerRatio(const std::vector<double> &signal,
+                          double target_hz, double sample_rate_hz);
+
+/**
+ * Track a frequency near @p guess_hz: evaluate Goertzel on a small
+ * grid of candidates within +-`half_band_hz` and return the strongest.
+ */
+double goertzelRefine(const std::vector<double> &signal,
+                      double guess_hz, double half_band_hz,
+                      double sample_rate_hz, int grid_points = 17);
+
+/** Op count: ~4n per evaluated bin. */
+std::size_t goertzelOpCount(std::size_t n, int bins = 1);
+
+} // namespace neofog::kernels
+
+#endif // NEOFOG_KERNELS_GOERTZEL_HH

@@ -1,0 +1,119 @@
+#include "kernels/pattern_match.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "sim/logging.hh"
+
+namespace neofog::kernels {
+
+std::vector<double>
+normalizedCrossCorrelation(const std::vector<double> &signal,
+                           const std::vector<double> &tmpl)
+{
+    const std::size_t n = signal.size();
+    const std::size_t m = tmpl.size();
+    if (m == 0 || m > n)
+        return {};
+
+    // Precompute template statistics.
+    const double t_mean =
+        std::accumulate(tmpl.begin(), tmpl.end(), 0.0) /
+        static_cast<double>(m);
+    double t_var = 0.0;
+    for (double v : tmpl) {
+        const double d = v - t_mean;
+        t_var += d * d;
+    }
+    const double t_norm = std::sqrt(t_var);
+
+    // Sliding window sums for the signal via prefix sums.
+    std::vector<double> prefix(n + 1, 0.0), prefix2(n + 1, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        prefix[i + 1] = prefix[i] + signal[i];
+        prefix2[i + 1] = prefix2[i] + signal[i] * signal[i];
+    }
+
+    std::vector<double> scores(n - m + 1, 0.0);
+    for (std::size_t off = 0; off + m <= n; ++off) {
+        const double s_sum = prefix[off + m] - prefix[off];
+        const double s_sum2 = prefix2[off + m] - prefix2[off];
+        const double s_mean = s_sum / static_cast<double>(m);
+        const double s_var =
+            s_sum2 - 2.0 * s_mean * s_sum +
+            static_cast<double>(m) * s_mean * s_mean;
+        const double s_norm = std::sqrt(std::max(s_var, 0.0));
+
+        double dot = 0.0;
+        for (std::size_t k = 0; k < m; ++k)
+            dot += (signal[off + k] - s_mean) * (tmpl[k] - t_mean);
+
+        const double denom = s_norm * t_norm;
+        scores[off] = denom > 1e-12 ? dot / denom : 0.0;
+    }
+    return scores;
+}
+
+std::vector<Match>
+findMatches(const std::vector<double> &signal,
+            const std::vector<double> &tmpl, double threshold)
+{
+    const auto scores = normalizedCrossCorrelation(signal, tmpl);
+    const std::size_t m = tmpl.size();
+
+    // Candidates above threshold, sorted by descending score.
+    std::vector<Match> candidates;
+    for (std::size_t i = 0; i < scores.size(); ++i) {
+        if (scores[i] >= threshold)
+            candidates.push_back({i, scores[i]});
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Match &a, const Match &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  return a.position < b.position;
+              });
+
+    // Greedy non-overlap selection.
+    std::vector<Match> selected;
+    for (const Match &c : candidates) {
+        const bool overlaps = std::any_of(
+            selected.begin(), selected.end(), [&](const Match &s) {
+                const std::size_t a_lo = c.position;
+                const std::size_t a_hi = c.position + m;
+                const std::size_t b_lo = s.position;
+                const std::size_t b_hi = s.position + m;
+                return a_lo < b_hi && b_lo < a_hi;
+            });
+        if (!overlaps)
+            selected.push_back(c);
+    }
+    std::sort(selected.begin(), selected.end(),
+              [](const Match &a, const Match &b) {
+                  return a.position < b.position;
+              });
+    return selected;
+}
+
+double
+meanMatchInterval(const std::vector<Match> &matches)
+{
+    if (matches.size() < 2)
+        return 0.0;
+    double sum = 0.0;
+    for (std::size_t i = 1; i < matches.size(); ++i)
+        sum += static_cast<double>(matches[i].position -
+                                   matches[i - 1].position);
+    return sum / static_cast<double>(matches.size() - 1);
+}
+
+std::size_t
+matchOpCount(std::size_t n, std::size_t m)
+{
+    if (m == 0 || m > n)
+        return 1;
+    return 3 * (n - m + 1) * m;
+}
+
+} // namespace neofog::kernels

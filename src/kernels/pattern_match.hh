@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Template pattern matching for heartbeat-signal classification.
+ *
+ * Table 2's "Pattern Matching" application matches sampled heartbeat
+ * (ECG) batches against a beat template on-node — the most
+ * compute-intensive of the five deployed workloads (59.5% compute share
+ * even in the naive strategy).  Implemented as normalized
+ * cross-correlation with peak extraction.
+ */
+
+#ifndef NEOFOG_KERNELS_PATTERN_MATCH_HH
+#define NEOFOG_KERNELS_PATTERN_MATCH_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace neofog::kernels {
+
+/** One detected template match. */
+struct Match
+{
+    std::size_t position; ///< start index in the signal
+    double score;         ///< normalized correlation in [-1, 1]
+};
+
+/**
+ * Normalized cross-correlation of @p signal against @p tmpl at every
+ * admissible offset.
+ * @return Scores of length signal.size() - tmpl.size() + 1 (empty if the
+ *         template is longer than the signal).
+ */
+std::vector<double>
+normalizedCrossCorrelation(const std::vector<double> &signal,
+                           const std::vector<double> &tmpl);
+
+/**
+ * Find non-overlapping template matches scoring at least @p threshold,
+ * greedily by descending score.
+ */
+std::vector<Match> findMatches(const std::vector<double> &signal,
+                               const std::vector<double> &tmpl,
+                               double threshold);
+
+/**
+ * Mean interval (in samples) between successive match positions; the
+ * heart-rate estimate when matching ECG beats.  Returns 0 with fewer
+ * than two matches.
+ */
+double meanMatchInterval(const std::vector<Match> &matches);
+
+/** Approximate op count of matching an m-template over n samples. */
+std::size_t matchOpCount(std::size_t n, std::size_t m);
+
+} // namespace neofog::kernels
+
+#endif // NEOFOG_KERNELS_PATTERN_MATCH_HH

@@ -1,0 +1,165 @@
+#include "kernels/signal_gen.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace neofog::kernels {
+
+std::vector<double>
+bridgeVibration(Rng &rng, std::size_t n, double sample_rate_hz,
+                double fundamental_hz, double noise_sigma)
+{
+    NEOFOG_ASSERT(sample_rate_hz > 0.0, "sample rate");
+    std::vector<double> out(n);
+    const double w = 2.0 * M_PI * fundamental_hz;
+    const double phase1 = rng.uniform(0.0, 2.0 * M_PI);
+    const double phase2 = rng.uniform(0.0, 2.0 * M_PI);
+    const double phase3 = rng.uniform(0.0, 2.0 * M_PI);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) / sample_rate_hz;
+        out[i] = 1.00 * std::sin(w * t + phase1) +
+                 0.45 * std::sin(2.0 * w * t + phase2) +
+                 0.20 * std::sin(3.0 * w * t + phase3) +
+                 noise_sigma * rng.normal();
+    }
+    return out;
+}
+
+std::array<std::vector<double>, 3>
+threeAxisVibration(Rng &rng, std::size_t n, double sample_rate_hz,
+                   double fundamental_hz,
+                   const std::array<double, 3> &direction,
+                   double noise_sigma)
+{
+    const auto motion =
+        bridgeVibration(rng, n, sample_rate_hz, fundamental_hz, 0.0);
+    const double norm = std::sqrt(direction[0] * direction[0] +
+                                  direction[1] * direction[1] +
+                                  direction[2] * direction[2]);
+    NEOFOG_ASSERT(norm > 0.0, "zero direction");
+    std::array<std::vector<double>, 3> axes;
+    for (auto &a : axes)
+        a.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (int d = 0; d < 3; ++d) {
+            axes[static_cast<std::size_t>(d)][i] =
+                motion[i] * direction[static_cast<std::size_t>(d)] / norm +
+                noise_sigma * rng.normal();
+        }
+    }
+    return axes;
+}
+
+std::vector<double>
+ecgBeatTemplate(std::size_t n)
+{
+    // Gaussian bumps approximating P, Q, R, S, T waves over one beat.
+    struct Wave { double center, width, amp; };
+    static constexpr Wave kWaves[] = {
+        {0.18, 0.035, 0.15},  // P
+        {0.36, 0.012, -0.12}, // Q
+        {0.40, 0.016, 1.00},  // R
+        {0.44, 0.012, -0.25}, // S
+        {0.68, 0.060, 0.30},  // T
+    };
+    std::vector<double> out(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double u = static_cast<double>(i) / static_cast<double>(n);
+        for (const Wave &w : kWaves) {
+            const double d = (u - w.center) / w.width;
+            out[i] += w.amp * std::exp(-0.5 * d * d);
+        }
+    }
+    return out;
+}
+
+std::vector<double>
+ecgSignal(Rng &rng, std::size_t n, double sample_rate_hz,
+          double heart_rate_bpm, double noise_sigma)
+{
+    NEOFOG_ASSERT(heart_rate_bpm > 0.0, "heart rate");
+    const double beat_s = 60.0 / heart_rate_bpm;
+    const auto beat_len =
+        static_cast<std::size_t>(beat_s * sample_rate_hz);
+    NEOFOG_ASSERT(beat_len >= 8, "sample rate too low for ECG beats");
+    const auto tmpl = ecgBeatTemplate(beat_len);
+
+    std::vector<double> out(n, 0.0);
+    std::size_t pos = 0;
+    while (pos < n) {
+        // +-4% beat-to-beat jitter.
+        const double jitter = 1.0 + 0.04 * rng.normal();
+        const auto this_len = static_cast<std::size_t>(
+            std::max(8.0, static_cast<double>(beat_len) * jitter));
+        for (std::size_t i = 0; i < this_len && pos + i < n; ++i) {
+            const double u = static_cast<double>(i) /
+                             static_cast<double>(this_len);
+            const auto src = static_cast<std::size_t>(
+                u * static_cast<double>(beat_len - 1));
+            out[pos + i] = tmpl[src];
+        }
+        pos += this_len;
+    }
+    // Baseline wander + noise.
+    const double wander_phase = rng.uniform(0.0, 2.0 * M_PI);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double t = static_cast<double>(i) / sample_rate_hz;
+        out[i] += 0.05 * std::sin(2.0 * M_PI * 0.25 * t + wander_phase) +
+                  noise_sigma * rng.normal();
+    }
+    return out;
+}
+
+std::vector<double>
+temperatureSignal(Rng &rng, std::size_t n, double base_c, double swing_c,
+                  double noise_sigma)
+{
+    std::vector<double> out(n);
+    const double phase = rng.uniform(0.0, 2.0 * M_PI);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double u = static_cast<double>(i) /
+                         std::max<double>(1.0, static_cast<double>(n));
+        out[i] = base_c + swing_c * std::sin(2.0 * M_PI * u * 0.5 + phase) +
+                 noise_sigma * rng.normal();
+    }
+    return out;
+}
+
+std::vector<double>
+uvSignal(Rng &rng, std::size_t n, double peak_index)
+{
+    std::vector<double> out(n);
+    double cloud = 1.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double u = static_cast<double>(i) /
+                         std::max<double>(1.0, static_cast<double>(n));
+        // Slow random-walk cloud attenuation in [0.3, 1].
+        cloud += 0.02 * rng.normal();
+        cloud = std::min(1.0, std::max(0.3, cloud));
+        const double hump = std::sin(M_PI * u);
+        out[i] = std::max(0.0, peak_index * hump * hump * cloud);
+    }
+    return out;
+}
+
+std::vector<double>
+imageRow(Rng &rng, std::size_t n)
+{
+    std::vector<double> out(n);
+    const double grad0 = rng.uniform(0.0, 128.0);
+    const double grad1 = rng.uniform(64.0, 255.0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double u = static_cast<double>(i) /
+                         std::max<double>(1.0, static_cast<double>(n));
+        double v = grad0 + (grad1 - grad0) * u;
+        // Blocky texture: quantize to 8 levels + sparse speckle.
+        v = std::floor(v / 32.0) * 32.0;
+        if (rng.chance(0.02))
+            v += rng.uniform(-16.0, 16.0);
+        out[i] = std::min(255.0, std::max(0.0, v));
+    }
+    return out;
+}
+
+} // namespace neofog::kernels

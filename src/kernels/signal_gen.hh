@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Synthetic sensor-signal generators.
+ *
+ * The paper's workloads sample real sensors (bridge cable accelerometers,
+ * wearable UV meters, rail temperature probes, ECG electrodes, RF-powered
+ * cameras).  We have no field data, so these generators produce signals
+ * with the statistical structure that matters downstream: modal
+ * vibration harmonics for the FFT/strength pipeline, PQRST beats for the
+ * pattern matcher, slow ramps for temperature, and highly repetitive
+ * byte content so the compressor reaches the paper's 3-14.5% ratios.
+ */
+
+#ifndef NEOFOG_KERNELS_SIGNAL_GEN_HH
+#define NEOFOG_KERNELS_SIGNAL_GEN_HH
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "sim/rng.hh"
+
+namespace neofog::kernels {
+
+/**
+ * Bridge-cable vibration: sum of modal sinusoids (fundamental + two
+ * harmonics) with Gaussian measurement noise.
+ *
+ * @param rng Noise stream.
+ * @param n Sample count.
+ * @param sample_rate_hz Sampling rate.
+ * @param fundamental_hz Cable fundamental frequency.
+ * @param noise_sigma Gaussian noise standard deviation.
+ */
+std::vector<double> bridgeVibration(Rng &rng, std::size_t n,
+                                    double sample_rate_hz,
+                                    double fundamental_hz,
+                                    double noise_sigma = 0.1);
+
+/**
+ * Three-axis accelerometer capture of a bridge vibration: the true
+ * motion along @p direction projected back onto x/y/z with independent
+ * per-axis noise.  Returns {ax, ay, az}.
+ */
+std::array<std::vector<double>, 3>
+threeAxisVibration(Rng &rng, std::size_t n, double sample_rate_hz,
+                   double fundamental_hz,
+                   const std::array<double, 3> &direction,
+                   double noise_sigma = 0.1);
+
+/**
+ * Synthetic ECG: repeated PQRST-like beats at @p heart_rate_bpm with
+ * timing jitter and baseline wander.
+ */
+std::vector<double> ecgSignal(Rng &rng, std::size_t n,
+                              double sample_rate_hz,
+                              double heart_rate_bpm,
+                              double noise_sigma = 0.02);
+
+/** A single clean PQRST beat template of @p n samples. */
+std::vector<double> ecgBeatTemplate(std::size_t n);
+
+/**
+ * Rail/ambient temperature: slow diurnal ramp plus small noise, in
+ * degrees Celsius.
+ */
+std::vector<double> temperatureSignal(Rng &rng, std::size_t n,
+                                      double base_c = 20.0,
+                                      double swing_c = 8.0,
+                                      double noise_sigma = 0.05);
+
+/** UV index over a day fragment: smooth hump with cloud dips. */
+std::vector<double> uvSignal(Rng &rng, std::size_t n,
+                             double peak_index = 8.0);
+
+/**
+ * One row of an RF-camera image: smooth gradient + texture noise,
+ * quantized structure that compresses like real image content.
+ */
+std::vector<double> imageRow(Rng &rng, std::size_t n);
+
+} // namespace neofog::kernels
+
+#endif // NEOFOG_KERNELS_SIGNAL_GEN_HH

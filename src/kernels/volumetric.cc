@@ -1,0 +1,83 @@
+#include "kernels/volumetric.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace neofog::kernels {
+
+VolumeGrid
+reconstructVolume(const std::vector<PointSample> &samples, std::size_t nx,
+                  std::size_t ny, std::size_t nz, double power)
+{
+    NEOFOG_ASSERT(nx > 0 && ny > 0 && nz > 0, "empty volume grid");
+    VolumeGrid grid;
+    grid.nx = nx;
+    grid.ny = ny;
+    grid.nz = nz;
+    grid.values.assign(nx * ny * nz, 0.0);
+    if (samples.empty())
+        return grid;
+
+    constexpr double kEps = 1e-9;
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+        const double cx = (static_cast<double>(ix) + 0.5) /
+                          static_cast<double>(nx);
+        for (std::size_t iy = 0; iy < ny; ++iy) {
+            const double cy = (static_cast<double>(iy) + 0.5) /
+                              static_cast<double>(ny);
+            for (std::size_t iz = 0; iz < nz; ++iz) {
+                const double cz = (static_cast<double>(iz) + 0.5) /
+                                  static_cast<double>(nz);
+                double wsum = 0.0;
+                double vsum = 0.0;
+                for (const PointSample &s : samples) {
+                    const double dx = cx - s.x;
+                    const double dy = cy - s.y;
+                    const double dz = cz - s.z;
+                    const double d = std::sqrt(dx * dx + dy * dy +
+                                               dz * dz);
+                    const double w =
+                        1.0 / (std::pow(d, power) + kEps);
+                    wsum += w;
+                    vsum += w * s.value;
+                }
+                grid.at(ix, iy, iz) = vsum / wsum;
+            }
+        }
+    }
+    return grid;
+}
+
+double
+gridError(const VolumeGrid &grid,
+          double (*reference)(double x, double y, double z))
+{
+    NEOFOG_ASSERT(reference, "null reference field");
+    if (grid.values.empty())
+        return 0.0;
+    double err = 0.0;
+    for (std::size_t ix = 0; ix < grid.nx; ++ix) {
+        const double cx = (static_cast<double>(ix) + 0.5) /
+                          static_cast<double>(grid.nx);
+        for (std::size_t iy = 0; iy < grid.ny; ++iy) {
+            const double cy = (static_cast<double>(iy) + 0.5) /
+                              static_cast<double>(grid.ny);
+            for (std::size_t iz = 0; iz < grid.nz; ++iz) {
+                const double cz = (static_cast<double>(iz) + 0.5) /
+                                  static_cast<double>(grid.nz);
+                err += std::abs(grid.at(ix, iy, iz) -
+                                reference(cx, cy, cz));
+            }
+        }
+    }
+    return err / static_cast<double>(grid.values.size());
+}
+
+std::size_t
+volumetricOpCount(std::size_t cells, std::size_t samples)
+{
+    return 12 * cells * samples + 1;
+}
+
+} // namespace neofog::kernels

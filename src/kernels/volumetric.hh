@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Volumetric map reconstruction from point samples.
+ *
+ * The independent-power experiment (paper §5.2.1, forest fire
+ * monitoring) offloads "a reconstruction kernel for a volumetric map
+ * based on point samples" to the fog.  This implements inverse-distance
+ * weighted (IDW) gridding of scattered (x, y, z, value) samples onto a
+ * regular 3-D grid — the standard cheap scattered-data interpolant an
+ * 8051-class node could actually run on a small neighbourhood.
+ */
+
+#ifndef NEOFOG_KERNELS_VOLUMETRIC_HH
+#define NEOFOG_KERNELS_VOLUMETRIC_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace neofog::kernels {
+
+/** One scattered sample in normalized [0,1]^3 space. */
+struct PointSample
+{
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+    double value = 0.0;
+};
+
+/** A dense nx*ny*nz scalar field in row-major (z fastest) order. */
+struct VolumeGrid
+{
+    std::size_t nx = 0;
+    std::size_t ny = 0;
+    std::size_t nz = 0;
+    std::vector<double> values;
+
+    double &
+    at(std::size_t ix, std::size_t iy, std::size_t iz)
+    {
+        return values[(ix * ny + iy) * nz + iz];
+    }
+
+    double
+    at(std::size_t ix, std::size_t iy, std::size_t iz) const
+    {
+        return values[(ix * ny + iy) * nz + iz];
+    }
+};
+
+/**
+ * IDW reconstruction: each grid cell takes the weight-averaged value of
+ * all samples with weight 1/(d^power + eps).
+ *
+ * @param samples Scattered samples in [0,1]^3.
+ * @param nx,ny,nz Grid resolution.
+ * @param power IDW exponent (2 = classic inverse-square).
+ */
+VolumeGrid reconstructVolume(const std::vector<PointSample> &samples,
+                             std::size_t nx, std::size_t ny,
+                             std::size_t nz, double power = 2.0);
+
+/** Mean absolute error of a grid against a reference field functor. */
+double gridError(const VolumeGrid &grid,
+                 double (*reference)(double x, double y, double z));
+
+/** Approximate op count of reconstructing an nx*ny*nz grid from m samples. */
+std::size_t volumetricOpCount(std::size_t cells, std::size_t samples);
+
+} // namespace neofog::kernels
+
+#endif // NEOFOG_KERNELS_VOLUMETRIC_HH

@@ -1,0 +1,60 @@
+#include "kernels/window.hh"
+
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace neofog::kernels {
+
+double
+windowCoefficient(WindowKind kind, std::size_t i, std::size_t n)
+{
+    NEOFOG_ASSERT(i < n, "window index out of range");
+    if (n == 1)
+        return 1.0;
+    const double x = 2.0 * M_PI * static_cast<double>(i) /
+                     static_cast<double>(n - 1);
+    switch (kind) {
+      case WindowKind::Rectangular:
+        return 1.0;
+      case WindowKind::Hann:
+        return 0.5 - 0.5 * std::cos(x);
+      case WindowKind::Hamming:
+        return 0.54 - 0.46 * std::cos(x);
+      case WindowKind::Blackman:
+        return 0.42 - 0.5 * std::cos(x) + 0.08 * std::cos(2.0 * x);
+    }
+    NEOFOG_PANIC("unknown window kind");
+}
+
+std::vector<double>
+makeWindow(WindowKind kind, std::size_t n)
+{
+    std::vector<double> w(n);
+    for (std::size_t i = 0; i < n; ++i)
+        w[i] = windowCoefficient(kind, i, n);
+    return w;
+}
+
+std::vector<double>
+applyWindow(const std::vector<double> &signal, WindowKind kind)
+{
+    std::vector<double> out(signal.size());
+    for (std::size_t i = 0; i < signal.size(); ++i)
+        out[i] = signal[i] *
+                 windowCoefficient(kind, i, signal.size());
+    return out;
+}
+
+double
+coherentGain(WindowKind kind, std::size_t n)
+{
+    if (n == 0)
+        return 1.0;
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        sum += windowCoefficient(kind, i, n);
+    return sum / static_cast<double>(n);
+}
+
+} // namespace neofog::kernels

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Spectral window functions.
+ *
+ * The bridge pipeline's FFT operates on finite vibration batches;
+ * windowing suppresses the spectral leakage that would otherwise smear
+ * a cable's fundamental across bins and bias the tension estimate.
+ */
+
+#ifndef NEOFOG_KERNELS_WINDOW_HH
+#define NEOFOG_KERNELS_WINDOW_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace neofog::kernels {
+
+/** Supported window shapes. */
+enum class WindowKind
+{
+    Rectangular,
+    Hann,
+    Hamming,
+    Blackman,
+};
+
+/** The window's coefficient at index i of n. */
+double windowCoefficient(WindowKind kind, std::size_t i, std::size_t n);
+
+/** Generate the full n-point window. */
+std::vector<double> makeWindow(WindowKind kind, std::size_t n);
+
+/** Apply a window to a signal (returns the windowed copy). */
+std::vector<double> applyWindow(const std::vector<double> &signal,
+                                WindowKind kind);
+
+/**
+ * Coherent gain of the window (mean coefficient); divide windowed
+ * magnitudes by this to recover amplitude estimates.
+ */
+double coherentGain(WindowKind kind, std::size_t n);
+
+} // namespace neofog::kernels
+
+#endif // NEOFOG_KERNELS_WINDOW_HH

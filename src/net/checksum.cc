@@ -1,0 +1,50 @@
+#include "net/checksum.hh"
+
+namespace neofog {
+
+std::uint16_t
+crc16(const std::uint8_t *data, std::size_t length)
+{
+    std::uint16_t crc = 0xFFFF;
+    for (std::size_t i = 0; i < length; ++i) {
+        crc ^= static_cast<std::uint16_t>(data[i]) << 8;
+        for (int bit = 0; bit < 8; ++bit) {
+            if (crc & 0x8000)
+                crc = static_cast<std::uint16_t>((crc << 1) ^ 0x1021);
+            else
+                crc = static_cast<std::uint16_t>(crc << 1);
+        }
+    }
+    return crc;
+}
+
+std::uint16_t
+crc16(const std::vector<std::uint8_t> &data)
+{
+    return crc16(data.data(), data.size());
+}
+
+void
+appendCrc16(std::vector<std::uint8_t> &frame)
+{
+    const std::uint16_t crc = crc16(frame);
+    frame.push_back(static_cast<std::uint8_t>(crc >> 8));
+    frame.push_back(static_cast<std::uint8_t>(crc & 0xFF));
+}
+
+bool
+checkAndStripCrc16(std::vector<std::uint8_t> &frame)
+{
+    if (frame.size() < 2)
+        return false;
+    const std::uint16_t stored = static_cast<std::uint16_t>(
+        (frame[frame.size() - 2] << 8) | frame[frame.size() - 1]);
+    const std::uint16_t computed =
+        crc16(frame.data(), frame.size() - 2);
+    if (stored != computed)
+        return false;
+    frame.resize(frame.size() - 2);
+    return true;
+}
+
+} // namespace neofog

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Frame integrity: CRC-16/CCITT-FALSE, the checksum IEEE 802.15.4
+ * (Zigbee's PHY/MAC) uses for its frame check sequence.
+ *
+ * The system simulator models corruption statistically (LossModel);
+ * this module provides the real algorithm for payload-level tooling
+ * and for users replaying recorded frames.
+ */
+
+#ifndef NEOFOG_NET_CHECKSUM_HH
+#define NEOFOG_NET_CHECKSUM_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace neofog {
+
+/**
+ * CRC-16/CCITT-FALSE (poly 0x1021, init 0xFFFF, no reflection).
+ */
+std::uint16_t crc16(const std::uint8_t *data, std::size_t length);
+
+/** Convenience overload. */
+std::uint16_t crc16(const std::vector<std::uint8_t> &data);
+
+/**
+ * Append a big-endian CRC to a frame.
+ */
+void appendCrc16(std::vector<std::uint8_t> &frame);
+
+/**
+ * Verify and strip a trailing CRC.
+ * @return true if the CRC matched (frame is shortened by 2 bytes);
+ *         false leaves the frame untouched.
+ */
+bool checkAndStripCrc16(std::vector<std::uint8_t> &frame);
+
+} // namespace neofog
+
+#endif // NEOFOG_NET_CHECKSUM_HH

@@ -1,0 +1,51 @@
+#include "net/loss.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace neofog {
+
+LossModel::LossModel()
+    : LossModel(Config{})
+{
+}
+
+LossModel::LossModel(const Config &cfg)
+    : _cfg(cfg)
+{
+    if (_cfg.successRate <= 0.0 || _cfg.successRate > 1.0)
+        fatal("loss model success rate must be in (0,1]");
+    if (_cfg.weatherFactor <= 0.0 || _cfg.weatherFactor > 1.0)
+        fatal("weather factor must be in (0,1]");
+    if (_cfg.maxRetries < 0)
+        fatal("negative retry count");
+}
+
+double
+LossModel::effectiveRate() const
+{
+    return _cfg.successRate * _cfg.weatherFactor;
+}
+
+bool
+LossModel::attempt(Rng &rng) const
+{
+    ++_attempts;
+    const bool ok = rng.chance(effectiveRate());
+    if (!ok)
+        ++_losses;
+    return ok;
+}
+
+int
+LossModel::deliver(Rng &rng) const
+{
+    for (int tries = 1; tries <= _cfg.maxRetries + 1; ++tries) {
+        if (attempt(rng))
+            return tries;
+    }
+    return 0;
+}
+
+} // namespace neofog

@@ -1,0 +1,64 @@
+#include "net/mac.hh"
+
+namespace neofog {
+
+Mac::Mac()
+    : Mac(Config{})
+{
+}
+
+Mac::Mac(const Config &cfg)
+    : _cfg(cfg)
+{
+}
+
+MacExchange
+Mac::dataHop(const RfModule &tx_rf, const RfModule &rx_rf,
+             std::size_t payload_bytes) const
+{
+    const std::size_t frame = payload_bytes + kFrameOverheadBytes;
+    MacExchange ex;
+    ex.sender = tx_rf.txCost(frame);
+    // Receiver listens for the frame airtime plus guard.
+    ex.receiver = rx_rf.rxCost(rx_rf.airtime(frame) + _cfg.rxGuard);
+    return ex;
+}
+
+MacExchange
+Mac::orphanScan(const RfModule &tx_rf, const RfModule &rx_rf) const
+{
+    MacExchange ex;
+    // A broadcasts orphan_scan...
+    ex.sender = tx_rf.txCost(_cfg.orphanScanBytes + kFrameOverheadBytes);
+    // ...C hears it and unicasts scan_confirm...
+    ex.receiver =
+        rx_rf.txCost(_cfg.scanConfirmBytes + kFrameOverheadBytes);
+    // ...A listens for the confirm, then both update their dev lists
+    // (NV register write, negligible time at this scale).
+    ex.sender += tx_rf.rxCost(
+        tx_rf.airtime(_cfg.scanConfirmBytes + kFrameOverheadBytes) +
+        _cfg.rxGuard);
+    return ex;
+}
+
+MacExchange
+Mac::rejoin(const RfModule &recovering_rf,
+            const RfModule &neighbor_rf) const
+{
+    MacExchange ex;
+    // Recovered node broadcasts; neighbour hears and confirms.
+    ex.sender = recovering_rf.txCost(_cfg.orphanScanBytes +
+                                     kFrameOverheadBytes);
+    ex.receiver = neighbor_rf.rxCost(
+        neighbor_rf.airtime(_cfg.orphanScanBytes + kFrameOverheadBytes) +
+        _cfg.rxGuard);
+    ex.receiver += neighbor_rf.txCost(_cfg.devListEntryBytes +
+                                      kFrameOverheadBytes);
+    ex.sender += recovering_rf.rxCost(
+        recovering_rf.airtime(_cfg.devListEntryBytes +
+                              kFrameOverheadBytes) +
+        _cfg.rxGuard);
+    return ex;
+}
+
+} // namespace neofog

@@ -1,0 +1,21 @@
+#include "net/packet.hh"
+
+namespace neofog {
+
+std::string
+packetKindName(PacketKind kind)
+{
+    switch (kind) {
+      case PacketKind::Data: return "data";
+      case PacketKind::LbInfo: return "lb-info";
+      case PacketKind::LbAssign: return "lb-assign";
+      case PacketKind::LbTransfer: return "lb-transfer";
+      case PacketKind::CloneSync: return "clone-sync";
+      case PacketKind::OrphanScan: return "orphan-scan";
+      case PacketKind::ScanConfirm: return "scan-confirm";
+      case PacketKind::Beacon: return "beacon";
+    }
+    return "?";
+}
+
+} // namespace neofog

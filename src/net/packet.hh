@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Packet model for the chain-mesh WSN.
+ *
+ * Packets carry a byte size (which determines airtime and energy via
+ * the RF models) and a kind.  Every data packet carries an RSSI field
+ * in the real Zigbee stack; the model exposes it as link distance so
+ * NVD4Q can find the closest neighbour.
+ */
+
+#ifndef NEOFOG_NET_PACKET_HH
+#define NEOFOG_NET_PACKET_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "sim/types.hh"
+
+namespace neofog {
+
+/** What a frame is for. */
+enum class PacketKind
+{
+    Data,        ///< sensed / fog-processed payload toward the sink
+    LbInfo,      ///< load-balance state share (energy, NVP config)
+    LbAssign,    ///< load-balance task assignment
+    LbTransfer,  ///< raw data shipped to the assigned node
+    CloneSync,   ///< NVRF state cloning (NVD4Q)
+    OrphanScan,  ///< Zigbee orphan_scan broadcast
+    ScanConfirm, ///< unicast confirmation during rejoin
+    Beacon,      ///< slot synchronization beacon
+};
+
+/** Display name of a packet kind. */
+std::string packetKindName(PacketKind kind);
+
+/** One frame in flight. */
+struct Packet
+{
+    PacketKind kind = PacketKind::Data;
+    std::uint32_t src = 0;
+    std::uint32_t dst = 0;
+    std::size_t bytes = 0;
+    Tick sentAt = 0;
+    /** Number of fog-processed samples the payload represents. */
+    std::uint32_t fogSamples = 0;
+    /** Number of raw (cloud-bound) samples the payload represents. */
+    std::uint32_t rawSamples = 0;
+    /** Modeled RSSI: higher = closer (negative dBm scale). */
+    double rssiDbm = -60.0;
+};
+
+/** Zigbee-ish frame overhead added to every payload. */
+inline constexpr std::size_t kFrameOverheadBytes = 15;
+
+} // namespace neofog
+
+#endif // NEOFOG_NET_PACKET_HH

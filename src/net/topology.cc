@@ -1,0 +1,191 @@
+#include "net/topology.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace neofog {
+
+double
+distance(const NodePos &a, const NodePos &b)
+{
+    const double dx = a.x - b.x;
+    const double dy = a.y - b.y;
+    return std::sqrt(dx * dx + dy * dy);
+}
+
+double
+rssiAtDistance(double d_meters)
+{
+    // Log-distance path loss: -40 dBm at 1 m, exponent 2.7.
+    const double d = std::max(d_meters, 0.1);
+    return -40.0 - 27.0 * std::log10(d);
+}
+
+ChainMesh::ChainMesh(std::vector<NodePos> positions)
+    : _positions(std::move(positions))
+{
+    if (_positions.empty())
+        fatal("chain mesh needs at least one node");
+}
+
+const NodePos &
+ChainMesh::position(std::size_t i) const
+{
+    NEOFOG_ASSERT(i < _positions.size(), "node index out of range");
+    return _positions[i];
+}
+
+std::size_t
+ChainMesh::closestNeighbor(std::size_t i) const
+{
+    NEOFOG_ASSERT(_positions.size() >= 2, "no neighbours exist");
+    std::size_t best = i == 0 ? 1 : 0;
+    double best_d = distance(_positions[i], _positions[best]);
+    for (std::size_t j = 0; j < _positions.size(); ++j) {
+        if (j == i)
+            continue;
+        const double d = distance(_positions[i], _positions[j]);
+        if (d < best_d) {
+            best_d = d;
+            best = j;
+        }
+    }
+    return best;
+}
+
+std::vector<std::size_t>
+ChainMesh::neighborsInRange(std::size_t i, double range) const
+{
+    std::vector<std::size_t> out;
+    for (std::size_t j = 0; j < _positions.size(); ++j) {
+        if (j != i && distance(_positions[i], _positions[j]) <= range)
+            out.push_back(j);
+    }
+    std::sort(out.begin(), out.end(), [&](std::size_t a, std::size_t b) {
+        return distance(_positions[i], _positions[a]) <
+               distance(_positions[i], _positions[b]);
+    });
+    return out;
+}
+
+namespace {
+
+bool
+isAlive(const std::vector<bool> &alive, std::size_t idx)
+{
+    return alive.empty() || alive[idx];
+}
+
+} // namespace
+
+std::vector<std::size_t>
+ChainMesh::greedyRoute(std::size_t from, std::size_t to, double range,
+                       const std::vector<bool> &alive) const
+{
+    NEOFOG_ASSERT(from < size() && to < size(), "route endpoints");
+    std::vector<std::size_t> route{from};
+    std::size_t cur = from;
+    while (cur != to) {
+        const double cur_to_dst = distance(_positions[cur],
+                                           _positions[to]);
+        // Candidates: alive, in range, strictly closer to destination.
+        std::size_t best = size();
+        double best_local = std::numeric_limits<double>::infinity();
+        for (std::size_t j = 0; j < size(); ++j) {
+            if (j == cur || !isAlive(alive, j))
+                continue;
+            const double hop = distance(_positions[cur], _positions[j]);
+            if (hop > range)
+                continue;
+            if (distance(_positions[j], _positions[to]) >=
+                cur_to_dst)
+                continue;
+            // Zigbee locality preference: the *shortest* such hop.
+            if (hop < best_local) {
+                best_local = hop;
+                best = j;
+            }
+        }
+        if (best == size())
+            return {}; // unreachable
+        route.push_back(best);
+        cur = best;
+    }
+    return route;
+}
+
+std::vector<std::size_t>
+ChainMesh::longestHopRoute(std::size_t from, std::size_t to, double range,
+                           const std::vector<bool> &alive) const
+{
+    NEOFOG_ASSERT(from < size() && to < size(), "route endpoints");
+    std::vector<std::size_t> route{from};
+    std::size_t cur = from;
+    while (cur != to) {
+        const double cur_to_dst = distance(_positions[cur],
+                                           _positions[to]);
+        std::size_t best = size();
+        double best_remaining = cur_to_dst;
+        for (std::size_t j = 0; j < size(); ++j) {
+            if (j == cur || !isAlive(alive, j))
+                continue;
+            if (distance(_positions[cur], _positions[j]) > range)
+                continue;
+            const double remaining =
+                distance(_positions[j], _positions[to]);
+            if (remaining < best_remaining) {
+                best_remaining = remaining;
+                best = j;
+            }
+        }
+        if (best == size())
+            return {};
+        route.push_back(best);
+        cur = best;
+    }
+    return route;
+}
+
+std::size_t
+ChainMesh::hopCount(const std::vector<std::size_t> &route)
+{
+    return route.size() <= 1 ? 0 : route.size() - 1;
+}
+
+ChainMesh
+ChainMesh::makeLinear(std::size_t n, double spacing_m)
+{
+    NEOFOG_ASSERT(n >= 1, "empty chain");
+    std::vector<NodePos> pos(n);
+    for (std::size_t i = 0; i < n; ++i)
+        pos[i] = {static_cast<double>(i) * spacing_m, 0.0};
+    return ChainMesh(std::move(pos));
+}
+
+ChainMesh
+ChainMesh::makeDenseChain(std::size_t n_logical, int density,
+                          double spacing_m, double scatter_m, Rng &rng)
+{
+    NEOFOG_ASSERT(n_logical >= 1 && density >= 1, "dense chain shape");
+    std::vector<NodePos> pos;
+    pos.reserve(n_logical * static_cast<std::size_t>(density));
+    for (std::size_t i = 0; i < n_logical; ++i) {
+        const double anchor_x = static_cast<double>(i) * spacing_m;
+        for (int k = 0; k < density; ++k) {
+            // The anchor node itself sits on the line; clones scatter.
+            if (k == 0) {
+                pos.push_back({anchor_x, 0.0});
+            } else {
+                pos.push_back({anchor_x + rng.uniform(-scatter_m,
+                                                      scatter_m),
+                               rng.uniform(-scatter_m, scatter_m)});
+            }
+        }
+    }
+    return ChainMesh(std::move(pos));
+}
+
+} // namespace neofog

@@ -1,0 +1,162 @@
+#include "node/intermittent.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace neofog {
+
+IntermittentExecution::Result
+IntermittentExecution::run(const Processor &cpu, const PowerTrace &trace,
+                           Tick horizon, const Config &cfg)
+{
+    if (cfg.offThreshold >= cfg.onThreshold)
+        fatal("intermittent execution thresholds reversed");
+    if (cfg.step <= 0)
+        fatal("intermittent execution step must be positive");
+
+    const FrontEnd frontend{cfg.frontend};
+    const bool fios = frontend.kind() == FrontEndKind::Fios;
+    SuperCapacitor cap{cfg.cap};
+    Result result;
+
+    // Instructions executable per step while powered, and the energy
+    // they need at the load.
+    const double inst_per_second =
+        cpu.config().frequencyHz / cpu.config().cyclesPerInstruction;
+    const auto inst_per_step = static_cast<std::uint64_t>(
+        inst_per_second * secondsFromTicks(cfg.step));
+    const Energy load_per_step = cpu.config().activePower * cfg.step;
+
+    bool powered = false;          ///< executing (past restore/restart)
+    Tick pending_overhead = 0;     ///< wake overhead still to serve
+    std::uint64_t uncommitted = 0; ///< VP progress since last segment
+
+    for (Tick t = 0; t < horizon; t += cfg.step) {
+        // Harvest this step.  A FIOS node that is executing feeds the
+        // load straight from the harvester (the direct channel) and
+        // only banks the surplus; otherwise all income takes the
+        // charge path.
+        const Tick step_end = std::min<Tick>(t + cfg.step, horizon);
+        const Energy ambient = trace.integrate(t, step_end);
+        result.harvested += ambient;
+        Energy direct_available = Energy::zero();
+        if (fios && powered && pending_overhead <= 0) {
+            direct_available = frontend.incomeToLoadDirect(ambient);
+            const Energy direct_used =
+                std::min(direct_available, load_per_step);
+            // Bank the income fraction the direct channel didn't use.
+            const double used_frac = direct_available.joules() > 0.0
+                ? direct_used.joules() / direct_available.joules()
+                : 0.0;
+            cap.charge(frontend.incomeToCap(ambient * (1.0 - used_frac)));
+            direct_available = direct_used;
+        } else {
+            cap.charge(frontend.incomeToCap(ambient));
+        }
+        cap.leak(step_end - t);
+
+        if (!powered) {
+            if (cap.stored() >= cfg.onThreshold) {
+                // Power-on: pay the wake overhead (restore for NVP,
+                // restart + state reload for VP).
+                const Energy wake =
+                    frontend.capCostForLoad(cpu.wakeEnergy());
+                if (cap.tryDischarge(wake)) {
+                    result.spent += wake;
+                    pending_overhead = cpu.wakeLatency();
+                    powered = true;
+                }
+            }
+            continue;
+        }
+
+        // Serve wake/backup overhead time before executing.
+        if (pending_overhead > 0) {
+            const Tick served =
+                std::min<Tick>(pending_overhead, cfg.step);
+            pending_overhead -= served;
+            result.overheadTime += served;
+            if (served >= cfg.step)
+                continue;
+        }
+
+        // Execute for the remainder of the step if energy allows:
+        // direct channel first, the capacitor for the rest.
+        const Energy from_cap = frontend.capCostForLoad(
+            (load_per_step - direct_available).clampedNonNegative());
+        if (cap.tryDischarge(from_cap)) {
+            result.spent += from_cap + direct_available;
+            result.activeTime += cfg.step;
+            if (cpu.isNonvolatile()) {
+                result.instructionsCompleted += inst_per_step;
+            } else {
+                uncommitted += inst_per_step;
+                // Commit whole segments.
+                while (uncommitted >= cfg.taskSegmentInstructions) {
+                    uncommitted -= cfg.taskSegmentInstructions;
+                    result.instructionsCompleted +=
+                        cfg.taskSegmentInstructions;
+                }
+            }
+        }
+
+        // Brown-out check.
+        if (cap.stored() < cfg.offThreshold) {
+            ++result.powerCycles;
+            if (cpu.isNonvolatile()) {
+                // Distributed NV backup: small energy, state kept.
+                const Energy backup =
+                    frontend.capCostForLoad(cpu.backupEnergy());
+                result.spent += cap.drain(backup);
+                result.overheadTime += cpu.backupLatency();
+            } else {
+                // All uncommitted work is lost.
+                result.instructionsWasted += uncommitted;
+                uncommitted = 0;
+            }
+            powered = false;
+        }
+    }
+
+    // Work still uncommitted at the horizon never completed.
+    result.instructionsWasted += uncommitted;
+    return result;
+}
+
+IntermittentExecution::Result
+IntermittentExecution::run(const Processor &cpu, const PowerTrace &trace,
+                           Tick horizon)
+{
+    return run(cpu, trace, horizon, Config{});
+}
+
+double
+IntermittentExecution::progressRatio(const PowerTrace &trace,
+                                     Tick horizon, const Config &cfg)
+{
+    // The paper's 2.2x-5x compares the *deployed alternatives*: a
+    // volatile processor behind a NOS single-channel front end vs an
+    // NVP behind the FIOS dual-channel front end (§2.2).
+    NvProcessor nvp{NvProcessor::fiosConfig()};
+    VolatileProcessor vp;
+    Config nv_cfg = cfg;
+    nv_cfg.frontend = FrontEnd::makeFios().config();
+    Config vp_cfg = cfg;
+    vp_cfg.frontend = FrontEnd::makeNos().config();
+    const Result nv = run(nvp, trace, horizon, nv_cfg);
+    const Result v = run(vp, trace, horizon, vp_cfg);
+    if (v.instructionsCompleted == 0)
+        return nv.instructionsCompleted > 0 ? 1e9 : 1.0;
+    return static_cast<double>(nv.instructionsCompleted) /
+           static_cast<double>(v.instructionsCompleted);
+}
+
+double
+IntermittentExecution::progressRatio(const PowerTrace &trace,
+                                     Tick horizon)
+{
+    return progressRatio(trace, horizon, Config{});
+}
+
+} // namespace neofog

@@ -1,0 +1,684 @@
+#include "node/node.hh"
+
+#include <algorithm>
+
+#include "net/packet.hh"
+#include "sim/logging.hh"
+
+namespace neofog {
+
+std::string
+phaseName(NodeObserver::Phase phase)
+{
+    switch (phase) {
+      case NodeObserver::Phase::Wake: return "wake";
+      case NodeObserver::Phase::Sample: return "sample";
+      case NodeObserver::Phase::Compute: return "compute";
+      case NodeObserver::Phase::IncidentalCompute: return "incidental";
+      case NodeObserver::Phase::Transmit: return "transmit";
+      case NodeObserver::Phase::Receive: return "receive";
+      case NodeObserver::Phase::Control: return "control";
+    }
+    return "?";
+}
+
+std::string
+operatingModeName(OperatingMode mode)
+{
+    switch (mode) {
+      case OperatingMode::NosVp: return "NOS-VP";
+      case OperatingMode::NosNvp: return "NOS-NVP";
+      case OperatingMode::FiosNvMote: return "FIOS-NV-mote";
+    }
+    return "?";
+}
+
+namespace {
+
+std::unique_ptr<Processor>
+makeProcessor(const Node::Config &cfg)
+{
+    Processor::Config base;
+    base.frequencyHz = cfg.processorMhz * 1e6;
+    // Active power scales with clock so energy/instruction stays at the
+    // measured 2.508 nJ.
+    base.activePower =
+        Power::fromMilliwatts(0.209 * cfg.processorMhz);
+
+    switch (cfg.mode) {
+      case OperatingMode::NosVp: {
+        VolatileProcessor::VpConfig vp;
+        vp.base = base;
+        return std::make_unique<VolatileProcessor>(vp);
+      }
+      case OperatingMode::NosNvp: {
+        NvProcessor::NvpConfig nvp;
+        nvp.base = base;
+        return std::make_unique<NvProcessor>(nvp);
+      }
+      case OperatingMode::FiosNvMote: {
+        NvProcessor::NvpConfig nvp = NvProcessor::fiosConfig();
+        nvp.base = base;
+        return std::make_unique<NvProcessor>(nvp);
+      }
+    }
+    NEOFOG_PANIC("unknown operating mode");
+}
+
+std::unique_ptr<RfModule>
+makeRadio(const Node::Config &cfg)
+{
+    switch (cfg.mode) {
+      case OperatingMode::NosVp:
+        return std::make_unique<SoftwareRf>();
+      case OperatingMode::NosNvp:
+        return std::make_unique<SoftwareRf>(
+            SoftwareRf::nvmDirectConfig());
+      case OperatingMode::FiosNvMote: {
+        auto rf = std::make_unique<NvRfController>();
+        // Initial deployment performs the one-time configuration.
+        rf->configure();
+        return rf;
+      }
+    }
+    NEOFOG_PANIC("unknown operating mode");
+}
+
+FrontEnd
+makeFrontEnd(OperatingMode mode)
+{
+    return mode == OperatingMode::FiosNvMote ? FrontEnd::makeFios()
+                                             : FrontEnd::makeNos();
+}
+
+} // namespace
+
+Node::Node(const Config &cfg, std::unique_ptr<PowerTrace> trace, Rng rng)
+    : _cfg(cfg), _trace(std::move(trace)), _rng(rng),
+      _frontend(makeFrontEnd(cfg.mode)), _cap(cfg.cap), _rtc(cfg.rtc),
+      _cpu(makeProcessor(cfg)), _rf(makeRadio(cfg)),
+      _sensor(cfg.sensor), _buffer(cfg.buffer)
+{
+    if (!_trace)
+        fatal("node ", cfg.id, " needs a power trace");
+    if (_cfg.rawPackageBytes == 0 || _cfg.samplesPerPackage == 0)
+        fatal("package shape must be nonzero");
+}
+
+void
+Node::beginSlot(Tick slot_start, Tick slot_length)
+{
+    NEOFOG_ASSERT(slot_start >= _lastAccrual,
+                  "beginSlot must move forward in time");
+    NEOFOG_ASSERT(slot_length > 0, "slot length must be positive");
+
+    // Unused direct-channel income from the previous slot flows into
+    // the capacitor through the charge path instead.
+    if (_directBudget > Energy::zero()) {
+        const double direct_eff =
+            _frontend.config().harvestEfficiency *
+            _frontend.config().directEfficiency;
+        const Energy raw = _directBudget / direct_eff;
+        _cap.charge(_frontend.incomeToCap(raw));
+        _directBudget = Energy::zero();
+    }
+
+    // Income over any gap (multiplexed nodes sleep through slots).
+    if (slot_start > _lastAccrual) {
+        const Energy gap_ambient =
+            _trace->integrate(_lastAccrual, slot_start);
+        _stats.harvestedTotal += gap_ambient;
+        const Energy rtc_share =
+            gap_ambient * _rtc.config().chargePriority;
+        _rtc.advance(slot_start - _lastAccrual,
+                     rtc_share * _frontend.config().harvestEfficiency);
+        _cap.charge(_frontend.incomeToCap(gap_ambient - rtc_share));
+        _cap.leak(slot_start - _lastAccrual);
+    }
+
+    // Income arriving during this slot window.
+    const Tick slot_end = slot_start + slot_length;
+    const Energy slot_ambient = _trace->integrate(slot_start, slot_end);
+    _stats.harvestedTotal += slot_ambient;
+    const Energy rtc_share =
+        slot_ambient * _rtc.config().chargePriority;
+    _rtc.advance(slot_length,
+                 rtc_share * _frontend.config().harvestEfficiency);
+    const Energy usable = slot_ambient - rtc_share;
+
+    if (_cfg.mode == OperatingMode::FiosNvMote) {
+        _directBudget = _frontend.incomeToLoadDirect(usable);
+    } else {
+        _cap.charge(_frontend.incomeToCap(usable));
+        _directBudget = Energy::zero();
+    }
+    _cap.leak(slot_length);
+
+    _lastIncome = Power::fromWatts(slot_ambient.joules() /
+                                   secondsFromTicks(slot_length));
+    _lastAccrual = slot_end;
+    _slotStart = slot_start;
+    _slotLength = slot_length;
+    _slotTimeUsed = 0;
+    _awake = false;
+    _rfInitializedThisSlot = false;
+
+    // Age the pending queue; packages past the freshness deadline are
+    // stale and discarded.
+    if (_pendingByAge.empty())
+        _pendingByAge.assign(
+            static_cast<std::size_t>(
+                std::max(1, _cfg.packageDeadlineSlots)), 0);
+    const int stale = _pendingByAge.back();
+    for (std::size_t a = _pendingByAge.size() - 1; a > 0; --a)
+        _pendingByAge[a] = _pendingByAge[a - 1];
+    _pendingByAge[0] = 0;
+    if (stale > 0) {
+        _pendingPackages -= stale;
+        _buffer.pop(static_cast<std::size_t>(stale) *
+                    _cfg.rawPackageBytes);
+        _stats.samplesDiscarded.increment(
+            static_cast<std::uint64_t>(stale));
+    }
+
+    // NOS nodes power fully off between slots: volatile peripherals
+    // lose their configuration.  (The FIOS node also sees power cycles,
+    // but its sensor path is kept warm by the NV buffer controller; the
+    // re-init cost is modeled identically since it is tiny either way.)
+    _sensor.onPowerFailure();
+    _rf->onPowerFailure();
+}
+
+namespace {
+
+/** Instructions of "control & basic computing" at every wake (Fig 1). */
+constexpr std::uint64_t kControlInstructions = 1000;
+
+} // namespace
+
+Energy
+Node::wakeCost() const
+{
+    return _cpu->wakeEnergy() +
+           _cpu->computeEnergy(kControlInstructions);
+}
+
+Energy
+Node::activationCost() const
+{
+    if (_cfg.mode == OperatingMode::NosVp)
+        return wakeCost();
+    // NVP modes use a higher activation threshold (§5.2.1): they only
+    // wake when the slot can plausibly make progress — a sample plus a
+    // meaningful fraction of a fog task.  Below that they sleep through
+    // the slot and keep accumulating (waking at a multiple of the RTC
+    // interval instead, §2.3).
+    return wakeCost() + sampleCost() + taskCost() * 0.25;
+}
+
+Energy
+Node::sampleCost() const
+{
+    const double n = static_cast<double>(_cfg.samplesPerPackage);
+    Energy e = _sensor.spec().initEnergy() +
+               _sensor.spec().sampleEnergy() * n +
+               _buffer.writeEnergy(_cfg.rawPackageBytes);
+    return e;
+}
+
+Energy
+Node::taskCost() const
+{
+    if (_cfg.mode == OperatingMode::NosVp)
+        return _cpu->computeEnergy(_cfg.naiveInstructionsPerPackage);
+    const auto *nvp = static_cast<const NvProcessor *>(_cpu.get());
+    return nvp->effectiveComputeEnergy(_cfg.fogInstructionsPerPackage,
+                                       _lastIncome);
+}
+
+Tick
+Node::taskComputeTime() const
+{
+    const std::uint64_t inst = _cfg.mode == OperatingMode::NosVp
+        ? _cfg.naiveInstructionsPerPackage
+        : _cfg.fogInstructionsPerPackage;
+    Tick t = _cpu->computeTime(inst);
+    if (_cfg.enableFrequencyScaling &&
+        _cfg.mode != OperatingMode::NosVp) {
+        const auto *nvp = static_cast<const NvProcessor *>(_cpu.get());
+        const double scale =
+            nvp->spendthrift().frequencyScale(_lastIncome);
+        t = static_cast<Tick>(static_cast<double>(t) / scale);
+    }
+    return t;
+}
+
+Energy
+Node::packageTxCost() const
+{
+    const std::size_t payload = _cfg.mode == OperatingMode::NosVp
+        ? _cfg.rawPackageBytes
+        : _cfg.compressedPackageBytes;
+    Energy e = _rf->txCost(payload + kFrameOverheadBytes).energy;
+    if (!_rfInitializedThisSlot)
+        e += _rf->initCost().energy;
+    return e;
+}
+
+Energy
+Node::slotCost() const
+{
+    return wakeCost() + sampleCost() + taskCost() + packageTxCost();
+}
+
+bool
+Node::canCompleteOnePackage() const
+{
+    const Energy task = taskCost();
+    const Energy tx = packageTxCost();
+    // The task may draw the direct channel; the transmission may not.
+    const Energy direct_used = std::min(task, _directBudget);
+    const Energy cap_needed =
+        _frontend.capCostForLoad((task - direct_used) + tx);
+    if (_cap.stored() < cap_needed)
+        return false;
+    const Tick need_time = taskComputeTime() +
+                           _rf->txCost(_cfg.compressedPackageBytes +
+                                       kFrameOverheadBytes).duration +
+                           (_rfInitializedThisSlot
+                                ? 0 : _rf->initCost().duration);
+    return _slotTimeUsed + need_time <= _slotLength;
+}
+
+void
+Node::notifyPhase(NodeObserver::Phase phase, Tick start, Tick duration,
+                  Energy energy)
+{
+    if (_observer)
+        _observer->onPhase(_cfg.id, phase, start, duration, energy);
+}
+
+bool
+Node::canAfford(Energy e, bool direct_eligible) const
+{
+    Energy deliverable =
+        _cap.stored() * _frontend.config().dischargeEfficiency;
+    if (direct_eligible)
+        deliverable += _directBudget;
+    return deliverable >= e;
+}
+
+bool
+Node::spend(Energy e, bool direct_eligible)
+{
+    if (!canAfford(e, direct_eligible))
+        return false;
+    Energy rest = e;
+    if (direct_eligible && _directBudget > Energy::zero()) {
+        const Energy from_direct = std::min(rest, _directBudget);
+        _directBudget -= from_direct;
+        rest -= from_direct;
+    }
+    if (rest > Energy::zero()) {
+        const Energy cap_cost = _frontend.capCostForLoad(rest);
+        const bool ok = _cap.tryDischarge(cap_cost);
+        NEOFOG_ASSERT(ok, "spend() affordability check out of sync");
+    }
+    return true;
+}
+
+EnergyClass
+Node::classify() const
+{
+    if (!canAfford(activationCost(), false))
+        return EnergyClass::Dead;
+    const Energy full = slotCost();
+    if (!canAfford(full, true))
+        return EnergyClass::Awake;
+    if (!canAfford(full + taskCost(), true))
+        return EnergyClass::Ready;
+    return EnergyClass::Extra;
+}
+
+bool
+Node::tryWake()
+{
+    NEOFOG_ASSERT(!_awake, "tryWake called twice in a slot");
+
+    if (classify() == EnergyClass::Dead) {
+        _stats.depletionFailures.increment();
+        return false;
+    }
+
+    // A desynchronized RTC means the node must first listen long
+    // enough to re-acquire the network's slot grid.
+    if (!_rtc.synchronized()) {
+        const Energy resync = _rtc.config().resyncEnergy;
+        if (!spend(resync, false)) {
+            _stats.depletionFailures.increment();
+            return false;
+        }
+        _stats.spentRx += resync;
+        _slotTimeUsed += _rtc.config().resyncListen;
+        _rtc.resynchronize();
+        _stats.rtcResyncs.increment();
+    }
+
+    const Energy wake = wakeCost();
+    if (!spend(wake, false)) {
+        _stats.depletionFailures.increment();
+        return false;
+    }
+    _stats.spentWake += wake;
+    const Tick wake_start = _slotStart + _slotTimeUsed;
+    const Tick wake_time = _cpu->wakeLatency() +
+                           _cpu->computeTime(kControlInstructions);
+    _slotTimeUsed += wake_time;
+    _awake = true;
+    _stats.wakeups.increment();
+    notifyPhase(NodeObserver::Phase::Wake, wake_start, wake_time, wake);
+    return true;
+}
+
+bool
+Node::samplePackage()
+{
+    NEOFOG_ASSERT(_awake, "sampling while asleep");
+    Sensor::Cost init{};
+    if (!_sensor.initialized()) {
+        // Peek the cost without committing sensor state yet.
+        init = {_sensor.spec().initLatency, _sensor.spec().initEnergy()};
+    }
+    const double n = static_cast<double>(_cfg.samplesPerPackage);
+    const Energy total = init.energy +
+                         _sensor.spec().sampleEnergy() * n +
+                         _buffer.writeEnergy(_cfg.rawPackageBytes);
+    const Tick time =
+        init.duration +
+        static_cast<Tick>(n * static_cast<double>(
+                                  _sensor.spec().sampleLatency));
+    if (_slotTimeUsed + time > _slotLength)
+        return false;
+    // A full NV buffer discards the new sample (paper §5.1: data are
+    // discarded when the node lacks energy to drain the buffer).
+    if (pendingCapacity() == 0) {
+        _stats.samplesDiscarded.increment();
+        return false;
+    }
+    if (!spend(total, false)) {
+        _stats.samplesDiscarded.increment();
+        return false;
+    }
+    if (!_sensor.initialized())
+        _sensor.initialize();
+    _stats.spentSample += total;
+    notifyPhase(NodeObserver::Phase::Sample, _slotStart + _slotTimeUsed,
+                time, total);
+    _slotTimeUsed += time;
+    _buffer.push(_cfg.rawPackageBytes);
+    pushPending(1);
+    _stats.packagesSampled.increment();
+    return true;
+}
+
+void
+Node::pushPending(int n)
+{
+    NEOFOG_ASSERT(n >= 0, "pushPending negative");
+    if (_pendingByAge.empty())
+        _pendingByAge.assign(
+            static_cast<std::size_t>(
+                std::max(1, _cfg.packageDeadlineSlots)), 0);
+    _pendingByAge[0] += n;
+    _pendingPackages += n;
+}
+
+int
+Node::popOldestPending(int n)
+{
+    NEOFOG_ASSERT(n >= 0, "popOldestPending negative");
+    int taken = 0;
+    for (std::size_t a = _pendingByAge.size(); a-- > 0 && taken < n;) {
+        const int t = std::min(_pendingByAge[a], n - taken);
+        _pendingByAge[a] -= t;
+        taken += t;
+    }
+    _pendingPackages -= taken;
+    return taken;
+}
+
+int
+Node::executeTasks(int count)
+{
+    NEOFOG_ASSERT(_awake, "executing tasks while asleep");
+    int done = 0;
+    while (done < count && _pendingPackages > 0) {
+        const Tick t = taskComputeTime();
+        if (_slotTimeUsed + t > _slotLength)
+            break;
+        const Energy e = taskCost();
+        if (!spend(e, /*direct_eligible=*/true))
+            break;
+        _stats.spentCompute += e;
+        notifyPhase(NodeObserver::Phase::Compute,
+                    _slotStart + _slotTimeUsed, t, e);
+        _slotTimeUsed += t;
+        popOldestPending(1);
+        _buffer.pop(_cfg.rawPackageBytes);
+        ++done;
+        _stats.tasksExecuted.increment();
+    }
+    return done;
+}
+
+Energy
+Node::incidentalTaskCost() const
+{
+    const auto inst = static_cast<std::uint64_t>(
+        _cfg.incidentalFraction *
+        static_cast<double>(_cfg.fogInstructionsPerPackage));
+    if (_cfg.mode == OperatingMode::NosVp)
+        return _cpu->computeEnergy(inst);
+    const auto *nvp = static_cast<const NvProcessor *>(_cpu.get());
+    return nvp->effectiveComputeEnergy(inst, _lastIncome);
+}
+
+bool
+Node::canCompleteIncidental() const
+{
+    if (!_cfg.enableIncidentalComputing)
+        return false;
+    const Energy task = incidentalTaskCost();
+    const Energy tx = packageTxCost();
+    const Energy direct_used = std::min(task, _directBudget);
+    const Energy cap_needed =
+        _frontend.capCostForLoad((task - direct_used) + tx);
+    if (_cap.stored() < cap_needed)
+        return false;
+    const auto inst = static_cast<std::uint64_t>(
+        _cfg.incidentalFraction *
+        static_cast<double>(_cfg.fogInstructionsPerPackage));
+    const Tick need_time =
+        _cpu->computeTime(inst) +
+        _rf->txCost(_cfg.compressedPackageBytes + kFrameOverheadBytes)
+            .duration +
+        (_rfInitializedThisSlot ? 0 : _rf->initCost().duration);
+    return _slotTimeUsed + need_time <= _slotLength;
+}
+
+int
+Node::executeIncidentalTasks(int count)
+{
+    NEOFOG_ASSERT(_awake, "incidental computing while asleep");
+    if (!_cfg.enableIncidentalComputing)
+        return 0;
+    int done = 0;
+    const auto inst = static_cast<std::uint64_t>(
+        _cfg.incidentalFraction *
+        static_cast<double>(_cfg.fogInstructionsPerPackage));
+    while (done < count && _pendingPackages > 0) {
+        const Tick t = _cpu->computeTime(inst);
+        if (_slotTimeUsed + t > _slotLength)
+            break;
+        const Energy e = incidentalTaskCost();
+        if (!spend(e, /*direct_eligible=*/true))
+            break;
+        _stats.spentCompute += e;
+        notifyPhase(NodeObserver::Phase::IncidentalCompute,
+                    _slotStart + _slotTimeUsed, t, e);
+        _slotTimeUsed += t;
+        popOldestPending(1);
+        _buffer.pop(_cfg.rawPackageBytes);
+        ++done;
+        _stats.incidentalTasks.increment();
+    }
+    return done;
+}
+
+bool
+Node::payTransmit(std::size_t payload_bytes, int attempts)
+{
+    NEOFOG_ASSERT(_awake, "transmitting while asleep");
+    NEOFOG_ASSERT(attempts >= 1, "attempts >= 1");
+    const RfPhase one = _rf->txCost(payload_bytes + kFrameOverheadBytes);
+    RfPhase init{};
+    if (!_rfInitializedThisSlot)
+        init = _rf->initCost();
+    const Tick time = init.duration + one.duration * attempts;
+    if (_slotTimeUsed + time > _slotLength)
+        return false;
+    const Energy e =
+        init.energy + one.energy * static_cast<double>(attempts);
+    if (!spend(e, false))
+        return false;
+    _rfInitializedThisSlot = true;
+    _stats.spentTx += e;
+    notifyPhase(NodeObserver::Phase::Transmit,
+                _slotStart + _slotTimeUsed, time, e);
+    _slotTimeUsed += time;
+    return true;
+}
+
+bool
+Node::payReceive(std::size_t payload_bytes)
+{
+    NEOFOG_ASSERT(_awake, "receiving while asleep");
+    const Tick window =
+        _rf->airtime(payload_bytes + kFrameOverheadBytes) +
+        ticksFromMs(3.0);
+    if (_slotTimeUsed + window > _slotLength)
+        return false;
+    const Energy e = _rf->rxCost(window).energy;
+    if (!spend(e, false))
+        return false;
+    _stats.spentRx += e;
+    notifyPhase(NodeObserver::Phase::Receive,
+                _slotStart + _slotTimeUsed, window, e);
+    _slotTimeUsed += window;
+    return true;
+}
+
+bool
+Node::payControlMessage(std::size_t payload_bytes)
+{
+    NEOFOG_ASSERT(_awake, "control message while asleep");
+    const Tick time = _rf->airtime(payload_bytes + kFrameOverheadBytes) +
+                      ticksFromMs(1.0);
+    if (_slotTimeUsed + time > _slotLength)
+        return false;
+    const Energy e = _rf->config().txPower * time;
+    if (!spend(e, false))
+        return false;
+    _stats.spentTx += e;
+    notifyPhase(NodeObserver::Phase::Control,
+                _slotStart + _slotTimeUsed, time, e);
+    _slotTimeUsed += time;
+    return true;
+}
+
+int
+Node::pendingCapacity() const
+{
+    const auto max_packages = static_cast<int>(
+        _buffer.capacity() / _cfg.rawPackageBytes);
+    return std::max(0, max_packages - _pendingPackages);
+}
+
+double
+Node::spareTaskCapacity() const
+{
+    // Capacity offered to the load balancer.  Accepting a task only
+    // helps the network when the energy it burns would otherwise be
+    // *wasted* — income the full-ish capacitor is about to reject, or
+    // this slot's unused direct-channel budget.  Counting merely
+    // "stored" energy would let transfers displace the receiver's own
+    // future work (a net loss once transfer costs are paid).
+    const Energy surplus_stored =
+        (_cap.stored() - _cap.capacity() * 0.7).clampedNonNegative();
+    Energy deliverable =
+        surplus_stored * _frontend.config().dischargeEfficiency +
+        _directBudget;
+    const Energy per_task = taskCost() + packageTxCost();
+    if (per_task.joules() <= 0.0)
+        return 0.0;
+    const Energy reserve =
+        per_task * static_cast<double>(_pendingPackages);
+    if (deliverable <= reserve)
+        return 0.0;
+    const Energy spare = deliverable - reserve;
+    // Also bounded by remaining slot compute time.
+    const Tick per_task_time = taskComputeTime();
+    const double time_bound = per_task_time > 0
+        ? static_cast<double>(remainingSlotTime()) /
+          static_cast<double>(per_task_time)
+        : 1e9;
+    return std::min(spare / per_task, time_bound);
+}
+
+double
+Node::relativeTaskCost() const
+{
+    if (_cfg.mode == OperatingMode::NosVp)
+        return 1.0;
+    const auto *nvp = static_cast<const NvProcessor *>(_cpu.get());
+    return 1.0 / nvp->spendthrift().benefit(_lastIncome);
+}
+
+Tick
+Node::remainingSlotTime() const
+{
+    return _slotTimeUsed >= _slotLength ? 0
+                                        : _slotLength - _slotTimeUsed;
+}
+
+void
+Node::recordEnergyPoint(Tick now)
+{
+    _stats.storedEnergyMj.record(now, _cap.stored().millijoules());
+}
+
+void
+Node::addPendingPackages(int delta)
+{
+    if (delta >= 0) {
+        pushPending(delta);
+    } else {
+        const int removed = popOldestPending(-delta);
+        NEOFOG_ASSERT(removed == -delta, "pending packages underflow");
+    }
+}
+
+int
+Node::discardPendingPackages()
+{
+    const int dropped = _pendingPackages;
+    _pendingPackages = 0;
+    std::fill(_pendingByAge.begin(), _pendingByAge.end(), 0);
+    _buffer.discardAll();
+    if (dropped > 0)
+        _stats.samplesDiscarded.increment(
+            static_cast<std::uint64_t>(dropped));
+    return dropped;
+}
+
+} // namespace neofog

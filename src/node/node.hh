@@ -1,0 +1,440 @@
+/**
+ * @file
+ * A sensor node: energy store, processor, radio, sensor, NV buffer,
+ * RTC, power trace, and the per-slot work sequence of its operating
+ * mode.
+ *
+ * Three operating modes reproduce the paper's comparison (Fig 4):
+ *
+ *  - NosVp: normally-off volatile node.  Wakes when the capacitor
+ *    holds enough for the whole burst, restarts the MCU, re-initializes
+ *    the radio in software (531 ms), rebuilds the network connection,
+ *    samples a decimated batch, and ships it raw (the cloud computes).
+ *
+ *  - NosNvp: normally-off NVP node.  Restores in 32 us, initializes
+ *    the radio from integrated NVM (33 ms), samples a full-fidelity
+ *    batch into the NV buffer, fog-processes and compresses it, and
+ *    transmits the small result.  All energy still round-trips the
+ *    capacitor (single-channel front end).
+ *
+ *  - FiosNvMote: the NEOFog NV-mote.  Dual-channel front end powers
+ *    intermittent computation directly from the harvester at ~90%
+ *    efficiency; the NVRF self-initializes in 1.2 ms and transmits
+ *    with millisecond fixed costs; Spendthrift scales the effective
+ *    compute energy with income.
+ *
+ * The node is slot-driven: the owning FogSystem calls beginSlot() at
+ * every RTC boundary, then uses the work primitives (wake, sample,
+ * executeTasks, transmit, receive) to run the scenario's protocol,
+ * including load balancing and virtualization.
+ */
+
+#ifndef NEOFOG_NODE_NODE_HH
+#define NEOFOG_NODE_NODE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "energy/capacitor.hh"
+#include "energy/frontend.hh"
+#include "energy/power_trace.hh"
+#include "hw/nv_buffer.hh"
+#include "hw/processor.hh"
+#include "hw/rf.hh"
+#include "hw/rtc.hh"
+#include "hw/sensor.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "sim/units.hh"
+
+namespace neofog {
+
+/** Node operating paradigm (paper Fig 4). */
+enum class OperatingMode
+{
+    NosVp,      ///< normally-off, volatile processor + software RF
+    NosNvp,     ///< normally-off, NVP + NVM-assisted software RF
+    FiosNvMote, ///< frequently-intermittently-on, NVP + NVRF + FIOS
+};
+
+/** Display name of an operating mode. */
+std::string operatingModeName(OperatingMode mode);
+
+/**
+ * Observer hook for node activity: every paid phase is reported with
+ * its tick, duration, and energy.  Intended for debugging, timeline
+ * visualization, and tests that assert phase ordering; the system
+ * simulator runs without one.
+ */
+class NodeObserver
+{
+  public:
+    enum class Phase
+    {
+        Wake,
+        Sample,
+        Compute,
+        IncidentalCompute,
+        Transmit,
+        Receive,
+        Control,
+    };
+
+    virtual ~NodeObserver() = default;
+
+    /**
+     * One completed phase.
+     * @param node_id The reporting node.
+     * @param phase What happened.
+     * @param start Tick the phase began.
+     * @param duration Phase length.
+     * @param energy Energy drawn (at the load).
+     */
+    virtual void onPhase(std::uint32_t node_id, Phase phase, Tick start,
+                         Tick duration, Energy energy) = 0;
+};
+
+/** Display name of an observer phase. */
+std::string phaseName(NodeObserver::Phase phase);
+
+/** Slot-boundary energy classification (paper Fig 6a). */
+enum class EnergyClass
+{
+    Dead,   ///< red: cannot even wake
+    Awake,  ///< can wake but not complete sample+transmit
+    Ready,  ///< yellow: enough to sample and transmit its own package
+    Extra,  ///< green: energy beyond its own package's needs
+};
+
+/** Cumulative per-node statistics. */
+struct NodeStats
+{
+    Counter wakeups;          ///< slots the node woke
+    Counter depletionFailures; ///< slots the node could not wake
+    Counter packagesSampled;  ///< raw packages captured
+    Counter packagesToCloud;  ///< raw packages transmitted (cloud work)
+    Counter packagesInFog;    ///< packages fog-processed then shipped
+    Counter tasksExecuted;    ///< fog tasks run (own + received)
+    Counter incidentalTasks;  ///< reduced-fidelity summaries run
+    Counter tasksReceived;    ///< tasks accepted from neighbours
+    Counter tasksShipped;     ///< tasks sent to neighbours
+    Counter txFailures;       ///< packets lost after all retries
+    Counter samplesDiscarded; ///< buffer data dropped for lack of energy
+    Counter rtcResyncs;       ///< RTC resynchronizations paid
+    TimeSeries storedEnergyMj; ///< capacitor level over time (mJ)
+
+    Energy harvestedTotal;    ///< ambient energy seen
+    Energy spentCompute;
+    Energy spentTx;
+    Energy spentRx;
+    Energy spentSample;
+    Energy spentWake;
+};
+
+/**
+ * One sensor node.
+ */
+class Node
+{
+  public:
+    struct Config
+    {
+        std::uint32_t id = 0;
+        OperatingMode mode = OperatingMode::FiosNvMote;
+
+        SuperCapacitor::Config cap{
+            Energy::fromMillijoules(250.0),
+            Energy::fromMillijoules(60.0),
+            Power::fromMicrowatts(15.0),
+        };
+        Rtc::Config rtc{};
+        SensorSpec sensor{};
+
+        /** Processor clock (the paper's fabricated parts run 1 MHz;
+         *  system experiments use faster NVPs — see DESIGN.md). */
+        double processorMhz = 16.0;
+
+        /** Raw bytes of one per-slot data package. */
+        std::size_t rawPackageBytes = 128;
+        /** Compressed size of a fog-processed package. */
+        std::size_t compressedPackageBytes = 16;
+        /** Sensor samples making up one package (full fidelity). */
+        std::size_t samplesPerPackage = 64;
+        /** Fog-task instructions to process one package locally. */
+        std::uint64_t fogInstructionsPerPackage = 10'000'000;
+        /** Light on-node instructions in NosVp mode. */
+        std::uint64_t naiveInstructionsPerPackage = 20'000;
+
+        /**
+         * Freshness deadline: a sampled package must be fog-processed
+         * within this many slots (the load-balance call interval /
+         * MAXTIME of Algorithm 1) or it goes stale and is discarded.
+         * Monitoring data loses its value quickly; the paper's nodes
+         * transmit results "during the next power-on period".
+         */
+        int packageDeadlineSlots = 1;
+
+        /**
+         * Incidental computing (paper §5.1, citing [47]): when a node
+         * lacks energy for the full fog task, it may run a reduced-
+         * fidelity summary instead of discarding the sample.
+         */
+        bool enableIncidentalComputing = false;
+        /** Fraction of the full task's instructions the summary uses. */
+        double incidentalFraction = 0.15;
+
+        /**
+         * Apply Spendthrift's frequency scaling to compute *time* as
+         * well as energy: at low income the NVP clocks down, so tasks
+         * take proportionally longer wall-clock (the energy benefit is
+         * always applied).  Off by default: the calibrated system
+         * experiments model the resource-scaling benefit only.
+         */
+        bool enableFrequencyScaling = false;
+
+        NvBuffer::Config buffer{};
+    };
+
+    /**
+     * @param cfg Node configuration.
+     * @param trace Ambient power income (owned).
+     * @param rng Node-private random stream.
+     */
+    Node(const Config &cfg, std::unique_ptr<PowerTrace> trace, Rng rng);
+
+    std::uint32_t id() const { return _cfg.id; }
+    OperatingMode mode() const { return _cfg.mode; }
+    const Config &config() const { return _cfg; }
+
+    // ------------------------------------------------------------------
+    // Slot lifecycle
+    // ------------------------------------------------------------------
+
+    /**
+     * Advance to @p slot_start: integrate income since the last call,
+     * bank it (charge path or direct budget), apply leakage, keep the
+     * RTC alive.  Must be called with nondecreasing times.
+     */
+    void beginSlot(Tick slot_start, Tick slot_length);
+
+    /** Energy classification at the current slot boundary. */
+    EnergyClass classify() const;
+
+    /**
+     * Attempt to wake for this slot: pays processor restore/restart
+     * and radio initialization.  Counts wakeups/depletion failures.
+     * @return true if the node is now awake.
+     */
+    bool tryWake();
+
+    /** Whether the node woke this slot. */
+    bool awake() const { return _awake; }
+
+    /**
+     * Sample one package into the buffer (full fidelity, or decimated
+     * for NosVp).  Requires the node to be awake.
+     * @return true if the package was captured.
+     */
+    bool samplePackage();
+
+    /**
+     * Run up to @p count fog tasks (one task = fog-process one
+     * package).  Bounded by remaining slot time and energy.  FIOS
+     * nodes draw the direct-channel budget first.
+     * @return Tasks completed.
+     */
+    int executeTasks(int count);
+
+    /**
+     * Run up to @p count *incidental* tasks: reduced-fidelity
+     * summaries at incidentalFraction of the full task cost.  Only
+     * available when enabled in the config.
+     * @return Incidental tasks completed.
+     */
+    int executeIncidentalTasks(int count);
+
+    /** Effective cost of one incidental task at current income. */
+    Energy incidentalTaskCost() const;
+
+    /** Whether one incidental task + result TX is affordable now. */
+    bool canCompleteIncidental() const;
+
+    /**
+     * Pay for transmitting @p payload_bytes.  @p attempts > 1 repeats
+     * the TX cost for MAC retries.
+     * @return true if the energy was available (and was spent).
+     */
+    bool payTransmit(std::size_t payload_bytes, int attempts = 1);
+
+    /** Pay for receiving @p payload_bytes (listen window + frame). */
+    bool payReceive(std::size_t payload_bytes);
+
+    /**
+     * Pay for a short control beacon (load-balance state share).
+     * Control frames piggyback on the slot beacon exchange: they cost
+     * airtime at TX power plus a small guard, but not the full data-
+     * connection setup.
+     */
+    bool payControlMessage(std::size_t payload_bytes);
+
+    /** Pending packages the NV buffer can still absorb. */
+    int pendingCapacity() const;
+
+    // ------------------------------------------------------------------
+    // Energy introspection (shared with the load balancer)
+    // ------------------------------------------------------------------
+
+    /** Stored energy right now. */
+    Energy stored() const { return _cap.stored(); }
+
+    /** Capacitor fill fraction. */
+    double fillFraction() const { return _cap.fillFraction(); }
+
+    /**
+     * Cost to wake: processor restart/restore plus basic control
+     * computing.  Radio initialization is paid lazily with the first
+     * transmission of the slot (Fig 1: control & basic computing run
+     * before the RF is touched).
+     */
+    Energy wakeCost() const;
+
+    /**
+     * Activation threshold: the stored energy below which the node
+     * does not wake this slot.  A VP wakes whenever it can boot; NVP
+     * modes use a higher threshold (wake + sample) so they only spin
+     * up when they can at least bank a sample into the NV buffer —
+     * the "higher activation threshold" of §5.2.1.
+     */
+    Energy activationCost() const;
+
+    /** Cost to sample one package. */
+    Energy sampleCost() const;
+
+    /** Effective cost of one fog task at current income. */
+    Energy taskCost() const;
+
+    /**
+     * Wall-clock time of one fog task at the current income
+     * (includes the Spendthrift clock-down when enabled).
+     */
+    Tick taskComputeTime() const;
+
+    /**
+     * Cost to transmit one (mode-appropriate) package, including the
+     * radio initialization if it has not been paid this slot.
+     */
+    Energy packageTxCost() const;
+
+    /** Full own-package slot cost: wake + sample + compute + tx. */
+    Energy slotCost() const;
+
+    /**
+     * Whether the node can afford (energy and slot time) to fog-process
+     * one package AND transmit its result now.  Used to avoid wasting
+     * compute energy on results that could never be shipped.
+     */
+    bool canCompleteOnePackage() const;
+
+    /**
+     * Spare capacity for the balancer, in tasks: how many *extra*
+     * fog tasks this node could fund after its own slot work,
+     * counting the unused direct budget.
+     */
+    double spareTaskCapacity() const;
+
+    /** Relative task cost for the balancer (Spendthrift-scaled). */
+    double relativeTaskCost() const;
+
+    /** Income power averaged over the last slot. */
+    Power lastSlotIncome() const { return _lastIncome; }
+
+    /** The RTC (for virtualization phase queries). */
+    const Rtc &rtc() const { return _rtc; }
+
+    /** The radio, e.g. for NVD4Q state cloning. */
+    RfModule &rf() { return *_rf; }
+    const RfModule &rf() const { return *_rf; }
+
+    /** Mutable statistics. */
+    NodeStats &stats() { return _stats; }
+    const NodeStats &stats() const { return _stats; }
+
+    /** Record the capacitor level into the stats time series. */
+    void recordEnergyPoint(Tick now);
+
+    /**
+     * Attach a phase observer (nullptr detaches).  Not owned; must
+     * outlive the node or be detached first.
+     */
+    void setObserver(NodeObserver *observer) { _observer = observer; }
+
+    /** Buffered-but-unprocessed packages queued at this node. */
+    int pendingPackages() const { return _pendingPackages; }
+    /** Adjust the pending-package queue (load-balance transfers). */
+    void addPendingPackages(int delta);
+
+    /** Drop all pending packages (volatile buffer at power-off). */
+    int discardPendingPackages();
+
+    /** The main super-capacitor (overflow/leakage accounting). */
+    const SuperCapacitor &capacitor() const { return _cap; }
+
+  private:
+    /** Report a completed phase to the attached observer, if any. */
+    void notifyPhase(NodeObserver::Phase phase, Tick start,
+                     Tick duration, Energy energy);
+
+    /** Add @p n fresh pending packages (age 0). */
+    void pushPending(int n);
+
+    /** Remove up to @p n pending packages, oldest first. */
+    int popOldestPending(int n);
+
+    /**
+     * Spend @p e, drawing the FIOS direct budget first when
+     * @p direct_eligible, then the capacitor (with discharge loss).
+     * @return true if fully paid; false leaves state unchanged.
+     */
+    bool spend(Energy e, bool direct_eligible);
+
+    /** Whether @p e is affordable right now. */
+    bool canAfford(Energy e, bool direct_eligible) const;
+
+    /** Remaining compute time in this slot. */
+    Tick remainingSlotTime() const;
+
+    Config _cfg;
+    std::unique_ptr<PowerTrace> _trace;
+    Rng _rng;
+
+    FrontEnd _frontend;
+    SuperCapacitor _cap;
+    Rtc _rtc;
+    std::unique_ptr<Processor> _cpu;
+    std::unique_ptr<RfModule> _rf;
+    Sensor _sensor;
+    NvBuffer _buffer;
+
+    Tick _lastAccrual = 0;
+    Tick _slotStart = 0;
+    Tick _slotLength = 0;
+    Tick _slotTimeUsed = 0;
+    Energy _directBudget;     ///< FIOS direct-channel energy this slot
+    Power _lastIncome;
+    bool _awake = false;
+    bool _rfInitializedThisSlot = false;
+    int _pendingPackages = 0;
+    /** Pending package counts by age in slots (index 0 = this slot). */
+    std::vector<int> _pendingByAge;
+
+    NodeObserver *_observer = nullptr;
+
+    NodeStats _stats;
+};
+
+} // namespace neofog
+
+#endif // NEOFOG_NODE_NODE_HH

@@ -1,0 +1,97 @@
+#include "sim/event_queue.hh"
+
+#include <utility>
+
+#include "sim/logging.hh"
+
+namespace neofog {
+
+EventId
+EventQueue::schedule(Tick when, Callback cb, int priority)
+{
+    NEOFOG_ASSERT(when >= _now, "scheduling into the past: when=", when,
+                  " now=", _now);
+    NEOFOG_ASSERT(cb, "scheduling a null callback");
+    const EventId id = _nextId++;
+    _heap.push(Entry{when, priority, _nextSeq++, id, std::move(cb)});
+    _pending.insert(id);
+    return id;
+}
+
+EventId
+EventQueue::scheduleIn(Tick delay, Callback cb, int priority)
+{
+    NEOFOG_ASSERT(delay >= 0, "negative delay");
+    return schedule(_now + delay, std::move(cb), priority);
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    // Cancelling an id that already fired (or never existed) must be a
+    // no-op; only ids still in the heap enter the cancelled set, so
+    // liveCount() stays exact.
+    if (id != kNoEvent && _pending.count(id))
+        _cancelled.insert(id);
+}
+
+void
+EventQueue::skipCancelled()
+{
+    while (!_heap.empty()) {
+        auto it = _cancelled.find(_heap.top().id);
+        if (it == _cancelled.end())
+            break;
+        _cancelled.erase(it);
+        _pending.erase(_heap.top().id);
+        _heap.pop();
+    }
+}
+
+Tick
+EventQueue::nextEventTick() const
+{
+    // const_cast-free lazy skip: scan without mutating the heap.  The
+    // heap top is the only candidate after cancelled entries are popped,
+    // so do the popping in the non-const step()/runUntil() paths and
+    // here just look past cancelled ids conservatively.
+    auto *self = const_cast<EventQueue *>(this);
+    self->skipCancelled();
+    return _heap.empty() ? kTickNever : _heap.top().when;
+}
+
+bool
+EventQueue::step()
+{
+    skipCancelled();
+    if (_heap.empty())
+        return false;
+    Entry e = _heap.top();
+    _heap.pop();
+    _pending.erase(e.id);
+    NEOFOG_ASSERT(e.when >= _now, "event queue time went backwards");
+    _now = e.when;
+    ++_executed;
+    e.cb();
+    return true;
+}
+
+std::uint64_t
+EventQueue::runUntil(Tick limit)
+{
+    std::uint64_t ran = 0;
+    while (true) {
+        skipCancelled();
+        if (_heap.empty())
+            break;
+        if (_heap.top().when > limit)
+            break;
+        step();
+        ++ran;
+    }
+    if (limit != kTickNever && _now < limit)
+        _now = limit;
+    return ran;
+}
+
+} // namespace neofog

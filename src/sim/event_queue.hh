@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Discrete-event queue: the heart of the NEOFog simulator.
+ *
+ * Events are arbitrary callbacks scheduled at an absolute tick with a
+ * tie-breaking priority (lower value runs first).  Events scheduled for
+ * the same tick and priority run in insertion order, which keeps
+ * multi-node simulations deterministic.
+ */
+
+#ifndef NEOFOG_SIM_EVENT_QUEUE_HH
+#define NEOFOG_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace neofog {
+
+/** Opaque handle identifying a scheduled event; usable to cancel it. */
+using EventId = std::uint64_t;
+
+/** Sentinel for "no event". */
+inline constexpr EventId kNoEvent = 0;
+
+/**
+ * A time-ordered queue of callbacks.
+ *
+ * Cancellation is lazy: cancelled entries stay in the heap and are
+ * discarded when popped, which makes cancel() O(1).
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** Current simulated time; advances as events execute. */
+    Tick now() const { return _now; }
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     *
+     * @param when Absolute tick; must be >= now().
+     * @param cb Callback to invoke.
+     * @param priority Tie-break for same-tick events (lower runs first).
+     * @return Handle usable with cancel().
+     */
+    EventId schedule(Tick when, Callback cb, int priority = 0);
+
+    /** Schedule relative to the current time. */
+    EventId scheduleIn(Tick delay, Callback cb, int priority = 0);
+
+    /** Cancel a previously scheduled event.  Safe on fired/expired ids. */
+    void cancel(EventId id);
+
+    /** Whether any live (non-cancelled) event remains. */
+    bool empty() const { return liveCount() == 0; }
+
+    /** Number of live events. */
+    std::size_t liveCount() const
+    { return _heap.size() - _cancelled.size(); }
+
+    /** Tick of the earliest live event, or kTickNever if none. */
+    Tick nextEventTick() const;
+
+    /**
+     * Execute the earliest event.
+     * @return true if an event ran, false if the queue was empty.
+     */
+    bool step();
+
+    /**
+     * Run events until the queue empties or simulated time would pass
+     * @p limit.  Time is left at min(limit, last event tick).
+     * @return Number of events executed.
+     */
+    std::uint64_t runUntil(Tick limit);
+
+    /** Run all remaining events. */
+    std::uint64_t runAll() { return runUntil(kTickNever); }
+
+    /** Total events executed since construction. */
+    std::uint64_t executedCount() const { return _executed; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            if (a.priority != b.priority)
+                return a.priority > b.priority;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Pop cancelled entries off the heap top. */
+    void skipCancelled();
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> _heap;
+    /** Ids currently in the heap (scheduled, not yet popped). */
+    std::unordered_set<EventId> _pending;
+    mutable std::unordered_set<EventId> _cancelled;
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    EventId _nextId = 1;
+    std::uint64_t _executed = 0;
+};
+
+} // namespace neofog
+
+#endif // NEOFOG_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Simulation context: event queue + deterministic RNG + stat registry.
+ *
+ * A Simulator is the top-level object every experiment creates first.
+ * Components receive a Simulator& and use it to schedule events, fork
+ * RNG streams, and register statistics.
+ */
+
+#ifndef NEOFOG_SIM_SIMULATOR_HH
+#define NEOFOG_SIM_SIMULATOR_HH
+
+#include <cstdint>
+
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+
+namespace neofog {
+
+/**
+ * Top-level simulation context.
+ */
+class Simulator
+{
+  public:
+    /** Create a simulator with the given root RNG seed. */
+    explicit Simulator(std::uint64_t seed = 1)
+        : _rootRng(seed)
+    {}
+
+    Simulator(const Simulator &) = delete;
+    Simulator &operator=(const Simulator &) = delete;
+
+    /** Current simulated time. */
+    Tick now() const { return _queue.now(); }
+
+    /** The event queue. */
+    EventQueue &queue() { return _queue; }
+    const EventQueue &queue() const { return _queue; }
+
+    /** Schedule an event at an absolute tick. */
+    EventId
+    schedule(Tick when, EventQueue::Callback cb, int priority = 0)
+    {
+        return _queue.schedule(when, std::move(cb), priority);
+    }
+
+    /** Schedule an event after a relative delay. */
+    EventId
+    scheduleIn(Tick delay, EventQueue::Callback cb, int priority = 0)
+    {
+        return _queue.scheduleIn(delay, std::move(cb), priority);
+    }
+
+    /** Cancel a scheduled event. */
+    void cancel(EventId id) { _queue.cancel(id); }
+
+    /** Run until simulated time @p limit (inclusive of events at limit). */
+    std::uint64_t runUntil(Tick limit) { return _queue.runUntil(limit); }
+
+    /** Run until no events remain. */
+    std::uint64_t runAll() { return _queue.runAll(); }
+
+    /** Fork an independent RNG stream for a component. */
+    Rng forkRng() { return _rootRng.fork(); }
+
+    /** Statistics registry for this simulation. */
+    StatRegistry &stats() { return _stats; }
+    const StatRegistry &stats() const { return _stats; }
+
+  private:
+    EventQueue _queue;
+    Rng _rootRng;
+    StatRegistry _stats;
+};
+
+} // namespace neofog
+
+#endif // NEOFOG_SIM_SIMULATOR_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fundamental simulation types: the simulated-time tick and helpers.
+ *
+ * A Tick is one microsecond of simulated time, stored as a signed 64-bit
+ * integer.  Five hours of simulation (the standard NEOFog experiment
+ * horizon) is 1.8e10 ticks, comfortably inside the representable range.
+ */
+
+#ifndef NEOFOG_SIM_TYPES_HH
+#define NEOFOG_SIM_TYPES_HH
+
+#include <cstdint>
+
+namespace neofog {
+
+/** Simulated time in microseconds. */
+using Tick = std::int64_t;
+
+/** The tick value used to mean "never" / "no deadline". */
+inline constexpr Tick kTickNever = INT64_MAX;
+
+/** One microsecond, in ticks. */
+inline constexpr Tick kUs = 1;
+/** One millisecond, in ticks. */
+inline constexpr Tick kMs = 1000 * kUs;
+/** One second, in ticks. */
+inline constexpr Tick kSec = 1000 * kMs;
+/** One minute, in ticks. */
+inline constexpr Tick kMin = 60 * kSec;
+/** One hour, in ticks. */
+inline constexpr Tick kHour = 60 * kMin;
+
+/** Convert a floating-point second count to ticks (rounds toward zero). */
+constexpr Tick
+ticksFromSeconds(double seconds)
+{
+    return static_cast<Tick>(seconds * static_cast<double>(kSec));
+}
+
+/** Convert a floating-point millisecond count to ticks. */
+constexpr Tick
+ticksFromMs(double ms)
+{
+    return static_cast<Tick>(ms * static_cast<double>(kMs));
+}
+
+/** Convert ticks to floating-point seconds. */
+constexpr double
+secondsFromTicks(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSec);
+}
+
+/** Convert ticks to floating-point milliseconds. */
+constexpr double
+msFromTicks(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMs);
+}
+
+} // namespace neofog
+
+#endif // NEOFOG_SIM_TYPES_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Strongly-typed physical quantities used across the simulator.
+ *
+ * Energy and Power are thin wrappers over double (joules and watts) that
+ * prevent the classic nJ-vs-mJ unit mixups the NEOFog constants invite:
+ * Table 2 of the paper mixes nanojoule and millijoule columns, and the RF
+ * model mixes milliwatt powers with microsecond durations.  All arithmetic
+ * happens in SI base units internally.
+ */
+
+#ifndef NEOFOG_SIM_UNITS_HH
+#define NEOFOG_SIM_UNITS_HH
+
+#include <cmath>
+#include <compare>
+
+#include "sim/types.hh"
+
+namespace neofog {
+
+/**
+ * An amount of energy, stored internally in joules.
+ *
+ * Construct via the named factories (fromJoules, fromMillijoules, ...) so
+ * call sites always state their unit.
+ */
+class Energy
+{
+  public:
+    constexpr Energy() = default;
+
+    static constexpr Energy fromJoules(double j) { return Energy(j); }
+    static constexpr Energy fromMillijoules(double mj)
+    { return Energy(mj * 1e-3); }
+    static constexpr Energy fromMicrojoules(double uj)
+    { return Energy(uj * 1e-6); }
+    static constexpr Energy fromNanojoules(double nj)
+    { return Energy(nj * 1e-9); }
+    static constexpr Energy zero() { return Energy(0.0); }
+
+    constexpr double joules() const { return _joules; }
+    constexpr double millijoules() const { return _joules * 1e3; }
+    constexpr double microjoules() const { return _joules * 1e6; }
+    constexpr double nanojoules() const { return _joules * 1e9; }
+
+    constexpr Energy operator+(Energy o) const
+    { return Energy(_joules + o._joules); }
+    constexpr Energy operator-(Energy o) const
+    { return Energy(_joules - o._joules); }
+    constexpr Energy operator*(double s) const
+    { return Energy(_joules * s); }
+    constexpr Energy operator/(double s) const
+    { return Energy(_joules / s); }
+    /** Ratio of two energies (dimensionless). */
+    constexpr double operator/(Energy o) const
+    { return _joules / o._joules; }
+
+    Energy &operator+=(Energy o) { _joules += o._joules; return *this; }
+    Energy &operator-=(Energy o) { _joules -= o._joules; return *this; }
+    Energy &operator*=(double s) { _joules *= s; return *this; }
+
+    constexpr auto operator<=>(const Energy &) const = default;
+
+    constexpr bool isZero() const { return _joules == 0.0; }
+
+    /** Clamp negative values (e.g. rounding residue) up to zero. */
+    constexpr Energy clampedNonNegative() const
+    { return Energy(_joules < 0.0 ? 0.0 : _joules); }
+
+  private:
+    constexpr explicit Energy(double j) : _joules(j) {}
+
+    double _joules = 0.0;
+};
+
+constexpr Energy
+operator*(double s, Energy e)
+{
+    return e * s;
+}
+
+/**
+ * A power draw or income, stored internally in watts.
+ */
+class Power
+{
+  public:
+    constexpr Power() = default;
+
+    static constexpr Power fromWatts(double w) { return Power(w); }
+    static constexpr Power fromMilliwatts(double mw)
+    { return Power(mw * 1e-3); }
+    static constexpr Power fromMicrowatts(double uw)
+    { return Power(uw * 1e-6); }
+    static constexpr Power zero() { return Power(0.0); }
+
+    constexpr double watts() const { return _watts; }
+    constexpr double milliwatts() const { return _watts * 1e3; }
+    constexpr double microwatts() const { return _watts * 1e6; }
+
+    constexpr Power operator+(Power o) const
+    { return Power(_watts + o._watts); }
+    constexpr Power operator-(Power o) const
+    { return Power(_watts - o._watts); }
+    constexpr Power operator*(double s) const { return Power(_watts * s); }
+    constexpr Power operator/(double s) const { return Power(_watts / s); }
+    constexpr double operator/(Power o) const { return _watts / o._watts; }
+
+    Power &operator+=(Power o) { _watts += o._watts; return *this; }
+    Power &operator-=(Power o) { _watts -= o._watts; return *this; }
+
+    constexpr auto operator<=>(const Power &) const = default;
+
+    /** Energy delivered by this power over a tick duration. */
+    constexpr Energy over(Tick duration) const
+    {
+        return Energy::fromJoules(_watts * secondsFromTicks(duration));
+    }
+
+  private:
+    constexpr explicit Power(double w) : _watts(w) {}
+
+    double _watts = 0.0;
+};
+
+constexpr Power
+operator*(double s, Power p)
+{
+    return p * s;
+}
+
+/** Energy = Power x time (ticks). */
+constexpr Energy
+operator*(Power p, Tick t)
+{
+    return p.over(t);
+}
+
+/** Duration (ticks) needed to spend an energy at a given power. */
+inline Tick
+ticksToSpend(Energy e, Power p)
+{
+    if (p.watts() <= 0.0)
+        return kTickNever;
+    return ticksFromSeconds(e.joules() / p.watts());
+}
+
+namespace literals {
+
+constexpr Energy operator""_J(long double v)
+{ return Energy::fromJoules(static_cast<double>(v)); }
+constexpr Energy operator""_mJ(long double v)
+{ return Energy::fromMillijoules(static_cast<double>(v)); }
+constexpr Energy operator""_uJ(long double v)
+{ return Energy::fromMicrojoules(static_cast<double>(v)); }
+constexpr Energy operator""_nJ(long double v)
+{ return Energy::fromNanojoules(static_cast<double>(v)); }
+constexpr Power operator""_W(long double v)
+{ return Power::fromWatts(static_cast<double>(v)); }
+constexpr Power operator""_mW(long double v)
+{ return Power::fromMilliwatts(static_cast<double>(v)); }
+constexpr Power operator""_uW(long double v)
+{ return Power::fromMicrowatts(static_cast<double>(v)); }
+
+} // namespace literals
+
+} // namespace neofog
+
+#endif // NEOFOG_SIM_UNITS_HH

@@ -1,0 +1,172 @@
+#include "workload/app_profile.hh"
+
+#include <cmath>
+
+#include "hw/processor.hh"
+#include "sim/logging.hh"
+
+namespace neofog {
+
+Energy
+AppProfile::naiveComputeEnergy() const
+{
+    return Energy::fromNanojoules(
+        static_cast<double>(naiveInstructions) * kNvpInstructionEnergyNj);
+}
+
+Energy
+AppProfile::naiveTxEnergy() const
+{
+    return Energy::fromNanojoules(
+        static_cast<double>(bytesPerSample) * kTxEnergyPerByteNj);
+}
+
+double
+AppProfile::naiveComputeRatio() const
+{
+    const double c = naiveComputeEnergy().nanojoules();
+    const double t = naiveTxEnergy().nanojoules();
+    return c / (c + t);
+}
+
+std::size_t
+AppProfile::samplesPerBatch() const
+{
+    NEOFOG_ASSERT(bytesPerSample > 0, "bytesPerSample");
+    return kBatchBytes / bytesPerSample;
+}
+
+Energy
+AppProfile::bufferedComputeEnergy() const
+{
+    return Energy::fromNanojoules(
+        bufferedInstPerByte * static_cast<double>(kBatchBytes) *
+        kNvpInstructionEnergyNj);
+}
+
+Energy
+AppProfile::bufferedTxEnergy() const
+{
+    return Energy::fromNanojoules(
+        compressionRatio * static_cast<double>(kBatchBytes) *
+        kTxEnergyPerByteNj);
+}
+
+double
+AppProfile::bufferedComputeRatio() const
+{
+    const double c = bufferedComputeEnergy().nanojoules();
+    const double t = bufferedTxEnergy().nanojoules();
+    return c / (c + t);
+}
+
+double
+AppProfile::energySavedRatio() const
+{
+    // Formulas (4)-(6) of the paper: the naive strategy repeats the
+    // per-sample cost for every sample in 64 kB of data; the buffered
+    // strategy processes the batch at once.
+    const double per_sample = naiveComputeEnergy().nanojoules() +
+                              naiveTxEnergy().nanojoules();
+    const double e_naive =
+        per_sample * static_cast<double>(samplesPerBatch());
+    const double e_new = bufferedComputeEnergy().nanojoules() +
+                         bufferedTxEnergy().nanojoules();
+    return (e_new - e_naive) / e_naive;
+}
+
+std::uint64_t
+AppProfile::bufferedInstructionsFor(std::size_t bytes) const
+{
+    return static_cast<std::uint64_t>(
+        std::llround(bufferedInstPerByte * static_cast<double>(bytes)));
+}
+
+std::size_t
+AppProfile::compressedSize(std::size_t bytes) const
+{
+    const auto out = static_cast<std::size_t>(
+        std::llround(compressionRatio * static_cast<double>(bytes)));
+    return bytes == 0 ? 0 : std::max<std::size_t>(out, 1);
+}
+
+AppProfile
+appProfile(AppKind kind)
+{
+    AppProfile p;
+    p.kind = kind;
+    switch (kind) {
+      case AppKind::BridgeHealth:
+        p.name = "Bridge Health";
+        p.naiveInstructions = 545;
+        p.bytesPerSample = 8;
+        // 81.7 mJ / (64 kB * 2.508 nJ) and 6.95 mJ / (64 kB * 2851.2 nJ)
+        p.bufferedInstPerByte = 497.05;
+        p.compressionRatio = 0.03720;
+        p.sensor = sensors::lis331dlh();
+        break;
+      case AppKind::UvMeter:
+        p.name = "UV Meter";
+        p.naiveInstructions = 460;
+        p.bytesPerSample = 2;
+        p.bufferedInstPerByte = 658.90;
+        p.compressionRatio = 0.03640;
+        p.sensor = sensors::uvMeter();
+        break;
+      case AppKind::WsnTemp:
+        p.name = "WSN-Temp.";
+        p.naiveInstructions = 56;
+        p.bytesPerSample = 2;
+        p.bufferedInstPerByte = 456.29;
+        p.compressionRatio = 0.03741;
+        p.sensor = sensors::tmp101();
+        break;
+      case AppKind::WsnAccel:
+        p.name = "WSN-Accel.";
+        p.naiveInstructions = 477;
+        p.bytesPerSample = 6;
+        p.bufferedInstPerByte = 508.61;
+        p.compressionRatio = 0.03527;
+        p.sensor = sensors::lis331dlh();
+        break;
+      case AppKind::PatternMatching:
+        p.name = "Pattern Matching";
+        p.naiveInstructions = 1670;
+        p.bytesPerSample = 1;
+        p.bufferedInstPerByte = 2099.55;
+        p.compressionRatio = 0.02885;
+        p.sensor = sensors::ecgAfe();
+        break;
+    }
+    return p;
+}
+
+std::vector<AppProfile>
+allAppProfiles()
+{
+    std::vector<AppProfile> out;
+    out.reserve(kAllApps.size());
+    for (AppKind k : kAllApps)
+        out.push_back(appProfile(k));
+    return out;
+}
+
+std::string
+appName(AppKind kind)
+{
+    return appProfile(kind).name;
+}
+
+std::string
+strategyName(Strategy s)
+{
+    switch (s) {
+      case Strategy::NaiveSenseTransmit:
+        return "naive sensing-computing-transmission";
+      case Strategy::BufferedComputeCompress:
+        return "sensing-buffering-computing-compression-transmission";
+    }
+    return "?";
+}
+
+} // namespace neofog

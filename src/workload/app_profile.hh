@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Application profiles: the five deployed workloads of Table 2.
+ *
+ * The constants reproduce the paper's measured Table 2 exactly:
+ *  - per-instruction energy 2.508 nJ (0.209 mW 8051 @1 MHz, 12
+ *    clocks/instruction);
+ *  - per-byte transmission energy 2851.2 nJ (89.1 mW at 250 kbps,
+ *    radio-on airtime);
+ *  - per-sample instruction counts {545, 460, 56, 477, 1670};
+ *  - per-sample payload bytes {8, 2, 2, 6, 1} (back-derived from the
+ *    TX energy column: E_tx = bytes * 2851.2 nJ);
+ *  - buffered-strategy compute/TX energies per 64 kB batch from the
+ *    right half of the table.
+ *
+ * Energy computations for both strategies follow the paper's formulas
+ * (4)-(6) so the Table 2 bench regenerates every cell.
+ */
+
+#ifndef NEOFOG_WORKLOAD_APP_PROFILE_HH
+#define NEOFOG_WORKLOAD_APP_PROFILE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hw/sensor.hh"
+#include "sim/units.hh"
+
+namespace neofog {
+
+/** Per-byte radio-on TX energy implied by Table 2 (nJ). */
+inline constexpr double kTxEnergyPerByteNj = 2851.2;
+
+/** The five deployed applications of Table 2. */
+enum class AppKind
+{
+    BridgeHealth,
+    UvMeter,
+    WsnTemp,
+    WsnAccel,
+    PatternMatching,
+};
+
+/** All application kinds, in Table 2 order. */
+inline constexpr std::array<AppKind, 5> kAllApps = {
+    AppKind::BridgeHealth, AppKind::UvMeter, AppKind::WsnTemp,
+    AppKind::WsnAccel, AppKind::PatternMatching,
+};
+
+/** Data-processing strategy (Table 2 columns). */
+enum class Strategy
+{
+    /** Naive sensing-computing-transmission: ship every sample. */
+    NaiveSenseTransmit,
+    /** Sensing-buffering-computing-compression-transmission (FIOS). */
+    BufferedComputeCompress,
+};
+
+/**
+ * Static workload description of one application.
+ */
+struct AppProfile
+{
+    AppKind kind = AppKind::BridgeHealth;
+    std::string name = "Bridge Health";
+    /** Instructions per sample, naive strategy (Table 2 col 2). */
+    std::uint64_t naiveInstructions = 545;
+    /** Payload bytes per sample. */
+    std::size_t bytesPerSample = 8;
+    /** Buffered strategy: instructions per buffered byte (fog task +
+     *  compression over a 64 kB batch). */
+    double bufferedInstPerByte = 497.0;
+    /** Compressed output size as a fraction of the raw batch. */
+    double compressionRatio = 0.0372;
+    /** The sensor part this application samples. */
+    SensorSpec sensor{};
+
+    /** Per-sample naive compute energy (Table 2 col 3). */
+    Energy naiveComputeEnergy() const;
+    /** Per-sample naive TX energy (Table 2 col 4). */
+    Energy naiveTxEnergy() const;
+    /** Naive compute ratio (Table 2 col 5). */
+    double naiveComputeRatio() const;
+
+    /** Batch size of the buffered strategy (the 64 kB NV buffer). */
+    static constexpr std::size_t kBatchBytes = 64 * 1024;
+
+    /** Samples that fill one 64 kB batch. */
+    std::size_t samplesPerBatch() const;
+    /** Buffered compute energy for one full batch (Table 2 col 6). */
+    Energy bufferedComputeEnergy() const;
+    /** Buffered TX energy for one compressed batch (Table 2 col 7). */
+    Energy bufferedTxEnergy() const;
+    /** Buffered compute ratio (Table 2 col 8). */
+    double bufferedComputeRatio() const;
+
+    /**
+     * Total-energy delta of the buffered strategy vs naive for the
+     * same 64 kB of sensed data — the paper's formulas (4)-(6);
+     * negative values are savings (Table 2 col 9).
+     */
+    double energySavedRatio() const;
+
+    /** Instructions to fog-process + compress @p bytes of raw data. */
+    std::uint64_t bufferedInstructionsFor(std::size_t bytes) const;
+    /** Compressed size of @p bytes of raw data. */
+    std::size_t compressedSize(std::size_t bytes) const;
+};
+
+/** Profile of one application (Table 2 constants). */
+AppProfile appProfile(AppKind kind);
+
+/** All five profiles in Table 2 order. */
+std::vector<AppProfile> allAppProfiles();
+
+/** Display name of an application. */
+std::string appName(AppKind kind);
+
+/** Display name of a strategy. */
+std::string strategyName(Strategy s);
+
+} // namespace neofog
+
+#endif // NEOFOG_WORKLOAD_APP_PROFILE_HH

@@ -1,0 +1,273 @@
+#include "workload/fog_task.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "kernels/ar_model.hh"
+#include "kernels/bridge_model.hh"
+#include "kernels/fft.hh"
+#include "kernels/filters.hh"
+#include "kernels/pattern_match.hh"
+#include "kernels/signal_gen.hh"
+#include "kernels/volumetric.hh"
+#include "sim/logging.hh"
+
+namespace neofog {
+
+namespace {
+
+using kernels::Bytes;
+
+/** Shared finish step: quantize a result series and compress it. */
+FogOutput
+finish(const std::vector<double> &result, double lo, double hi,
+       double metric, std::uint64_t ops, std::size_t raw_bytes)
+{
+    FogOutput out;
+    const Bytes quantized = kernels::quantize16(result, lo, hi);
+    out.payload = kernels::compress(quantized);
+    out.metric = metric;
+    out.opsExecuted = ops + kernels::compressOpCount(quantized.size());
+    out.rawBytes = raw_bytes;
+    return out;
+}
+
+/** Bridge cable health: 3-axis combine, strength models, compensate. */
+class BridgeStrengthTask : public FogTask
+{
+  public:
+    FogOutput
+    processBatch(std::size_t raw_bytes, Rng &rng) override
+    {
+        // 8 bytes per sample: 3 x 16-bit axes + 16-bit temperature.
+        const std::size_t n = std::max<std::size_t>(raw_bytes / 8, 32);
+        const std::array<double, 3> dir{0.12, 0.08, 0.99};
+        const double rate_hz = 100.0;
+        const double fundamental = rng.uniform(0.8, 1.6);
+        auto axes = kernels::threeAxisVibration(rng, n, rate_hz,
+                                                fundamental, dir, 0.15);
+        const auto temps =
+            kernels::temperatureSignal(rng, n, 22.0, 3.0, 0.05);
+        const double mean_temp =
+            std::accumulate(temps.begin(), temps.end(), 0.0) /
+            static_cast<double>(n);
+
+        kernels::CableSpec spec;
+        const auto est = kernels::estimateStrength(
+            axes[0], axes[1], axes[2], dir, rate_hz, spec, mean_temp);
+
+        // Result series: the three model tensions + average, repeated
+        // nothing — just the compact strength record per batch.
+        std::vector<double> result = {
+            est.fundamentalHz,
+            est.modelTensionsN[0], est.modelTensionsN[1],
+            est.modelTensionsN[2], est.tensionN, est.strengthRatio,
+        };
+        // Also ship the smoothed vibration envelope at 1/64 rate so the
+        // cloud can audit (the paper ships strength data, which is
+        // low-variance and compresses well).
+        const auto combined =
+            kernels::projectAxes(axes[0], axes[1], axes[2], dir);
+        const auto smooth = kernels::movingAverage(combined, 8);
+        for (std::size_t i = 0; i < smooth.size(); i += 64)
+            result.push_back(smooth[i]);
+
+        const std::uint64_t ops =
+            kernels::strengthOpCount(n) +
+            kernels::movingAverageOpCount(n, 8);
+        return finish(result, -1.0e7, 1.0e7, est.strengthRatio, ops,
+                      raw_bytes);
+    }
+
+    std::string name() const override { return "bridge-strength"; }
+};
+
+/** Wearable UV meter: smooth and integrate dose. */
+class UvDoseTask : public FogTask
+{
+  public:
+    FogOutput
+    processBatch(std::size_t raw_bytes, Rng &rng) override
+    {
+        const std::size_t n = std::max<std::size_t>(raw_bytes / 2, 16);
+        const auto uv = kernels::uvSignal(rng, n, 8.0);
+        const auto smooth = kernels::movingAverage(uv, 4);
+        // Dose = integral of UV index over the batch.
+        double dose = 0.0;
+        for (double v : smooth)
+            dose += v;
+        dose /= static_cast<double>(n);
+
+        // Downsampled smoothed series + dose summary.
+        std::vector<double> result = {dose};
+        for (std::size_t i = 0; i < smooth.size(); i += 16)
+            result.push_back(smooth[i]);
+
+        const std::uint64_t ops =
+            kernels::movingAverageOpCount(n, 4) + 2 * n;
+        return finish(result, 0.0, 16.0, dose, ops, raw_bytes);
+    }
+
+    std::string name() const override { return "uv-dose"; }
+};
+
+/** Rail temperature: median filter + min/mean/max aggregation. */
+class TempAggregateTask : public FogTask
+{
+  public:
+    FogOutput
+    processBatch(std::size_t raw_bytes, Rng &rng) override
+    {
+        const std::size_t n = std::max<std::size_t>(raw_bytes / 2, 16);
+        const auto temps =
+            kernels::temperatureSignal(rng, n, 24.0, 10.0, 0.2);
+        const auto filtered = kernels::medianFilter(temps, 2);
+        const double mn =
+            *std::min_element(filtered.begin(), filtered.end());
+        const double mx =
+            *std::max_element(filtered.begin(), filtered.end());
+        const double mean =
+            std::accumulate(filtered.begin(), filtered.end(), 0.0) /
+            static_cast<double>(n);
+
+        std::vector<double> result = {mn, mean, mx};
+        for (std::size_t i = 0; i < filtered.size(); i += 32)
+            result.push_back(filtered[i]);
+
+        const std::uint64_t ops = 16 * n; // median windows + scan
+        return finish(result, -40.0, 85.0, mean, ops, raw_bytes);
+    }
+
+    std::string name() const override { return "temp-aggregate"; }
+};
+
+/** Machine-health acceleration: AR features + RMS. */
+class AccelFeatureTask : public FogTask
+{
+  public:
+    FogOutput
+    processBatch(std::size_t raw_bytes, Rng &rng) override
+    {
+        const std::size_t n = std::max<std::size_t>(raw_bytes / 6, 64);
+        const std::array<double, 3> dir{0.0, 0.0, 1.0};
+        auto axes = kernels::threeAxisVibration(rng, n, 200.0, 30.0,
+                                                dir, 0.2);
+        const auto combined =
+            kernels::projectAxes(axes[0], axes[1], axes[2], dir);
+        const auto detrended = kernels::detrend(combined);
+        const auto fit = kernels::fitAr(detrended, 6);
+        const double signal_rms = kernels::rms(detrended);
+
+        std::vector<double> result = fit.coefficients;
+        result.push_back(fit.noiseVariance);
+        result.push_back(signal_rms);
+        const auto spectrum =
+            kernels::dominantFrequencies(detrended, 200.0, 3);
+        result.insert(result.end(), spectrum.begin(), spectrum.end());
+
+        const std::uint64_t ops =
+            kernels::arFitOpCount(n, 6) + kernels::fftOpCount(
+                kernels::nextPowerOfTwo(n));
+        return finish(result, -200.0, 200.0, signal_rms, ops, raw_bytes);
+    }
+
+    std::string name() const override { return "accel-features"; }
+};
+
+/** Heartbeat pattern matching: template correlation + BPM. */
+class PatternMatchTask : public FogTask
+{
+  public:
+    FogOutput
+    processBatch(std::size_t raw_bytes, Rng &rng) override
+    {
+        const double rate_hz = 250.0;
+        const std::size_t n = std::max<std::size_t>(raw_bytes, 512);
+        const double true_bpm = rng.uniform(55.0, 95.0);
+        const auto ecg =
+            kernels::ecgSignal(rng, n, rate_hz, true_bpm, 0.03);
+        const std::size_t beat_len = static_cast<std::size_t>(
+            60.0 / true_bpm * rate_hz);
+        const auto tmpl = kernels::ecgBeatTemplate(beat_len);
+        const auto matches = kernels::findMatches(ecg, tmpl, 0.55);
+        const double interval = kernels::meanMatchInterval(matches);
+        const double bpm =
+            interval > 0.0 ? 60.0 * rate_hz / interval : 0.0;
+
+        // Ship beat positions + scores + BPM (tiny, very compressible).
+        std::vector<double> result = {bpm,
+                                      static_cast<double>(matches.size())};
+        for (const auto &m : matches) {
+            result.push_back(static_cast<double>(m.position));
+            result.push_back(m.score);
+        }
+
+        const std::uint64_t ops =
+            kernels::matchOpCount(n, tmpl.size());
+        return finish(result, -10.0, 1.0e6, bpm, ops, raw_bytes);
+    }
+
+    std::string name() const override { return "pattern-match"; }
+};
+
+/** Forest fire: volumetric temperature map from point samples. */
+class VolumetricTask : public FogTask
+{
+  public:
+    FogOutput
+    processBatch(std::size_t raw_bytes, Rng &rng) override
+    {
+        // Each point sample is 8 bytes (x, y, z, value quantized).
+        const std::size_t m = std::max<std::size_t>(raw_bytes / 8, 8);
+        std::vector<kernels::PointSample> samples(m);
+        for (auto &s : samples) {
+            s.x = rng.uniform();
+            s.y = rng.uniform();
+            s.z = rng.uniform();
+            // Ambient temperature field + hotspot.
+            const double dx = s.x - 0.7, dy = s.y - 0.3;
+            s.value = 20.0 + 45.0 * std::exp(-8.0 * (dx * dx + dy * dy)) +
+                      rng.normal(0.0, 0.5);
+        }
+        const std::size_t nx = 8, ny = 8, nz = 4;
+        const auto grid =
+            kernels::reconstructVolume(samples, nx, ny, nz);
+        const double peak =
+            *std::max_element(grid.values.begin(), grid.values.end());
+
+        const std::uint64_t ops =
+            kernels::volumetricOpCount(grid.values.size(), m);
+        return finish(grid.values, -20.0, 120.0, peak, ops, raw_bytes);
+    }
+
+    std::string name() const override { return "volumetric-map"; }
+};
+
+} // namespace
+
+std::unique_ptr<FogTask>
+makeFogTask(AppKind kind)
+{
+    switch (kind) {
+      case AppKind::BridgeHealth:
+        return std::make_unique<BridgeStrengthTask>();
+      case AppKind::UvMeter:
+        return std::make_unique<UvDoseTask>();
+      case AppKind::WsnTemp:
+        return std::make_unique<TempAggregateTask>();
+      case AppKind::WsnAccel:
+        return std::make_unique<AccelFeatureTask>();
+      case AppKind::PatternMatching:
+        return std::make_unique<PatternMatchTask>();
+    }
+    NEOFOG_PANIC("unknown AppKind");
+}
+
+std::unique_ptr<FogTask>
+makeVolumetricTask()
+{
+    return std::make_unique<VolumetricTask>();
+}
+
+} // namespace neofog

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Concrete in-fog tasks: real kernel pipelines behind each application.
+ *
+ * Where the system-level simulator uses the analytic Table 2 constants
+ * (it must run millions of node-slots), examples, tests, and the Table 2
+ * bench run these tasks for real: they synthesize a sensor batch, run
+ * the full kernel pipeline (noise removal, FFT/AR/matching, strength
+ * models, compression), and report actual operation counts and actual
+ * compressed sizes.
+ */
+
+#ifndef NEOFOG_WORKLOAD_FOG_TASK_HH
+#define NEOFOG_WORKLOAD_FOG_TASK_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "kernels/compress.hh"
+#include "sim/rng.hh"
+#include "workload/app_profile.hh"
+
+namespace neofog {
+
+/** Result of fog-processing one sensed batch. */
+struct FogOutput
+{
+    /** Compressed result payload ready for transmission. */
+    kernels::Bytes payload;
+    /** Application-level scalar result (strength ratio, BPM, ...). */
+    double metric = 0.0;
+    /** Arithmetic operations the pipeline executed (for energy). */
+    std::uint64_t opsExecuted = 0;
+    /** Raw batch size that was processed. */
+    std::size_t rawBytes = 0;
+
+    /** Achieved compression ratio payload/raw. */
+    double
+    achievedRatio() const
+    {
+        return rawBytes == 0
+            ? 0.0
+            : static_cast<double>(payload.size()) /
+              static_cast<double>(rawBytes);
+    }
+};
+
+/**
+ * An in-fog task: the computation offloaded from the cloud to the node.
+ */
+class FogTask
+{
+  public:
+    virtual ~FogTask() = default;
+
+    /**
+     * Synthesize and process a raw batch of @p raw_bytes.
+     * @param rng Stream for signal synthesis.
+     */
+    virtual FogOutput processBatch(std::size_t raw_bytes, Rng &rng) = 0;
+
+    /** Task name for reports. */
+    virtual std::string name() const = 0;
+};
+
+/** Build the kernel-backed task for an application. */
+std::unique_ptr<FogTask> makeFogTask(AppKind kind);
+
+/**
+ * The forest-fire volumetric reconstruction task (paper §5.2.1), which
+ * is a deployment scenario rather than a Table 2 application.
+ */
+std::unique_ptr<FogTask> makeVolumetricTask();
+
+} // namespace neofog
+
+#endif // NEOFOG_WORKLOAD_FOG_TASK_HH

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the Algorithm 1 dynamic program, including a property
+ * sweep checking optimality against exhaustive search.
+ */
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "balance/assignment.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace neofog {
+namespace {
+
+std::int64_t
+sideSum(const AssignResult &r, const std::vector<std::int64_t> &a,
+        const std::vector<std::int64_t> &b, Side side)
+{
+    std::int64_t sum = 0;
+    for (std::size_t k = 0; k < r.assignment.size(); ++k) {
+        if (r.assignment[k] == side)
+            sum += side == Side::Left ? a[k] : b[k];
+    }
+    return sum;
+}
+
+TEST(Assignment, EmptyInput)
+{
+    const AssignResult r = assignTasks({}, {}, 100);
+    EXPECT_TRUE(r.feasible);
+    EXPECT_TRUE(r.assignment.empty());
+    EXPECT_EQ(r.makespan, 0);
+}
+
+TEST(Assignment, SingleTaskPicksCheaperSide)
+{
+    const AssignResult r = assignTasks({5}, {3}, 100);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.assignment[0], Side::Right);
+    EXPECT_EQ(r.makespan, 3);
+
+    const AssignResult r2 = assignTasks({2}, {9}, 100);
+    EXPECT_EQ(r2.assignment[0], Side::Left);
+    EXPECT_EQ(r2.makespan, 2);
+}
+
+TEST(Assignment, BalancesEqualCosts)
+{
+    // 4 tasks costing 3 on either side: optimal split is 2/2, makespan 6.
+    const std::vector<std::int64_t> c(4, 3);
+    const AssignResult r = assignTasks(c, c, 100);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.makespan, 6);
+}
+
+TEST(Assignment, PaperExampleSplit)
+{
+    // Fig 6(d): node 4 sends two tasks left and two right.  With
+    // symmetric unit costs and 4 surplus tasks the DP splits evenly.
+    const std::vector<std::int64_t> a(4, 1), b(4, 1);
+    const AssignResult r = assignTasks(a, b, 64);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(sideSum(r, a, b, Side::Left), 2);
+    EXPECT_EQ(sideSum(r, a, b, Side::Right), 2);
+}
+
+TEST(Assignment, MaxTimeBindsLeftSide)
+{
+    // Left is fast but MAXTIME only allows one task there.
+    const std::vector<std::int64_t> a(5, 2);
+    const std::vector<std::int64_t> b(5, 10);
+    const AssignResult r = assignTasks(a, b, 2);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_LE(sideSum(r, a, b, Side::Left), 2);
+    EXPECT_EQ(sideSum(r, a, b, Side::Right), 40);
+}
+
+TEST(Assignment, ZeroMaxTimeForcesAllRight)
+{
+    const std::vector<std::int64_t> a(3, 1), b(3, 7);
+    const AssignResult r = assignTasks(a, b, 0);
+    ASSERT_TRUE(r.feasible);
+    for (Side s : r.assignment)
+        EXPECT_EQ(s, Side::Right);
+    EXPECT_EQ(r.makespan, 21);
+}
+
+TEST(Assignment, ResultTimesConsistentWithAssignment)
+{
+    Rng rng(3);
+    std::vector<std::int64_t> a(10), b(10);
+    for (std::size_t i = 0; i < 10; ++i) {
+        a[i] = rng.uniformInt(1, 9);
+        b[i] = rng.uniformInt(1, 9);
+    }
+    const AssignResult r = assignTasks(a, b, 50);
+    ASSERT_TRUE(r.feasible);
+    EXPECT_EQ(r.leftTime, sideSum(r, a, b, Side::Left));
+    EXPECT_EQ(r.rightTime, sideSum(r, a, b, Side::Right));
+    EXPECT_EQ(r.makespan, std::max(r.leftTime, r.rightTime));
+}
+
+TEST(Assignment, MismatchedArraysFatal)
+{
+    EXPECT_THROW(assignTasks({1, 2}, {1}, 10), FatalError);
+}
+
+TEST(Assignment, NonPositiveCostFatal)
+{
+    EXPECT_THROW(assignTasks({0}, {1}, 10), FatalError);
+    EXPECT_THROW(assignTasks({1}, {-2}, 10), FatalError);
+}
+
+TEST(Assignment, BruteForceGuardsAgainstHugeInputs)
+{
+    std::vector<std::int64_t> big(30, 1);
+    EXPECT_THROW(assignTasksBruteForce(big, big, 100), FatalError);
+}
+
+// ---------------------------------------------------------------------
+// Property sweep: DP makespan equals exhaustive optimum.
+// ---------------------------------------------------------------------
+
+class AssignmentOptimality
+    : public ::testing::TestWithParam<std::tuple<int, int, int>>
+{
+};
+
+TEST_P(AssignmentOptimality, MatchesBruteForce)
+{
+    const auto [n, max_cost, seed] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed) * 1000 +
+            static_cast<std::uint64_t>(n));
+    std::vector<std::int64_t> a(static_cast<std::size_t>(n));
+    std::vector<std::int64_t> b(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        a[static_cast<std::size_t>(i)] = rng.uniformInt(1, max_cost);
+        b[static_cast<std::size_t>(i)] = rng.uniformInt(1, max_cost);
+    }
+    const std::int64_t max_time =
+        rng.uniformInt(0, static_cast<std::int64_t>(n) * max_cost);
+
+    const AssignResult dp = assignTasks(a, b, max_time);
+    const AssignResult bf = assignTasksBruteForce(a, b, max_time);
+
+    ASSERT_EQ(dp.feasible, bf.feasible);
+    if (dp.feasible) {
+        EXPECT_EQ(dp.makespan, bf.makespan)
+            << "n=" << n << " max_time=" << max_time;
+        // The DP's own assignment achieves its claimed makespan and
+        // respects MAXTIME.
+        EXPECT_LE(dp.leftTime, max_time);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AssignmentOptimality,
+    ::testing::Combine(::testing::Values(1, 2, 3, 5, 8, 12),
+                       ::testing::Values(1, 4, 13),
+                       ::testing::Values(1, 2, 3, 4)));
+
+TEST_P(AssignmentOptimality, PaperListingMatchesDp)
+{
+    const auto [n, max_cost, seed] = GetParam();
+    Rng rng(static_cast<std::uint64_t>(seed) * 7919 +
+            static_cast<std::uint64_t>(n));
+    std::vector<std::int64_t> a(static_cast<std::size_t>(n));
+    std::vector<std::int64_t> b(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        a[static_cast<std::size_t>(i)] = rng.uniformInt(1, max_cost);
+        b[static_cast<std::size_t>(i)] = rng.uniformInt(1, max_cost);
+    }
+    const std::int64_t max_time =
+        rng.uniformInt(0, static_cast<std::int64_t>(n) * max_cost);
+
+    const AssignResult dp = assignTasks(a, b, max_time);
+    const AssignResult paper =
+        assignTasksPaperListing(a, b, max_time);
+    ASSERT_TRUE(paper.feasible);
+    if (dp.feasible) {
+        EXPECT_EQ(paper.makespan, dp.makespan);
+        EXPECT_LE(paper.leftTime, max_time);
+        EXPECT_EQ(paper.makespan,
+                  std::max(paper.leftTime, paper.rightTime));
+    }
+}
+
+TEST(Assignment, PaperListingHandlesEmptyAndSingle)
+{
+    EXPECT_TRUE(assignTasksPaperListing({}, {}, 10).feasible);
+    const AssignResult r = assignTasksPaperListing({5}, {3}, 100);
+    EXPECT_EQ(r.makespan, 3);
+}
+
+TEST(Assignment, LargeInstanceRunsQuickly)
+{
+    // O(n * MAXTIME): 512 tasks, MAXTIME 4096 is ~2M table cells.
+    Rng rng(9);
+    std::vector<std::int64_t> a(512), b(512);
+    for (std::size_t i = 0; i < 512; ++i) {
+        a[i] = rng.uniformInt(1, 10);
+        b[i] = rng.uniformInt(1, 10);
+    }
+    const AssignResult r = assignTasks(a, b, 4096);
+    EXPECT_TRUE(r.feasible);
+    EXPECT_GT(r.makespan, 0);
+}
+
+} // namespace
+} // namespace neofog

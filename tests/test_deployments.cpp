@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the Table 1 deployment catalog.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fog/deployments.hh"
+#include "fog/fog_system.hh"
+
+namespace neofog {
+namespace {
+
+TEST(Deployments, CatalogCoversTable1)
+{
+    std::set<std::string> names;
+    for (DeploymentKind kind : kAllDeployments) {
+        const DeploymentSpec spec = deploymentSpec(kind);
+        EXPECT_FALSE(spec.name.empty());
+        EXPECT_FALSE(spec.energySources.empty());
+        EXPECT_FALSE(spec.sensors.empty());
+        EXPECT_GT(spec.typicalNodes, 0u);
+        EXPECT_GT(spec.typicalIncome.watts(), 0.0);
+        names.insert(spec.name);
+    }
+    EXPECT_EQ(names.size(), 5u);
+}
+
+TEST(Deployments, BridgeRowMatchesPaper)
+{
+    const auto spec =
+        deploymentSpec(DeploymentKind::BridgeHealthMonitor);
+    EXPECT_EQ(spec.topology, TopologyKind::ZigbeeChainMesh);
+    EXPECT_EQ(spec.app, AppKind::BridgeHealth);
+    EXPECT_EQ(spec.transmittedData, "Raw sampled data");
+    ASSERT_EQ(spec.energySources.size(), 2u);
+    EXPECT_EQ(spec.energySources[0], EnergySource::Solar);
+}
+
+TEST(Deployments, CameraIsRfPoweredBackscatter)
+{
+    const auto spec = deploymentSpec(DeploymentKind::RfPoweredCamera);
+    EXPECT_EQ(spec.topology, TopologyKind::PointToPointBackscatter);
+    // WispCam harvests microwatts, far below the solar deployments.
+    EXPECT_LT(spec.typicalIncome.watts(),
+              deploymentSpec(DeploymentKind::BridgeHealthMonitor)
+                  .typicalIncome.watts());
+}
+
+TEST(Deployments, DisplayNamesComplete)
+{
+    for (EnergySource s :
+         {EnergySource::Solar, EnergySource::Piezoelectric,
+          EnergySource::Thermal, EnergySource::Rf, EnergySource::Wifi})
+        EXPECT_NE(energySourceName(s), "?");
+    for (TopologyKind t :
+         {TopologyKind::ZigbeeChainMesh, TopologyKind::Star,
+          TopologyKind::StarBusOrTree,
+          TopologyKind::PointToPointBackscatter})
+        EXPECT_NE(topologyName(t), "?");
+}
+
+TEST(Deployments, ScenariosAreRunnable)
+{
+    for (DeploymentKind kind : kAllDeployments) {
+        ScenarioConfig cfg =
+            deploymentScenario(kind, presets::fiosNeofog(), 3);
+        cfg.horizon = 30 * kMin; // keep the sweep quick
+        FogSystem sys(cfg);
+        const SystemReport r = sys.run();
+        EXPECT_EQ(r.wakeups + r.depletionFailures, cfg.idealPackages())
+            << deploymentSpec(kind).name;
+    }
+}
+
+TEST(Deployments, ScenarioUsesDeploymentSensor)
+{
+    const ScenarioConfig cfg = deploymentScenario(
+        DeploymentKind::RailwayTempMonitor, presets::nosVp());
+    EXPECT_EQ(cfg.nodeTemplate.sensor.partName, "TMP101");
+    EXPECT_EQ(cfg.mode, OperatingMode::NosVp);
+    EXPECT_EQ(cfg.nodesPerChain, 12u);
+}
+
+TEST(Deployments, NeofogBeatsVpOnBridgeDeployment)
+{
+    auto run = [](const presets::SystemUnderTest &sut) {
+        ScenarioConfig cfg = deploymentScenario(
+            DeploymentKind::BridgeHealthMonitor, sut, 9);
+        cfg.horizon = kHour;
+        return FogSystem(cfg).run().totalProcessed();
+    };
+    EXPECT_GT(run(presets::fiosNeofog()), run(presets::nosVp()));
+}
+
+} // namespace
+} // namespace neofog

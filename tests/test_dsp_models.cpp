@@ -1,0 +1,387 @@
+/**
+ * @file
+ * Tests for the AR model, pattern matcher, signal generators,
+ * volumetric reconstruction, and bridge strength pipeline.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "kernels/ar_model.hh"
+#include "kernels/bridge_model.hh"
+#include "kernels/compress.hh"
+#include "kernels/pattern_match.hh"
+#include "kernels/signal_gen.hh"
+#include "kernels/volumetric.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace neofog::kernels {
+namespace {
+
+// ---------------------------------------------------------------------
+// AR model
+// ---------------------------------------------------------------------
+
+TEST(ArModel, AutocorrelationLagZeroIsPower)
+{
+    const std::vector<double> x{1.0, -1.0, 1.0, -1.0};
+    const auto r = autocorrelation(x, 1);
+    EXPECT_NEAR(r[0], 1.0, 1e-12);
+    EXPECT_NEAR(r[1], -0.75, 1e-12); // 3 products of -1 over n=4
+}
+
+TEST(ArModel, RecoversAr1Coefficient)
+{
+    // x[t] = 0.8 x[t-1] + e.
+    Rng rng(1);
+    std::vector<double> x(20000);
+    double prev = 0.0;
+    for (auto &v : x) {
+        v = 0.8 * prev + rng.normal();
+        prev = v;
+    }
+    const ArFit fit = fitAr(x, 1);
+    EXPECT_NEAR(fit.coefficients[0], 0.8, 0.03);
+    EXPECT_NEAR(fit.noiseVariance, 1.0, 0.1);
+}
+
+TEST(ArModel, RecoversAr2Coefficients)
+{
+    Rng rng(2);
+    std::vector<double> x(40000);
+    double p1 = 0.0, p2 = 0.0;
+    for (auto &v : x) {
+        v = 0.5 * p1 - 0.3 * p2 + rng.normal();
+        p2 = p1;
+        p1 = v;
+    }
+    const ArFit fit = fitAr(x, 2);
+    EXPECT_NEAR(fit.coefficients[0], 0.5, 0.05);
+    EXPECT_NEAR(fit.coefficients[1], -0.3, 0.05);
+}
+
+TEST(ArModel, ZeroSignalDegenerates)
+{
+    const std::vector<double> x(100, 0.0);
+    const ArFit fit = fitAr(x, 3);
+    for (double c : fit.coefficients)
+        EXPECT_DOUBLE_EQ(c, 0.0);
+}
+
+TEST(ArModel, TooFewSamplesFatal)
+{
+    EXPECT_THROW(fitAr({1.0, 2.0}, 5), FatalError);
+}
+
+TEST(ArModel, DistanceProperties)
+{
+    const std::vector<double> a{1.0, 2.0};
+    const std::vector<double> b{4.0, 6.0};
+    EXPECT_DOUBLE_EQ(arDistance(a, a), 0.0);
+    EXPECT_DOUBLE_EQ(arDistance(a, b), 5.0);
+    EXPECT_DOUBLE_EQ(arDistance(a, b), arDistance(b, a));
+}
+
+TEST(ArModel, DamageIndicatorNearZeroForSameProcess)
+{
+    Rng rng(3);
+    const auto healthy = bridgeVibration(rng, 4096, 100.0, 1.2, 0.1);
+    const auto current = bridgeVibration(rng, 4096, 100.0, 1.2, 0.1);
+    EXPECT_LT(damageIndicator(healthy, current, 6), 0.35);
+}
+
+TEST(ArModel, DamageIndicatorRisesWhenFrequencyShifts)
+{
+    Rng rng(4);
+    const auto healthy = bridgeVibration(rng, 4096, 100.0, 1.2, 0.05);
+    const auto damaged = bridgeVibration(rng, 4096, 100.0, 0.7, 0.05);
+    const double same = damageIndicator(
+        healthy, bridgeVibration(rng, 4096, 100.0, 1.2, 0.05), 6);
+    const double diff = damageIndicator(healthy, damaged, 6);
+    EXPECT_GT(diff, same * 2.0);
+}
+
+TEST(ArModel, PredictTracksSignal)
+{
+    Rng rng(5);
+    std::vector<double> x(5000);
+    double prev = 0.0;
+    for (auto &v : x) {
+        v = 0.9 * prev + 0.1 * rng.normal();
+        prev = v;
+    }
+    const ArFit fit = fitAr(x, 1);
+    const auto pred = arPredict(x, fit);
+    double err = 0.0, pow = 0.0;
+    for (std::size_t i = 1; i < x.size(); ++i) {
+        err += (pred[i] - x[i]) * (pred[i] - x[i]);
+        pow += x[i] * x[i];
+    }
+    EXPECT_LT(err, pow * 0.2); // predictions much better than zero-model
+}
+
+// ---------------------------------------------------------------------
+// Pattern matching
+// ---------------------------------------------------------------------
+
+TEST(PatternMatch, SelfMatchScoresOne)
+{
+    const auto tmpl = ecgBeatTemplate(64);
+    const auto scores = normalizedCrossCorrelation(tmpl, tmpl);
+    ASSERT_EQ(scores.size(), 1u);
+    EXPECT_NEAR(scores[0], 1.0, 1e-9);
+}
+
+TEST(PatternMatch, FindsEmbeddedTemplate)
+{
+    Rng rng(6);
+    std::vector<double> signal(500);
+    for (auto &v : signal)
+        v = 0.05 * rng.normal();
+    const auto tmpl = ecgBeatTemplate(50);
+    for (std::size_t i = 0; i < 50; ++i)
+        signal[200 + i] += tmpl[i];
+    const auto matches = findMatches(signal, tmpl, 0.8);
+    ASSERT_EQ(matches.size(), 1u);
+    EXPECT_NEAR(static_cast<double>(matches[0].position), 200.0, 2.0);
+}
+
+TEST(PatternMatch, CountsBeatsAtExpectedRate)
+{
+    Rng rng(7);
+    const double rate = 250.0;
+    const double bpm = 75.0;
+    const auto ecg = ecgSignal(rng, 5000, rate, bpm, 0.02);
+    // A 3/4-beat template tolerates the generator's beat-to-beat
+    // jitter (a full-beat template rejects neighbours as overlaps).
+    const auto beat_len =
+        static_cast<std::size_t>(60.0 / bpm * rate);
+    const auto tmpl = ecgBeatTemplate(beat_len * 3 / 4);
+    const auto matches = findMatches(ecg, tmpl, 0.45);
+    // 5000 samples at 250 Hz = 20 s -> ~25 beats.
+    EXPECT_GE(matches.size(), 19u);
+    EXPECT_LE(matches.size(), 32u);
+    // Rate from match count over the capture window.
+    const double est_bpm = 60.0 * static_cast<double>(matches.size()) /
+                           (5000.0 / rate);
+    EXPECT_NEAR(est_bpm, bpm, 0.25 * bpm);
+}
+
+TEST(PatternMatch, NoOverlapInvariant)
+{
+    Rng rng(8);
+    const auto ecg = ecgSignal(rng, 4000, 250.0, 70.0, 0.02);
+    const auto tmpl = ecgBeatTemplate(200);
+    const auto matches = findMatches(ecg, tmpl, 0.4);
+    for (std::size_t i = 1; i < matches.size(); ++i) {
+        EXPECT_GE(matches[i].position,
+                  matches[i - 1].position + tmpl.size());
+    }
+}
+
+TEST(PatternMatch, TemplateLongerThanSignal)
+{
+    const std::vector<double> sig(10, 1.0);
+    const std::vector<double> tmpl(20, 1.0);
+    EXPECT_TRUE(normalizedCrossCorrelation(sig, tmpl).empty());
+    EXPECT_TRUE(findMatches(sig, tmpl, 0.5).empty());
+    EXPECT_DOUBLE_EQ(meanMatchInterval({}), 0.0);
+}
+
+// ---------------------------------------------------------------------
+// Signal generators
+// ---------------------------------------------------------------------
+
+TEST(SignalGen, VibrationHasRequestedLengthAndPower)
+{
+    Rng rng(9);
+    const auto sig = bridgeVibration(rng, 1000, 100.0, 1.0, 0.0);
+    EXPECT_EQ(sig.size(), 1000u);
+    // Sum of three sinusoids: RMS = sqrt((1 + .45^2 + .2^2)/2) ~ 0.79.
+    double sum2 = 0.0;
+    for (double v : sig)
+        sum2 += v * v;
+    EXPECT_NEAR(std::sqrt(sum2 / 1000.0), 0.79, 0.08);
+}
+
+TEST(SignalGen, ThreeAxisProjectionRecoversMotion)
+{
+    Rng rng(10);
+    const std::array<double, 3> dir{0.0, 0.0, 1.0};
+    auto axes = threeAxisVibration(rng, 512, 100.0, 1.5, dir, 0.0);
+    // All motion is on z; x and y are silent without noise.
+    double x2 = 0.0, z2 = 0.0;
+    for (std::size_t i = 0; i < 512; ++i) {
+        x2 += axes[0][i] * axes[0][i];
+        z2 += axes[2][i] * axes[2][i];
+    }
+    EXPECT_LT(x2, 1e-12);
+    EXPECT_GT(z2, 100.0);
+}
+
+TEST(SignalGen, EcgIsPositivePeaked)
+{
+    Rng rng(11);
+    const auto ecg = ecgSignal(rng, 2000, 250.0, 65.0, 0.0);
+    const double peak = *std::max_element(ecg.begin(), ecg.end());
+    EXPECT_NEAR(peak, 1.0, 0.2); // R-wave amplitude ~1
+}
+
+TEST(SignalGen, UvBoundedAndNonNegative)
+{
+    Rng rng(12);
+    const auto uv = uvSignal(rng, 500, 8.0);
+    for (double v : uv) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 8.5);
+    }
+}
+
+TEST(SignalGen, ImageRowInByteRange)
+{
+    Rng rng(13);
+    const auto row = imageRow(rng, 640);
+    for (double v : row) {
+        EXPECT_GE(v, 0.0);
+        EXPECT_LE(v, 255.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Volumetric reconstruction
+// ---------------------------------------------------------------------
+
+TEST(Volumetric, ConstantFieldReproduced)
+{
+    std::vector<PointSample> samples;
+    Rng rng(14);
+    for (int i = 0; i < 20; ++i)
+        samples.push_back(
+            {rng.uniform(), rng.uniform(), rng.uniform(), 7.0});
+    const auto grid = reconstructVolume(samples, 4, 4, 4);
+    for (double v : grid.values)
+        EXPECT_NEAR(v, 7.0, 1e-9);
+}
+
+TEST(Volumetric, NearestSampleDominates)
+{
+    std::vector<PointSample> samples = {
+        {0.1, 0.1, 0.5, 100.0},
+        {0.9, 0.9, 0.5, 0.0},
+    };
+    const auto grid = reconstructVolume(samples, 8, 8, 1);
+    EXPECT_GT(grid.at(0, 0, 0), 90.0);
+    EXPECT_LT(grid.at(7, 7, 0), 10.0);
+}
+
+TEST(Volumetric, EmptySamplesGiveZeroGrid)
+{
+    const auto grid = reconstructVolume({}, 2, 2, 2);
+    for (double v : grid.values)
+        EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Volumetric, HotspotRecovered)
+{
+    Rng rng(15);
+    std::vector<PointSample> samples;
+    auto field = [](double x, double y, double) {
+        const double dx = x - 0.7, dy = y - 0.3;
+        return 20.0 + 45.0 * std::exp(-8.0 * (dx * dx + dy * dy));
+    };
+    for (int i = 0; i < 200; ++i) {
+        PointSample s{rng.uniform(), rng.uniform(), rng.uniform(), 0.0};
+        s.value = field(s.x, s.y, s.z);
+        samples.push_back(s);
+    }
+    const auto grid = reconstructVolume(samples, 10, 10, 2);
+    // Peak cell should be near (0.7, 0.3).
+    std::size_t best_x = 0, best_y = 0;
+    double best = -1e18;
+    for (std::size_t ix = 0; ix < 10; ++ix) {
+        for (std::size_t iy = 0; iy < 10; ++iy) {
+            if (grid.at(ix, iy, 0) > best) {
+                best = grid.at(ix, iy, 0);
+                best_x = ix;
+                best_y = iy;
+            }
+        }
+    }
+    EXPECT_NEAR(static_cast<double>(best_x), 6.5, 1.6);
+    EXPECT_NEAR(static_cast<double>(best_y), 2.5, 1.6);
+}
+
+// ---------------------------------------------------------------------
+// Bridge strength model
+// ---------------------------------------------------------------------
+
+TEST(BridgeModel, TautStringFormula)
+{
+    CableSpec spec;
+    spec.lengthM = 100.0;
+    spec.massPerMeterKg = 60.0;
+    // T = 4 m L^2 f^2 for the fundamental.
+    EXPECT_NEAR(tensionFromHarmonic(1.3, 1, spec),
+                4.0 * 60.0 * 100.0 * 100.0 * 1.3 * 1.3, 1e-6);
+    // n-th harmonic maps back to the same tension.
+    EXPECT_NEAR(tensionFromHarmonic(2.6, 2, spec),
+                tensionFromHarmonic(1.3, 1, spec), 1e-6);
+}
+
+TEST(BridgeModel, PipelineRecoversFundamental)
+{
+    Rng rng(16);
+    const std::array<double, 3> dir{0.1, 0.05, 0.99};
+    const double f0 = 1.2;
+    auto axes = threeAxisVibration(rng, 4096, 100.0, f0, dir, 0.1);
+    CableSpec spec;
+    const auto est = estimateStrength(axes[0], axes[1], axes[2], dir,
+                                      100.0, spec, 20.0);
+    EXPECT_NEAR(est.fundamentalHz, f0, 0.1);
+    EXPECT_GT(est.tensionN, 0.0);
+}
+
+TEST(BridgeModel, StrengthRatioTracksTension)
+{
+    Rng rng(17);
+    const std::array<double, 3> dir{0.0, 0.0, 1.0};
+    CableSpec spec;
+    spec.nominalTensionN =
+        tensionFromHarmonic(1.2, 1, spec); // healthy at 1.2 Hz
+    auto healthy = threeAxisVibration(rng, 4096, 100.0, 1.2, dir, 0.05);
+    auto slack = threeAxisVibration(rng, 4096, 100.0, 0.9, dir, 0.05);
+    const auto est_h = estimateStrength(healthy[0], healthy[1],
+                                        healthy[2], dir, 100.0, spec);
+    const auto est_s = estimateStrength(slack[0], slack[1], slack[2],
+                                        dir, 100.0, spec);
+    EXPECT_NEAR(est_h.strengthRatio, 1.0, 0.25);
+    EXPECT_LT(est_s.strengthRatio, est_h.strengthRatio);
+}
+
+TEST(BridgeModel, TemperatureCompensationDirection)
+{
+    Rng rng(18);
+    const std::array<double, 3> dir{0.0, 0.0, 1.0};
+    auto axes = threeAxisVibration(rng, 2048, 100.0, 1.2, dir, 0.05);
+    CableSpec spec;
+    const auto cold = estimateStrength(axes[0], axes[1], axes[2], dir,
+                                       100.0, spec, 0.0);
+    const auto hot = estimateStrength(axes[0], axes[1], axes[2], dir,
+                                      100.0, spec, 40.0);
+    EXPECT_GT(hot.tensionN, cold.tensionN);
+}
+
+TEST(OpCounts, AllPositiveAndMonotonic)
+{
+    EXPECT_GT(arFitOpCount(1000, 6), arFitOpCount(100, 6));
+    EXPECT_GT(matchOpCount(1000, 50), matchOpCount(100, 50));
+    EXPECT_GT(strengthOpCount(4096), strengthOpCount(256));
+    EXPECT_GT(volumetricOpCount(512, 100), volumetricOpCount(64, 100));
+    EXPECT_GT(compressOpCount(1000), 0u);
+}
+
+} // namespace
+} // namespace neofog::kernels

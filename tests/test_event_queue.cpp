@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Tests for the discrete-event queue and simulator context.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/simulator.hh"
+
+namespace neofog {
+namespace {
+
+TEST(EventQueue, StartsEmptyAtTimeZero)
+{
+    EventQueue q;
+    EXPECT_EQ(q.now(), 0);
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.nextEventTick(), kTickNever);
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ExecutesInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30);
+}
+
+TEST(EventQueue, SameTickUsesPriority)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(2); }, 1);
+    q.schedule(5, [&] { order.push_back(1); }, 0);
+    q.schedule(5, [&] { order.push_back(3); }, 2);
+    q.runAll();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SameTickSamePriorityIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        q.schedule(7, [&order, i] { order.push_back(i); });
+    q.runAll();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, ScheduleInIsRelative)
+{
+    EventQueue q;
+    Tick seen = -1;
+    q.schedule(100, [&] {});
+    q.runAll();
+    q.scheduleIn(50, [&] { seen = q.now(); });
+    q.runAll();
+    EXPECT_EQ(seen, 150);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool ran = false;
+    const EventId id = q.schedule(10, [&] { ran = true; });
+    q.cancel(id);
+    q.runAll();
+    EXPECT_FALSE(ran);
+    EXPECT_EQ(q.liveCount(), 0u);
+}
+
+TEST(EventQueue, CancelIsIdempotentAndSafeAfterFire)
+{
+    EventQueue q;
+    const EventId id = q.schedule(10, [] {});
+    q.runAll();
+    q.cancel(id);      // already fired
+    q.cancel(kNoEvent); // no-op
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, RunUntilStopsAtLimit)
+{
+    EventQueue q;
+    std::vector<Tick> fired;
+    for (Tick t = 10; t <= 100; t += 10)
+        q.schedule(t, [&fired, &q] { fired.push_back(q.now()); });
+    const auto ran = q.runUntil(50);
+    EXPECT_EQ(ran, 5u);
+    EXPECT_EQ(q.now(), 50);
+    EXPECT_EQ(q.liveCount(), 5u);
+    q.runAll();
+    EXPECT_EQ(fired.size(), 10u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeWithoutEvents)
+{
+    EventQueue q;
+    q.runUntil(1234);
+    EXPECT_EQ(q.now(), 1234);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 5)
+            q.scheduleIn(10, chain);
+    };
+    q.schedule(0, chain);
+    q.runAll();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(q.now(), 40);
+}
+
+TEST(EventQueue, ExecutedCountAccumulates)
+{
+    EventQueue q;
+    for (int i = 0; i < 7; ++i)
+        q.schedule(i, [] {});
+    q.runAll();
+    EXPECT_EQ(q.executedCount(), 7u);
+}
+
+TEST(EventQueue, NextEventTickSkipsCancelled)
+{
+    EventQueue q;
+    const EventId a = q.schedule(5, [] {});
+    q.schedule(9, [] {});
+    q.cancel(a);
+    EXPECT_EQ(q.nextEventTick(), 9);
+}
+
+TEST(Simulator, ForkedRngsDeterministic)
+{
+    Simulator s1(77), s2(77);
+    Rng a = s1.forkRng();
+    Rng b = s2.forkRng();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Simulator, ScheduleAndRun)
+{
+    Simulator sim(1);
+    int count = 0;
+    sim.schedule(10, [&] { ++count; });
+    sim.scheduleIn(20, [&] { ++count; });
+    sim.runUntil(15);
+    EXPECT_EQ(count, 1);
+    sim.runAll();
+    EXPECT_EQ(count, 2);
+    EXPECT_EQ(sim.now(), 20);
+}
+
+TEST(Simulator, CancelThroughContext)
+{
+    Simulator sim(1);
+    bool ran = false;
+    const EventId id = sim.schedule(5, [&] { ran = true; });
+    sim.cancel(id);
+    sim.runAll();
+    EXPECT_FALSE(ran);
+}
+
+} // namespace
+} // namespace neofog

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the FFT kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/fft.hh"
+#include "kernels/signal_gen.hh"
+#include "sim/rng.hh"
+
+namespace neofog::kernels {
+namespace {
+
+TEST(Fft, PowerOfTwoHelpers)
+{
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(1024));
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_FALSE(isPowerOfTwo(6));
+    EXPECT_EQ(nextPowerOfTwo(0), 1u);
+    EXPECT_EQ(nextPowerOfTwo(1), 1u);
+    EXPECT_EQ(nextPowerOfTwo(5), 8u);
+    EXPECT_EQ(nextPowerOfTwo(1024), 1024u);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum)
+{
+    std::vector<std::complex<double>> data(8, {0.0, 0.0});
+    data[0] = {1.0, 0.0};
+    fft(data);
+    for (const auto &x : data)
+        EXPECT_NEAR(std::abs(x), 1.0, 1e-12);
+}
+
+TEST(Fft, DcGivesSingleBin)
+{
+    std::vector<std::complex<double>> data(16, {1.0, 0.0});
+    fft(data);
+    EXPECT_NEAR(std::abs(data[0]), 16.0, 1e-12);
+    for (std::size_t i = 1; i < 16; ++i)
+        EXPECT_NEAR(std::abs(data[i]), 0.0, 1e-12);
+}
+
+TEST(Fft, InverseRoundTrip)
+{
+    Rng rng(3);
+    std::vector<std::complex<double>> data(64);
+    std::vector<std::complex<double>> orig(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+        data[i] = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+        orig[i] = data[i];
+    }
+    fft(data);
+    fft(data, /*inverse=*/true);
+    for (std::size_t i = 0; i < 64; ++i) {
+        EXPECT_NEAR(data[i].real(), orig[i].real(), 1e-10);
+        EXPECT_NEAR(data[i].imag(), orig[i].imag(), 1e-10);
+    }
+}
+
+TEST(Fft, ParsevalHolds)
+{
+    Rng rng(5);
+    std::vector<std::complex<double>> data(128);
+    double time_energy = 0.0;
+    for (auto &x : data) {
+        x = {rng.uniform(-1, 1), 0.0};
+        time_energy += std::norm(x);
+    }
+    fft(data);
+    double freq_energy = 0.0;
+    for (const auto &x : data)
+        freq_energy += std::norm(x);
+    EXPECT_NEAR(freq_energy / 128.0, time_energy, 1e-9);
+}
+
+TEST(Fft, SinusoidPeaksAtItsBin)
+{
+    const std::size_t n = 256;
+    std::vector<double> sig(n);
+    const double freq_bin = 17.0;
+    for (std::size_t i = 0; i < n; ++i)
+        sig[i] = std::sin(2.0 * M_PI * freq_bin *
+                          static_cast<double>(i) / n);
+    const auto mags = magnitudeSpectrum(sig);
+    std::size_t peak = 0;
+    for (std::size_t i = 1; i < mags.size(); ++i) {
+        if (mags[i] > mags[peak])
+            peak = i;
+    }
+    EXPECT_EQ(peak, 17u);
+}
+
+TEST(Fft, DominantFrequenciesFindsFundamental)
+{
+    Rng rng(7);
+    const double rate = 100.0;
+    const double f0 = 1.25;
+    const auto sig = bridgeVibration(rng, 4096, rate, f0, 0.05);
+    const auto freqs = dominantFrequencies(sig, rate, 3);
+    ASSERT_FALSE(freqs.empty());
+    // The strongest component is the fundamental.
+    EXPECT_NEAR(freqs[0], f0, rate / 4096.0 * 2.0);
+}
+
+TEST(Fft, DominantFrequenciesFindsHarmonics)
+{
+    Rng rng(9);
+    const double rate = 100.0;
+    const double f0 = 1.5;
+    const auto sig = bridgeVibration(rng, 8192, rate, f0, 0.01);
+    const auto freqs = dominantFrequencies(sig, rate, 3);
+    ASSERT_GE(freqs.size(), 2u);
+    // Some returned peak sits near the 2nd harmonic.
+    bool found2 = false;
+    for (double f : freqs)
+        found2 |= std::abs(f - 2.0 * f0) < 0.1;
+    EXPECT_TRUE(found2);
+}
+
+TEST(Fft, RealFftPadsToPowerOfTwo)
+{
+    std::vector<double> sig(100, 1.0);
+    const auto spec = realFft(sig);
+    EXPECT_EQ(spec.size(), 128u);
+}
+
+TEST(Fft, OpCountGrowsNLogN)
+{
+    EXPECT_EQ(fftOpCount(1), 1u);
+    EXPECT_EQ(fftOpCount(8), 5u * 8u * 3u);
+    EXPECT_GT(fftOpCount(2048), 10u * fftOpCount(128));
+}
+
+TEST(Fft, EmptySignal)
+{
+    const auto mags = magnitudeSpectrum({});
+    EXPECT_EQ(mags.size(), 1u); // DC bin of the size-1 pad
+    EXPECT_TRUE(dominantFrequencies({}, 100.0, 3).empty());
+}
+
+} // namespace
+} // namespace neofog::kernels

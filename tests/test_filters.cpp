@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Tests for the noise-removal and preprocessing filters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kernels/filters.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+
+namespace neofog::kernels {
+namespace {
+
+TEST(MovingAverage, ConstantIsFixedPoint)
+{
+    const std::vector<double> x(50, 3.0);
+    const auto y = movingAverage(x, 4);
+    for (double v : y)
+        EXPECT_NEAR(v, 3.0, 1e-12);
+}
+
+TEST(MovingAverage, ZeroWindowIsIdentity)
+{
+    const std::vector<double> x{1.0, 5.0, -2.0};
+    EXPECT_EQ(movingAverage(x, 0), x);
+}
+
+TEST(MovingAverage, ReducesNoiseVariance)
+{
+    Rng rng(1);
+    std::vector<double> x(2000);
+    for (auto &v : x)
+        v = rng.normal();
+    const auto y = movingAverage(x, 4);
+    EXPECT_LT(rms(y), rms(x) * 0.5);
+}
+
+TEST(MovingAverage, InteriorMatchesNaive)
+{
+    const std::vector<double> x{1, 2, 3, 4, 5, 6, 7};
+    const auto y = movingAverage(x, 1);
+    EXPECT_NEAR(y[3], (3.0 + 4.0 + 5.0) / 3.0, 1e-12);
+    // Edges use available samples.
+    EXPECT_NEAR(y[0], (1.0 + 2.0) / 2.0, 1e-12);
+}
+
+TEST(MedianFilter, RemovesImpulse)
+{
+    std::vector<double> x(21, 1.0);
+    x[10] = 100.0; // glitch
+    const auto y = medianFilter(x, 2);
+    EXPECT_NEAR(y[10], 1.0, 1e-12);
+}
+
+TEST(MedianFilter, PreservesStep)
+{
+    std::vector<double> x(20, 0.0);
+    for (std::size_t i = 10; i < 20; ++i)
+        x[i] = 1.0;
+    const auto y = medianFilter(x, 2);
+    EXPECT_NEAR(y[5], 0.0, 1e-12);
+    EXPECT_NEAR(y[15], 1.0, 1e-12);
+}
+
+TEST(RemoveMean, ZeroMeanResult)
+{
+    const std::vector<double> x{1.0, 2.0, 3.0, 10.0};
+    const auto y = removeMean(x);
+    double sum = 0.0;
+    for (double v : y)
+        sum += v;
+    EXPECT_NEAR(sum, 0.0, 1e-12);
+}
+
+TEST(Detrend, RemovesLine)
+{
+    std::vector<double> x(100);
+    for (std::size_t i = 0; i < 100; ++i)
+        x[i] = 5.0 + 0.25 * static_cast<double>(i);
+    const auto y = detrend(x);
+    EXPECT_LT(rms(y), 1e-9);
+}
+
+TEST(Detrend, PreservesSinusoidShape)
+{
+    std::vector<double> x(256);
+    for (std::size_t i = 0; i < 256; ++i)
+        x[i] = std::sin(2.0 * M_PI * static_cast<double>(i) / 32.0) +
+               0.1 * static_cast<double>(i);
+    const auto y = detrend(x);
+    // Trend is gone but the oscillation's RMS (~0.707) remains.
+    EXPECT_NEAR(rms(y), std::sqrt(0.5), 0.05);
+}
+
+TEST(LowPassIir, AlphaOneIsIdentity)
+{
+    const std::vector<double> x{3.0, -1.0, 2.0};
+    EXPECT_EQ(lowPassIir(x, 1.0), x);
+}
+
+TEST(LowPassIir, SmoothsTowardMean)
+{
+    Rng rng(2);
+    std::vector<double> x(1000);
+    for (auto &v : x)
+        v = rng.normal();
+    const auto y = lowPassIir(x, 0.1);
+    EXPECT_LT(rms(y), rms(x));
+}
+
+TEST(LowPassIir, RejectsBadAlpha)
+{
+    EXPECT_THROW(lowPassIir({1.0}, 0.0), FatalError);
+}
+
+TEST(ProjectAxes, UnitAxisSelectsComponent)
+{
+    const std::vector<double> ax{1.0, 2.0};
+    const std::vector<double> ay{10.0, 20.0};
+    const std::vector<double> az{100.0, 200.0};
+    const auto y = projectAxes(ax, ay, az, {0.0, 1.0, 0.0});
+    EXPECT_NEAR(y[0], 10.0, 1e-12);
+    EXPECT_NEAR(y[1], 20.0, 1e-12);
+}
+
+TEST(ProjectAxes, NormalizesDirection)
+{
+    const std::vector<double> ax{3.0};
+    const std::vector<double> ay{0.0};
+    const std::vector<double> az{4.0};
+    // direction (3,0,4)/5: projection = (9 + 16)/5 = 5.
+    const auto y = projectAxes(ax, ay, az, {3.0, 0.0, 4.0});
+    EXPECT_NEAR(y[0], 5.0, 1e-12);
+}
+
+TEST(Compensate, LinearCorrection)
+{
+    const std::vector<double> x{10.0, 10.0};
+    const std::vector<double> ref{25.0, 15.0};
+    const auto y = compensate(x, ref, 0.5, 20.0);
+    EXPECT_NEAR(y[0], 10.0 - 0.5 * 5.0, 1e-12);
+    EXPECT_NEAR(y[1], 10.0 + 0.5 * 5.0, 1e-12);
+}
+
+TEST(Rms, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(rms({}), 0.0);
+    EXPECT_DOUBLE_EQ(rms({3.0, 4.0, 0.0, 0.0}), 2.5);
+}
+
+TEST(SnrDb, PerfectIsHuge)
+{
+    const std::vector<double> sig{1.0, 2.0, 3.0};
+    EXPECT_GE(snrDb(sig, sig), 200.0);
+}
+
+TEST(SnrDb, KnownRatio)
+{
+    // Signal power 1, noise power 0.01 -> 20 dB.
+    std::vector<double> clean(1000), noisy(1000);
+    Rng rng(3);
+    for (std::size_t i = 0; i < clean.size(); ++i) {
+        clean[i] = std::sqrt(2.0) *
+                   std::sin(2.0 * M_PI * static_cast<double>(i) / 50.0);
+        noisy[i] = clean[i] + 0.1 * rng.normal();
+    }
+    EXPECT_NEAR(snrDb(clean, noisy), 20.0, 1.0);
+}
+
+} // namespace
+} // namespace neofog::kernels

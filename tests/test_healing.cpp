@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for chain self-healing (orphan scan / rejoin) and NVD4Q
+ * membership updates at the system level.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fog/fog_system.hh"
+#include "fog/presets.hh"
+
+namespace neofog {
+namespace {
+
+ScenarioConfig
+rainScenario()
+{
+    ScenarioConfig cfg = presets::fig13(presets::fiosNeofog(), 1);
+    cfg.horizon = 2 * kHour;
+    cfg.seed = 13;
+    return cfg;
+}
+
+TEST(Healing, OrphanScansOccurWhenNodesDie)
+{
+    // Rain starves nodes, so liveness flaps: the chain must heal.
+    FogSystem sys(rainScenario());
+    const SystemReport r = sys.run();
+    EXPECT_GT(r.depletionFailures, 0u);
+    EXPECT_GT(r.orphanScans, 0u);
+    EXPECT_GT(r.rejoins, 0u);
+    // Every scan implies a death transition, every rejoin a recovery;
+    // transitions alternate per node, so the counts are within each
+    // other's ballpark.
+    EXPECT_LT(r.orphanScans, r.rejoins + 20u);
+}
+
+TEST(Healing, StablePowerNeedsNoHealing)
+{
+    ScenarioConfig cfg = rainScenario();
+    cfg.traceKind = TraceKind::Constant;
+    cfg.meanIncome = Power::fromMilliwatts(8.0);
+    FogSystem sys(cfg);
+    const SystemReport r = sys.run();
+    EXPECT_EQ(r.orphanScans, 0u);
+    EXPECT_EQ(r.rejoins, 0u);
+}
+
+TEST(Membership, NoUpdatesByDefault)
+{
+    ScenarioConfig cfg = presets::fig13(presets::fiosNeofog(), 3);
+    cfg.horizon = kHour;
+    FogSystem sys(cfg);
+    EXPECT_EQ(sys.run().membershipUpdates, 0u);
+}
+
+TEST(Membership, RotatesAtConfiguredInterval)
+{
+    ScenarioConfig cfg = presets::fig13(presets::fiosNeofog(), 3);
+    cfg.horizon = kHour;                        // 300 slots
+    cfg.membershipUpdateInterval = 10 * kMin;   // every 50 slots
+    FogSystem sys(cfg);
+    const SystemReport r = sys.run();
+    // floor(299/50) = 5 rotation points x 10 groups.
+    EXPECT_EQ(r.membershipUpdates, 5u * 10u);
+}
+
+TEST(Membership, UnmultiplexedGroupsNeverRotate)
+{
+    ScenarioConfig cfg = presets::fig13(presets::fiosNeofog(), 1);
+    cfg.horizon = kHour;
+    cfg.membershipUpdateInterval = 10 * kMin;
+    FogSystem sys(cfg);
+    EXPECT_EQ(sys.run().membershipUpdates, 0u);
+}
+
+TEST(Membership, RotationPreservesThroughputRoughly)
+{
+    // Rotations redistribute wear but should not collapse yield.
+    auto mk = [](Tick interval) {
+        ScenarioConfig cfg = presets::fig13(presets::fiosNeofog(), 3);
+        cfg.horizon = 2 * kHour;
+        cfg.membershipUpdateInterval = interval;
+        return cfg;
+    };
+    const auto without = FogSystem(mk(0)).run();
+    const auto with = FogSystem(mk(20 * kMin)).run();
+    EXPECT_GT(static_cast<double>(with.totalProcessed()),
+              0.7 * static_cast<double>(without.totalProcessed()));
+}
+
+} // namespace
+} // namespace neofog

@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for sensors, the NV buffer, and the RTC.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/nv_buffer.hh"
+#include "hw/rtc.hh"
+#include "hw/sensor.hh"
+#include "sim/logging.hh"
+
+namespace neofog {
+namespace {
+
+using namespace neofog::literals;
+
+TEST(Sensor, Tmp101MatchesPaper)
+{
+    const SensorSpec s = sensors::tmp101();
+    EXPECT_EQ(s.initLatency, ticksFromMs(566.0));
+    EXPECT_EQ(s.sampleLatency, ticksFromMs(0.283));
+    EXPECT_EQ(s.bytesPerSample, 2u);
+}
+
+TEST(Sensor, CatalogIsDistinct)
+{
+    EXPECT_NE(sensors::lis331dlh().partName, sensors::tmp101().partName);
+    EXPECT_GT(sensors::lupa1399().bytesPerSample,
+              sensors::uvMeter().bytesPerSample);
+}
+
+TEST(Sensor, InitThenSample)
+{
+    Sensor sensor(sensors::tmp101());
+    EXPECT_FALSE(sensor.initialized());
+    const auto init = sensor.initialize();
+    EXPECT_TRUE(sensor.initialized());
+    EXPECT_EQ(init.duration, ticksFromMs(566.0));
+    // Second init is free.
+    const auto again = sensor.initialize();
+    EXPECT_EQ(again.duration, 0);
+    EXPECT_DOUBLE_EQ(again.energy.joules(), 0.0);
+}
+
+TEST(Sensor, SampleCostScalesWithCount)
+{
+    Sensor sensor(sensors::tmp101());
+    sensor.initialize();
+    const auto one = sensor.sample(1);
+    const auto ten = sensor.sample(10);
+    EXPECT_NEAR(static_cast<double>(ten.duration),
+                10.0 * static_cast<double>(one.duration), 1.0);
+    EXPECT_NEAR(ten.energy.joules(), 10.0 * one.energy.joules(), 1e-15);
+    EXPECT_EQ(sensor.sampleBytes(10), 20u);
+}
+
+TEST(Sensor, PowerFailureDropsInit)
+{
+    Sensor sensor(sensors::uvMeter());
+    sensor.initialize();
+    sensor.onPowerFailure();
+    EXPECT_FALSE(sensor.initialized());
+}
+
+TEST(NvBuffer, PushPopAccounting)
+{
+    NvBuffer buf({1024, 1.0, Energy::fromNanojoules(1.0),
+                  Energy::fromNanojoules(0.5)});
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(buf.push(600), 600u);
+    EXPECT_EQ(buf.size(), 600u);
+    EXPECT_EQ(buf.push(600), 424u); // 176 dropped
+    EXPECT_TRUE(buf.full());
+    EXPECT_EQ(buf.droppedTotal(), 176u);
+    EXPECT_EQ(buf.pop(1000), 1000u);
+    EXPECT_EQ(buf.pop(1000), 24u);
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(buf.acceptedTotal(), 1024u);
+}
+
+TEST(NvBuffer, InterruptThreshold)
+{
+    NvBuffer buf({1000, 0.5, Energy::zero(), Energy::zero()});
+    buf.push(499);
+    EXPECT_FALSE(buf.interruptPending());
+    buf.push(1);
+    EXPECT_TRUE(buf.interruptPending());
+}
+
+TEST(NvBuffer, DiscardAllCountsDrops)
+{
+    NvBuffer buf({1000, 1.0, Energy::zero(), Energy::zero()});
+    buf.push(300);
+    buf.discardAll();
+    EXPECT_TRUE(buf.empty());
+    EXPECT_EQ(buf.droppedTotal(), 300u);
+}
+
+TEST(NvBuffer, WriteReadEnergy)
+{
+    NvBuffer buf({64 * 1024, 1.0, Energy::fromNanojoules(1.1),
+                  Energy::fromNanojoules(0.3)});
+    EXPECT_NEAR(buf.writeEnergy(1000).nanojoules(), 1100.0, 1e-9);
+    EXPECT_NEAR(buf.readEnergy(1000).nanojoules(), 300.0, 1e-9);
+}
+
+TEST(NvBuffer, RejectsBadConfig)
+{
+    EXPECT_THROW(NvBuffer({0, 1.0, Energy::zero(), Energy::zero()}),
+                 FatalError);
+    EXPECT_THROW(NvBuffer({10, 0.0, Energy::zero(), Energy::zero()}),
+                 FatalError);
+}
+
+TEST(Rtc, NextWakeAligned)
+{
+    Rtc::Config cfg;
+    cfg.interval = 12 * kSec;
+    Rtc rtc(cfg);
+    EXPECT_EQ(rtc.nextWake(0), 12 * kSec);
+    EXPECT_EQ(rtc.nextWake(1), 12 * kSec);
+    EXPECT_EQ(rtc.nextWake(12 * kSec), 24 * kSec);
+    EXPECT_EQ(rtc.nextWake(12 * kSec - 1), 12 * kSec);
+}
+
+TEST(Rtc, NextWakeWithPhaseAndMultiplier)
+{
+    Rtc::Config cfg;
+    cfg.interval = 10 * kSec;
+    Rtc rtc(cfg);
+    // 3 clones: phases 0, 1, 2, stride 30 s.
+    EXPECT_EQ(rtc.nextWake(0, 1, 3), 10 * kSec);
+    EXPECT_EQ(rtc.nextWake(10 * kSec, 1, 3), 40 * kSec);
+    EXPECT_EQ(rtc.nextWake(0, 2, 3), 20 * kSec);
+    EXPECT_EQ(rtc.nextWake(25 * kSec, 0, 3), 30 * kSec);
+}
+
+TEST(Rtc, StaysSyncedWhilePowered)
+{
+    Rtc rtc(Rtc::Config{});
+    for (int i = 0; i < 100; ++i)
+        rtc.advance(12 * kSec, Energy::fromMicrojoules(50.0));
+    EXPECT_TRUE(rtc.synchronized());
+    EXPECT_EQ(rtc.desyncCount(), 0u);
+}
+
+TEST(Rtc, DesyncsWhenCapEmpties)
+{
+    Rtc::Config cfg;
+    cfg.cap.initial = Energy::fromMicrojoules(50.0);
+    cfg.cap.capacity = Energy::fromMillijoules(1.0);
+    cfg.draw = Power::fromMicrowatts(1.0);
+    Rtc rtc(cfg);
+    // 50 uJ at 1 uW draw + 0.5 uW cap leakage = ~33 s of life.
+    rtc.advance(25 * kSec, Energy::zero());
+    EXPECT_TRUE(rtc.synchronized());
+    rtc.advance(40 * kSec, Energy::zero());
+    EXPECT_FALSE(rtc.synchronized());
+    EXPECT_EQ(rtc.desyncCount(), 1u);
+    rtc.resynchronize();
+    EXPECT_TRUE(rtc.synchronized());
+}
+
+TEST(Rtc, RejectsBadConfig)
+{
+    Rtc::Config cfg;
+    cfg.interval = 0;
+    EXPECT_THROW(Rtc{cfg}, FatalError);
+    Rtc::Config cfg2;
+    cfg2.chargePriority = 2.0;
+    EXPECT_THROW(Rtc{cfg2}, FatalError);
+}
+
+} // namespace
+} // namespace neofog

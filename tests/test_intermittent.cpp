@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the intermittent-execution simulator.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/power_trace.hh"
+#include "node/intermittent.hh"
+#include "sim/logging.hh"
+
+namespace neofog {
+namespace {
+
+using namespace neofog::literals;
+
+TEST(Intermittent, RejectsBadConfig)
+{
+    NvProcessor nvp;
+    ConstantTrace trace(1.0_mW);
+    IntermittentExecution::Config cfg;
+    cfg.onThreshold = 10.0_uJ;
+    cfg.offThreshold = 20.0_uJ;
+    EXPECT_THROW(
+        IntermittentExecution::run(nvp, trace, kSec, cfg), FatalError);
+
+    IntermittentExecution::Config cfg2;
+    cfg2.step = 0;
+    EXPECT_THROW(
+        IntermittentExecution::run(nvp, trace, kSec, cfg2), FatalError);
+}
+
+TEST(Intermittent, NoPowerNoProgress)
+{
+    NvProcessor nvp;
+    ConstantTrace dark(Power::zero());
+    const auto r = IntermittentExecution::run(nvp, dark, 10 * kSec);
+    EXPECT_EQ(r.instructionsCompleted, 0u);
+    EXPECT_EQ(r.powerCycles, 0);
+    EXPECT_DOUBLE_EQ(r.harvested.joules(), 0.0);
+}
+
+TEST(Intermittent, AmplePowerRunsContinuously)
+{
+    NvProcessor nvp;
+    ConstantTrace bright(10.0_mW);
+    const auto r = IntermittentExecution::run(nvp, bright, 10 * kSec);
+    // ~83333 instructions/s at 1 MHz / 12 cpi, minus the charge-up lag.
+    EXPECT_GT(r.instructionsCompleted, 700'000u);
+    EXPECT_LE(r.powerCycles, 1);
+    EXPECT_EQ(r.instructionsWasted, 0u);
+}
+
+TEST(Intermittent, StarvedPowerCyclesRepeatedly)
+{
+    NvProcessor nvp;
+    // Income below the processor draw: classic charge-run-die cycling.
+    ConstantTrace trickle(Power::fromMicrowatts(60.0));
+    const auto r = IntermittentExecution::run(nvp, trickle, 5 * kMin);
+    EXPECT_GT(r.powerCycles, 5);
+    EXPECT_GT(r.instructionsCompleted, 0u);
+}
+
+TEST(Intermittent, NvpNeverWastesInstructions)
+{
+    NvProcessor nvp;
+    ConstantTrace trickle(Power::fromMicrowatts(80.0));
+    const auto r = IntermittentExecution::run(nvp, trickle, 5 * kMin);
+    EXPECT_EQ(r.instructionsWasted, 0u);
+}
+
+TEST(Intermittent, VpWastesUncommittedWork)
+{
+    VolatileProcessor vp;
+    ConstantTrace trickle(Power::fromMicrowatts(80.0));
+    IntermittentExecution::Config cfg;
+    cfg.taskSegmentInstructions = 1'000'000; // huge segments
+    const auto r =
+        IntermittentExecution::run(vp, trickle, 5 * kMin, cfg);
+    // Segments never complete within one on-period: everything wasted.
+    EXPECT_EQ(r.instructionsCompleted, 0u);
+    EXPECT_GT(r.instructionsWasted, 0u);
+}
+
+TEST(Intermittent, SmallerSegmentsWasteLess)
+{
+    VolatileProcessor vp;
+    ConstantTrace trickle(Power::fromMicrowatts(80.0));
+    IntermittentExecution::Config small;
+    small.taskSegmentInstructions = 1'000;
+    IntermittentExecution::Config large;
+    large.taskSegmentInstructions = 200'000;
+    const auto rs =
+        IntermittentExecution::run(vp, trickle, 5 * kMin, small);
+    const auto rl =
+        IntermittentExecution::run(vp, trickle, 5 * kMin, large);
+    EXPECT_GE(rs.instructionsCompleted, rl.instructionsCompleted);
+}
+
+TEST(Intermittent, ProgressRatioInPaperBandUnderHarvesting)
+{
+    Rng rng(17);
+    auto trace = traces::makeForestTrace(rng, 10 * kMin,
+                                         Power::fromMilliwatts(0.1));
+    const double ratio =
+        IntermittentExecution::progressRatio(*trace, 10 * kMin);
+    EXPECT_GE(ratio, 1.8);
+    EXPECT_LE(ratio, 6.0);
+}
+
+TEST(Intermittent, AdvantageShrinksWithAmplePower)
+{
+    Rng rng(17);
+    auto weak = traces::makeForestTrace(rng, 10 * kMin,
+                                        Power::fromMilliwatts(0.1));
+    Rng rng2(17);
+    auto strong = traces::makeForestTrace(rng2, 10 * kMin,
+                                          Power::fromMilliwatts(2.0));
+    const double weak_ratio =
+        IntermittentExecution::progressRatio(*weak, 10 * kMin);
+    const double strong_ratio =
+        IntermittentExecution::progressRatio(*strong, 10 * kMin);
+    EXPECT_GT(weak_ratio, strong_ratio);
+    EXPECT_LT(strong_ratio, 1.8);
+}
+
+TEST(Intermittent, EnergyConservation)
+{
+    NvProcessor nvp;
+    ConstantTrace trace(0.5_mW);
+    const auto r = IntermittentExecution::run(nvp, trace, kMin);
+    // Spend cannot exceed harvest (both measured at their own sides;
+    // conversion losses only shrink the usable amount).
+    EXPECT_LE(r.spent.joules(), r.harvested.joules() + 1e-9);
+    EXPECT_NEAR(r.harvested.millijoules(), 0.5 * 60.0, 0.01);
+}
+
+TEST(Intermittent, ProgressRateHelper)
+{
+    IntermittentExecution::Result r;
+    r.instructionsCompleted = 50'000;
+    EXPECT_DOUBLE_EQ(r.progressRate(10 * kSec), 5'000.0);
+}
+
+} // namespace
+} // namespace neofog

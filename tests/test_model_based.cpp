@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Model-based stress tests: the event queue against a naive reference
+ * implementation under random operation sequences, and the node state
+ * machine under randomized slot drives.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "energy/power_trace.hh"
+#include "node/node.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+
+namespace neofog {
+namespace {
+
+/**
+ * Reference model: a sorted multimap of (when, priority, seq) -> id,
+ * with eager deletion on cancel.
+ */
+class ReferenceQueue
+{
+  public:
+    std::uint64_t
+    schedule(Tick when, int priority)
+    {
+        const std::uint64_t id = _next_id++;
+        _entries.push_back({when, priority, _next_seq++, id});
+        return id;
+    }
+
+    void
+    cancel(std::uint64_t id)
+    {
+        _entries.erase(
+            std::remove_if(_entries.begin(), _entries.end(),
+                           [&](const Entry &e) { return e.id == id; }),
+            _entries.end());
+    }
+
+    /** Pop the earliest (time, priority, fifo) entry, if any. */
+    bool
+    pop(std::uint64_t &id_out)
+    {
+        if (_entries.empty())
+            return false;
+        auto it = std::min_element(
+            _entries.begin(), _entries.end(),
+            [](const Entry &a, const Entry &b) {
+                if (a.when != b.when)
+                    return a.when < b.when;
+                if (a.priority != b.priority)
+                    return a.priority < b.priority;
+                return a.seq < b.seq;
+            });
+        id_out = it->id;
+        _entries.erase(it);
+        return true;
+    }
+
+    std::size_t size() const { return _entries.size(); }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        int priority;
+        std::uint64_t seq;
+        std::uint64_t id;
+    };
+    std::vector<Entry> _entries;
+    std::uint64_t _next_id = 1;
+    std::uint64_t _next_seq = 0;
+};
+
+class EventQueueModelTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(EventQueueModelTest, MatchesReferenceUnderRandomOps)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    EventQueue queue;
+    ReferenceQueue model;
+
+    std::vector<std::uint64_t> fired; // ids in execution order
+    // Maps our queue's EventId to the model's id (they advance in
+    // lockstep since both hand out sequential ids).
+    std::vector<EventId> live_ids;
+
+    Tick max_scheduled = 0;
+    for (int op = 0; op < 2000; ++op) {
+        const double dice = rng.uniform();
+        if (dice < 0.6) {
+            // Schedule at or after "now".
+            const Tick when =
+                queue.now() + rng.uniformInt(0, 10'000);
+            const int priority = static_cast<int>(rng.uniformInt(0, 3));
+            const EventId qid = queue.schedule(
+                when,
+                [&fired, qid_capture = model.schedule(when, priority)] {
+                    fired.push_back(qid_capture);
+                },
+                priority);
+            live_ids.push_back(qid);
+            max_scheduled = std::max(max_scheduled, when);
+        } else if (dice < 0.75 && !live_ids.empty()) {
+            // Cancel a random id (may already have fired; both sides
+            // must treat that as a no-op).
+            const std::size_t pick = static_cast<std::size_t>(
+                rng.uniformInt(0,
+                               static_cast<std::int64_t>(
+                                   live_ids.size() - 1)));
+            // Model ids equal queue ids by construction.
+            model.cancel(live_ids[pick]);
+            queue.cancel(live_ids[pick]);
+        } else {
+            // Step a few events.
+            for (int k = 0; k < 3; ++k) {
+                std::uint64_t expect;
+                const bool model_has = model.pop(expect);
+                const bool queue_has = queue.step();
+                ASSERT_EQ(queue_has, model_has);
+                if (queue_has) {
+                    ASSERT_FALSE(fired.empty());
+                    EXPECT_EQ(fired.back(), expect);
+                }
+            }
+        }
+        ASSERT_EQ(queue.liveCount(), model.size());
+    }
+
+    // Drain both and compare the tail ordering.
+    while (true) {
+        std::uint64_t expect;
+        const bool model_has = model.pop(expect);
+        const bool queue_has = queue.step();
+        ASSERT_EQ(queue_has, model_has);
+        if (!queue_has)
+            break;
+        EXPECT_EQ(fired.back(), expect);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EventQueueModelTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+class NodeFuzzTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NodeFuzzTest, RandomDrivesNeverBreakInvariants)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 5);
+    Node::Config cfg;
+    cfg.mode = static_cast<OperatingMode>(rng.uniformInt(0, 2));
+    cfg.processorMhz = rng.uniform(1.0, 120.0);
+    cfg.rawPackageBytes = static_cast<std::size_t>(
+        rng.uniformInt(16, 1024));
+    cfg.compressedPackageBytes = static_cast<std::size_t>(
+        rng.uniformInt(4, 64));
+    cfg.samplesPerPackage = static_cast<std::size_t>(
+        rng.uniformInt(1, 256));
+    cfg.fogInstructionsPerPackage = static_cast<std::uint64_t>(
+        rng.uniformInt(10'000, 40'000'000));
+    cfg.packageDeadlineSlots = static_cast<int>(rng.uniformInt(1, 4));
+    cfg.enableIncidentalComputing = rng.chance(0.5);
+    cfg.cap.initial = Energy::fromMillijoules(rng.uniform(0.0, 200.0));
+
+    Rng trace_rng = rng.fork();
+    auto trace = traces::makeForestTrace(
+        trace_rng, 2 * kHour,
+        Power::fromMilliwatts(rng.uniform(0.05, 8.0)));
+    Node node(cfg, std::move(trace), rng.fork());
+
+    const Tick slot = 12 * kSec;
+    Tick t = 0;
+    for (int s = 0; s < 200; ++s) {
+        // Random slot gaps (multiplexing-like sleeps).
+        t += slot * rng.uniformInt(1, 3);
+        node.beginSlot(t, slot);
+        EXPECT_GE(node.stored().joules(), -1e-12);
+        EXPECT_LE(node.stored().joules(),
+                  node.capacitor().capacity().joules() + 1e-12);
+
+        if (!node.tryWake())
+            continue;
+        if (rng.chance(0.9))
+            node.samplePackage();
+        if (rng.chance(0.3))
+            node.payControlMessage(8);
+        if (rng.chance(0.5))
+            node.executeTasks(static_cast<int>(rng.uniformInt(1, 3)));
+        if (rng.chance(0.3))
+            node.executeIncidentalTasks(1);
+        if (rng.chance(0.5))
+            node.payTransmit(cfg.compressedPackageBytes);
+        if (rng.chance(0.2))
+            node.payReceive(cfg.rawPackageBytes);
+        if (rng.chance(0.1))
+            node.discardPendingPackages();
+        EXPECT_GE(node.pendingPackages(), 0);
+        EXPECT_GE(node.spareTaskCapacity(), 0.0);
+    }
+
+    // Accounting stayed consistent.
+    const NodeStats &st = node.stats();
+    EXPECT_LE(st.packagesInFog.value() + st.tasksExecuted.value(),
+              st.packagesSampled.value() + st.tasksReceived.value() +
+                  st.tasksExecuted.value());
+    const double spent =
+        st.spentCompute.joules() + st.spentTx.joules() +
+        st.spentRx.joules() + st.spentSample.joules() +
+        st.spentWake.joules();
+    EXPECT_LE(spent, st.harvestedTotal.joules() +
+                         cfg.cap.initial.joules() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NodeFuzzTest,
+                         ::testing::Range(1, 13));
+
+} // namespace
+} // namespace neofog

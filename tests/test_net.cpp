@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the network substrate: loss model, topology/routing, MAC.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/rf.hh"
+#include "net/loss.hh"
+#include "net/mac.hh"
+#include "net/packet.hh"
+#include "net/topology.hh"
+#include "sim/logging.hh"
+
+namespace neofog {
+namespace {
+
+TEST(LossModel, DefaultMatchesPaperRate)
+{
+    LossModel loss;
+    EXPECT_DOUBLE_EQ(loss.config().successRate, 0.9925);
+    EXPECT_EQ(loss.config().maxRetries, 0);
+}
+
+TEST(LossModel, LossFrequencyConverges)
+{
+    LossModel loss;
+    Rng rng(5);
+    const int n = 200000;
+    int delivered = 0;
+    for (int i = 0; i < n; ++i)
+        delivered += loss.attempt(rng) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(delivered) / n, 0.9925, 0.002);
+    EXPECT_EQ(loss.attemptsTotal(), static_cast<std::uint64_t>(n));
+    EXPECT_NEAR(static_cast<double>(loss.lossesTotal()) / n, 0.0075,
+                0.002);
+}
+
+TEST(LossModel, RetriesReduceEndToEndLoss)
+{
+    LossModel::Config cfg;
+    cfg.successRate = 0.8;
+    cfg.maxRetries = 2;
+    LossModel loss(cfg);
+    Rng rng(7);
+    int failures = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        if (loss.deliver(rng) == 0)
+            ++failures;
+    }
+    // P(3 consecutive failures) = 0.2^3 = 0.008.
+    EXPECT_NEAR(static_cast<double>(failures) / n, 0.008, 0.002);
+}
+
+TEST(LossModel, WeatherFactorDegrades)
+{
+    LossModel::Config cfg;
+    cfg.weatherFactor = 0.5;
+    LossModel loss(cfg);
+    EXPECT_NEAR(loss.effectiveRate(), 0.9925 * 0.5, 1e-12);
+}
+
+TEST(LossModel, RejectsBadConfig)
+{
+    LossModel::Config cfg;
+    cfg.successRate = 0.0;
+    EXPECT_THROW(LossModel{cfg}, FatalError);
+    LossModel::Config cfg2;
+    cfg2.maxRetries = -1;
+    EXPECT_THROW(LossModel{cfg2}, FatalError);
+}
+
+TEST(Topology, DistanceAndRssi)
+{
+    EXPECT_DOUBLE_EQ(distance({0, 0}, {3, 4}), 5.0);
+    // RSSI decreases with distance.
+    EXPECT_GT(rssiAtDistance(1.0), rssiAtDistance(10.0));
+    EXPECT_GT(rssiAtDistance(10.0), rssiAtDistance(100.0));
+}
+
+TEST(Topology, LinearChainHops)
+{
+    const ChainMesh mesh = ChainMesh::makeLinear(10, 12.0);
+    const auto route = mesh.greedyRoute(0, 9, 15.0);
+    EXPECT_EQ(ChainMesh::hopCount(route), 9u);
+    EXPECT_EQ(route.front(), 0u);
+    EXPECT_EQ(route.back(), 9u);
+}
+
+TEST(Topology, RouteUnreachableWhenRangeTooShort)
+{
+    const ChainMesh mesh = ChainMesh::makeLinear(5, 12.0);
+    EXPECT_TRUE(mesh.greedyRoute(0, 4, 5.0).empty());
+}
+
+TEST(Topology, DeadNodeBypassedWithLongerRange)
+{
+    const ChainMesh mesh = ChainMesh::makeLinear(5, 10.0);
+    std::vector<bool> alive(5, true);
+    alive[2] = false;
+    // Range covers a two-hop skip: orphan-scan bypass A->C.
+    const auto route = mesh.greedyRoute(0, 4, 25.0, alive);
+    ASSERT_FALSE(route.empty());
+    for (std::size_t idx : route)
+        EXPECT_NE(idx, 2u);
+}
+
+TEST(Topology, DeadNodePartitionsAtShortRange)
+{
+    const ChainMesh mesh = ChainMesh::makeLinear(5, 10.0);
+    std::vector<bool> alive(5, true);
+    alive[2] = false;
+    EXPECT_TRUE(mesh.greedyRoute(0, 4, 12.0, alive).empty());
+}
+
+TEST(Topology, GreedyPrefersShortHops)
+{
+    // Nodes at 0, 6, 12: with range 15 the greedy route goes 0->1->2,
+    // the hop-maximizing route goes 0->2 directly.
+    ChainMesh mesh({{0, 0}, {6, 0}, {12, 0}});
+    EXPECT_EQ(ChainMesh::hopCount(mesh.greedyRoute(0, 2, 15.0)), 2u);
+    EXPECT_EQ(ChainMesh::hopCount(mesh.longestHopRoute(0, 2, 15.0)), 1u);
+}
+
+TEST(Topology, DenseChainInflatesGreedyHops)
+{
+    Rng rng(42);
+    const ChainMesh base = ChainMesh::makeLinear(10, 12.0);
+    const ChainMesh dense =
+        ChainMesh::makeDenseChain(10, 4, 12.0, 5.0, rng);
+    EXPECT_EQ(dense.size(), 40u);
+    const auto base_route = base.greedyRoute(0, 9, 18.0);
+    const auto dense_route = dense.greedyRoute(0, 36, 18.0);
+    ASSERT_FALSE(base_route.empty());
+    ASSERT_FALSE(dense_route.empty());
+    EXPECT_GT(ChainMesh::hopCount(dense_route),
+              2 * ChainMesh::hopCount(base_route));
+}
+
+TEST(Topology, ClosestNeighbor)
+{
+    ChainMesh mesh({{0, 0}, {1, 0}, {10, 0}});
+    EXPECT_EQ(mesh.closestNeighbor(0), 1u);
+    EXPECT_EQ(mesh.closestNeighbor(1), 0u);
+    EXPECT_EQ(mesh.closestNeighbor(2), 1u);
+}
+
+TEST(Topology, NeighborsInRangeSorted)
+{
+    ChainMesh mesh({{0, 0}, {5, 0}, {2, 0}, {30, 0}});
+    const auto n = mesh.neighborsInRange(0, 10.0);
+    ASSERT_EQ(n.size(), 2u);
+    EXPECT_EQ(n[0], 2u); // nearest first
+    EXPECT_EQ(n[1], 1u);
+}
+
+TEST(Packet, KindNames)
+{
+    EXPECT_EQ(packetKindName(PacketKind::Data), "data");
+    EXPECT_EQ(packetKindName(PacketKind::OrphanScan), "orphan-scan");
+    EXPECT_EQ(packetKindName(PacketKind::CloneSync), "clone-sync");
+}
+
+TEST(Mac, DataHopCostsBothSides)
+{
+    Mac mac;
+    NvRfController tx, rx;
+    tx.configure();
+    rx.configure();
+    const MacExchange ex = mac.dataHop(tx, rx, 64);
+    EXPECT_GT(ex.sender.duration, 0);
+    EXPECT_GT(ex.sender.energy.joules(), 0.0);
+    EXPECT_GT(ex.receiver.duration, 0);
+    EXPECT_GT(ex.receiver.energy.joules(), 0.0);
+    // Sender cost grows with payload.
+    EXPECT_GT(mac.dataHop(tx, rx, 1024).sender.energy.joules(),
+              ex.sender.energy.joules());
+}
+
+TEST(Mac, OrphanScanIsCheaperThanDataHop)
+{
+    Mac mac;
+    SoftwareRf a, c;
+    const MacExchange scan = mac.orphanScan(a, c);
+    const MacExchange data = mac.dataHop(a, c, 256);
+    EXPECT_LT(scan.sender.energy.joules() + scan.receiver.energy.joules(),
+              data.sender.energy.joules() +
+                  data.receiver.energy.joules());
+}
+
+TEST(Mac, RejoinTouchesBothNodes)
+{
+    Mac mac;
+    NvRfController rec, nb;
+    rec.configure();
+    nb.configure();
+    const MacExchange ex = mac.rejoin(rec, nb);
+    EXPECT_GT(ex.sender.energy.joules(), 0.0);
+    EXPECT_GT(ex.receiver.energy.joules(), 0.0);
+}
+
+} // namespace
+} // namespace neofog

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Tests for processor models and the Spendthrift policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "hw/processor.hh"
+#include "sim/logging.hh"
+
+namespace neofog {
+namespace {
+
+using namespace neofog::literals;
+
+TEST(Processor, InstructionEnergyMatchesTable2)
+{
+    // 0.209 mW 8051 @ 1 MHz, 12 clocks/instruction => 2.508 nJ/inst.
+    NvProcessor nvp;
+    EXPECT_NEAR(nvp.instructionEnergy().nanojoules(), 2.508, 1e-6);
+    // Bridge health: 545 instructions -> 1366.86 nJ (Table 2).
+    EXPECT_NEAR(nvp.computeEnergy(545).nanojoules(), 1366.86, 0.01);
+    // Pattern matching: 1670 -> 4188.36 nJ.
+    EXPECT_NEAR(nvp.computeEnergy(1670).nanojoules(), 4188.36, 0.01);
+}
+
+TEST(Processor, ComputeTimeAtOneMegahertz)
+{
+    NvProcessor nvp;
+    // 12 cycles per instruction at 1 MHz = 12 us per instruction.
+    EXPECT_EQ(nvp.computeTime(1), 12);
+    EXPECT_EQ(nvp.computeTime(1000), 12000);
+}
+
+TEST(Processor, EnergyPerInstructionIndependentOfClock)
+{
+    NvProcessor::NvpConfig cfg;
+    cfg.base.frequencyHz = 50e6;
+    cfg.base.activePower = Power::fromMilliwatts(0.209 * 50.0);
+    NvProcessor fast(cfg);
+    EXPECT_NEAR(fast.instructionEnergy().nanojoules(), 2.508, 0.01);
+    // But 50x faster.
+    NvProcessor slow;
+    EXPECT_NEAR(static_cast<double>(slow.computeTime(100000)) /
+                    static_cast<double>(fast.computeTime(100000)),
+                50.0, 0.5);
+}
+
+TEST(Processor, WakeLatenciesMatchPaper)
+{
+    VolatileProcessor vp;
+    NvProcessor nos_nvp;
+    NvProcessor fios_nvp{NvProcessor::fiosConfig()};
+    EXPECT_EQ(vp.wakeLatency(), 300 * kUs);
+    EXPECT_EQ(nos_nvp.wakeLatency(), 32 * kUs);
+    EXPECT_EQ(fios_nvp.wakeLatency(), 7 * kUs);
+}
+
+TEST(Processor, VpWakeIncludesFlashReload)
+{
+    VolatileProcessor vp;
+    NvProcessor nvp;
+    // The VP reloads configuration from flash: orders of magnitude
+    // more wake energy than an NVP restore.
+    EXPECT_GT(vp.wakeEnergy().joules(), 100.0 * nvp.wakeEnergy().joules());
+}
+
+TEST(Processor, NonvolatilityFlags)
+{
+    VolatileProcessor vp;
+    NvProcessor nvp;
+    EXPECT_FALSE(vp.isNonvolatile());
+    EXPECT_TRUE(nvp.isNonvolatile());
+    EXPECT_EQ(vp.backupLatency(), 0);
+    EXPECT_GT(nvp.backupLatency(), 0);
+    EXPECT_GT(nvp.backupEnergy().joules(), 0.0);
+}
+
+TEST(Processor, RejectsBadConfig)
+{
+    Processor::Config bad;
+    bad.frequencyHz = 0.0;
+    VolatileProcessor::VpConfig cfg;
+    cfg.base = bad;
+    EXPECT_THROW(VolatileProcessor{cfg}, FatalError);
+}
+
+TEST(Spendthrift, BenefitMonotonicInIncome)
+{
+    SpendthriftPolicy policy;
+    double prev = 1e9;
+    for (double mw = 0.1; mw <= 15.0; mw += 0.5) {
+        const double b = policy.benefit(Power::fromMilliwatts(mw));
+        EXPECT_LE(b, prev + 1e-12);
+        prev = b;
+    }
+}
+
+TEST(Spendthrift, CornerValues)
+{
+    SpendthriftPolicy::Config cfg;
+    cfg.lowIncome = 1.0_mW;
+    cfg.highIncome = 10.0_mW;
+    cfg.maxBenefit = 2.0;
+    cfg.minBenefit = 1.0;
+    SpendthriftPolicy policy(cfg);
+    EXPECT_DOUBLE_EQ(policy.benefit(0.5_mW), 2.0);
+    EXPECT_DOUBLE_EQ(policy.benefit(10.0_mW), 1.0);
+    EXPECT_DOUBLE_EQ(policy.benefit(100.0_mW), 1.0);
+    EXPECT_NEAR(policy.benefit(5.5_mW), 1.5, 1e-12);
+}
+
+TEST(Spendthrift, FrequencyScaleBounds)
+{
+    SpendthriftPolicy policy;
+    const double lo = policy.frequencyScale(Power::fromMicrowatts(1.0));
+    const double hi = policy.frequencyScale(Power::fromMilliwatts(50.0));
+    EXPECT_NEAR(lo, 0.25, 1e-12);
+    EXPECT_NEAR(hi, 1.0, 1e-12);
+    EXPECT_LT(policy.frequencyScale(2.0_mW), 1.0);
+}
+
+TEST(Spendthrift, EffectiveComputeEnergyScales)
+{
+    NvProcessor nvp;
+    const Energy nominal = nvp.computeEnergy(100000);
+    const Energy at_low =
+        nvp.effectiveComputeEnergy(100000, Power::fromMicrowatts(100.0));
+    const Energy at_high =
+        nvp.effectiveComputeEnergy(100000, 50.0_mW);
+    EXPECT_LT(at_low, nominal);
+    EXPECT_NEAR(at_high.joules(), nominal.joules(), 1e-15);
+    EXPECT_NEAR(nominal.joules() / at_low.joules(),
+                nvp.spendthrift().config().maxBenefit, 1e-9);
+}
+
+TEST(Spendthrift, RejectsBadConfig)
+{
+    SpendthriftPolicy::Config cfg;
+    cfg.lowIncome = 10.0_mW;
+    cfg.highIncome = 1.0_mW;
+    EXPECT_THROW(SpendthriftPolicy{cfg}, FatalError);
+
+    SpendthriftPolicy::Config cfg2;
+    cfg2.minBenefit = 0.5;
+    EXPECT_THROW(SpendthriftPolicy{cfg2}, FatalError);
+}
+
+} // namespace
+} // namespace neofog

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Unit tests for the Energy/Power/Tick unit types.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sim/types.hh"
+#include "sim/units.hh"
+
+namespace neofog {
+namespace {
+
+using namespace neofog::literals;
+
+TEST(Ticks, Constants)
+{
+    EXPECT_EQ(kMs, 1000);
+    EXPECT_EQ(kSec, 1000 * 1000);
+    EXPECT_EQ(kMin, 60 * kSec);
+    EXPECT_EQ(kHour, 60 * kMin);
+}
+
+TEST(Ticks, SecondsRoundTrip)
+{
+    EXPECT_EQ(ticksFromSeconds(1.5), kSec + 500 * kMs);
+    EXPECT_DOUBLE_EQ(secondsFromTicks(ticksFromSeconds(12.0)), 12.0);
+}
+
+TEST(Ticks, MsRoundTrip)
+{
+    EXPECT_EQ(ticksFromMs(0.5), 500);
+    EXPECT_DOUBLE_EQ(msFromTicks(1500), 1.5);
+}
+
+TEST(Ticks, FiveHourHorizonFits)
+{
+    const Tick horizon = 5 * kHour;
+    EXPECT_EQ(horizon, 18'000'000'000LL);
+    EXPECT_LT(horizon, kTickNever);
+}
+
+TEST(Energy, FactoriesAgree)
+{
+    EXPECT_DOUBLE_EQ(Energy::fromJoules(1.0).millijoules(), 1000.0);
+    EXPECT_DOUBLE_EQ(Energy::fromMillijoules(1.0).microjoules(), 1000.0);
+    EXPECT_DOUBLE_EQ(Energy::fromMicrojoules(1.0).nanojoules(), 1000.0);
+    EXPECT_DOUBLE_EQ(Energy::fromNanojoules(1e9).joules(), 1.0);
+}
+
+TEST(Energy, Arithmetic)
+{
+    const Energy a = 3.0_mJ;
+    const Energy b = 1.0_mJ;
+    EXPECT_DOUBLE_EQ((a + b).millijoules(), 4.0);
+    EXPECT_DOUBLE_EQ((a - b).millijoules(), 2.0);
+    EXPECT_DOUBLE_EQ((a * 2.0).millijoules(), 6.0);
+    EXPECT_DOUBLE_EQ((2.0 * a).millijoules(), 6.0);
+    EXPECT_DOUBLE_EQ((a / 3.0).millijoules(), 1.0);
+    EXPECT_DOUBLE_EQ(a / b, 3.0);
+}
+
+TEST(Energy, CompoundAssignment)
+{
+    Energy e = 1.0_mJ;
+    e += 2.0_mJ;
+    EXPECT_DOUBLE_EQ(e.millijoules(), 3.0);
+    e -= 1.0_mJ;
+    EXPECT_DOUBLE_EQ(e.millijoules(), 2.0);
+    e *= 2.0;
+    EXPECT_DOUBLE_EQ(e.millijoules(), 4.0);
+}
+
+TEST(Energy, Comparisons)
+{
+    EXPECT_LT(1.0_mJ, 2.0_mJ);
+    EXPECT_GT(1.0_J, 999.0_mJ);
+    EXPECT_NEAR((1000.0_nJ).joules(), (1.0_uJ).joules(), 1e-18);
+}
+
+TEST(Energy, ClampNonNegative)
+{
+    const Energy neg = 1.0_mJ - 2.0_mJ;
+    EXPECT_LT(neg.joules(), 0.0);
+    EXPECT_DOUBLE_EQ(neg.clampedNonNegative().joules(), 0.0);
+    EXPECT_DOUBLE_EQ((2.0_mJ).clampedNonNegative().millijoules(), 2.0);
+}
+
+TEST(Power, FactoriesAgree)
+{
+    EXPECT_DOUBLE_EQ(Power::fromWatts(1.0).milliwatts(), 1000.0);
+    EXPECT_DOUBLE_EQ(Power::fromMilliwatts(1.0).microwatts(), 1000.0);
+    EXPECT_DOUBLE_EQ(Power::fromMicrowatts(2.0).watts(), 2e-6);
+}
+
+TEST(Power, TimesTickIsEnergy)
+{
+    // 89.1 mW for 32 us = 2851.2 nJ: the paper's per-byte TX energy.
+    const Energy e = 89.1_mW * (32 * kUs);
+    EXPECT_NEAR(e.nanojoules(), 2851.2, 1e-6);
+}
+
+TEST(Power, OverDuration)
+{
+    const Energy e = Power::fromMilliwatts(10.0).over(kSec);
+    EXPECT_DOUBLE_EQ(e.millijoules(), 10.0);
+}
+
+TEST(Power, Arithmetic)
+{
+    const Power p = 10.0_mW + 5.0_mW;
+    EXPECT_DOUBLE_EQ(p.milliwatts(), 15.0);
+    EXPECT_DOUBLE_EQ((p - 5.0_mW).milliwatts(), 10.0);
+    EXPECT_DOUBLE_EQ((p * 2.0).milliwatts(), 30.0);
+    EXPECT_DOUBLE_EQ(p / 5.0_mW, 3.0);
+}
+
+TEST(Power, TicksToSpend)
+{
+    // 1 mJ at 1 mW takes 1 second.
+    EXPECT_EQ(ticksToSpend(Energy::fromMillijoules(1.0),
+                           Power::fromMilliwatts(1.0)),
+              kSec);
+    EXPECT_EQ(ticksToSpend(Energy::fromMillijoules(1.0), Power::zero()),
+              kTickNever);
+}
+
+TEST(Units, InstructionEnergyConstant)
+{
+    // 0.209 mW at 1 MHz with 12 clocks/instruction = 2.508 nJ.
+    const Energy per_inst = 0.209_mW * (12 * kUs / 12);
+    // 12 cycles at 1 MHz = 12 us.
+    const Energy e = 0.209_mW * (12 * kUs);
+    EXPECT_NEAR(e.nanojoules(), 2.508, 1e-9);
+    (void)per_inst;
+}
+
+} // namespace
+} // namespace neofog

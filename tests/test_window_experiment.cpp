@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Tests for window functions and the multi-seed experiment runner.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "fog/experiment.hh"
+#include "fog/presets.hh"
+#include "kernels/fft.hh"
+#include "kernels/window.hh"
+#include "sim/logging.hh"
+
+namespace neofog {
+namespace {
+
+using kernels::WindowKind;
+
+TEST(Window, RectangularIsUnity)
+{
+    const auto w = kernels::makeWindow(WindowKind::Rectangular, 16);
+    for (double v : w)
+        EXPECT_DOUBLE_EQ(v, 1.0);
+    EXPECT_DOUBLE_EQ(kernels::coherentGain(WindowKind::Rectangular, 16),
+                     1.0);
+}
+
+TEST(Window, HannEndpointsZeroPeakOne)
+{
+    const auto w = kernels::makeWindow(WindowKind::Hann, 65);
+    EXPECT_NEAR(w.front(), 0.0, 1e-12);
+    EXPECT_NEAR(w.back(), 0.0, 1e-12);
+    EXPECT_NEAR(w[32], 1.0, 1e-12);
+}
+
+TEST(Window, KnownCoherentGains)
+{
+    // Asymptotic coherent gains: Hann 0.5, Hamming 0.54, Blackman 0.42.
+    EXPECT_NEAR(kernels::coherentGain(WindowKind::Hann, 4096), 0.5,
+                0.001);
+    EXPECT_NEAR(kernels::coherentGain(WindowKind::Hamming, 4096), 0.54,
+                0.001);
+    EXPECT_NEAR(kernels::coherentGain(WindowKind::Blackman, 4096), 0.42,
+                0.001);
+}
+
+TEST(Window, SymmetricCoefficients)
+{
+    for (WindowKind kind :
+         {WindowKind::Hann, WindowKind::Hamming, WindowKind::Blackman}) {
+        const auto w = kernels::makeWindow(kind, 33);
+        for (std::size_t i = 0; i < w.size(); ++i)
+            EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12);
+    }
+}
+
+TEST(Window, SingleSampleWindowIsOne)
+{
+    EXPECT_DOUBLE_EQ(
+        kernels::windowCoefficient(WindowKind::Blackman, 0, 1), 1.0);
+}
+
+TEST(Window, ReducesLeakageForOffBinTone)
+{
+    // A tone midway between bins smears badly without a window; the
+    // Hann window concentrates it.
+    const std::size_t n = 256;
+    std::vector<double> sig(n);
+    const double freq_bins = 20.5; // worst case: half-bin offset
+    for (std::size_t i = 0; i < n; ++i)
+        sig[i] = std::sin(2.0 * M_PI * freq_bins *
+                          static_cast<double>(i) / n);
+
+    auto leakage = [&](const std::vector<double> &s) {
+        const auto mags = kernels::magnitudeSpectrum(s);
+        // Energy far from the tone (10+ bins away) relative to total.
+        double far = 0.0, total = 0.0;
+        for (std::size_t k = 1; k < mags.size(); ++k) {
+            const double e = mags[k] * mags[k];
+            total += e;
+            if (std::abs(static_cast<double>(k) - freq_bins) > 10.0)
+                far += e;
+        }
+        return far / total;
+    };
+
+    const double raw = leakage(sig);
+    const double windowed =
+        leakage(kernels::applyWindow(sig, WindowKind::Hann));
+    EXPECT_LT(windowed, raw * 0.1);
+}
+
+TEST(Experiment, AggregatesAcrossSeeds)
+{
+    ScenarioConfig cfg = presets::fig10(presets::fiosNeofog(), 0);
+    cfg.horizon = 30 * kMin;
+    const AggregateReport agg =
+        ExperimentRunner::runSeeds(cfg, 5, 100);
+    EXPECT_EQ(agg.runs, 5);
+    EXPECT_EQ(agg.reports.size(), 5u);
+    EXPECT_EQ(agg.totalProcessed.count(), 5u);
+    // Different seeds produce spread.
+    EXPECT_GT(agg.totalProcessed.stddev(), 0.0);
+    // Yield stays a fraction.
+    EXPECT_GT(agg.yield.mean(), 0.0);
+    EXPECT_LT(agg.yield.max(), 1.0 + 1e-9);
+}
+
+TEST(Experiment, PrintIncludesFields)
+{
+    ScenarioConfig cfg = presets::fig10(presets::fiosNeofog(), 0);
+    cfg.horizon = 20 * kMin;
+    const AggregateReport agg =
+        ExperimentRunner::runSeeds(cfg, 2, 7);
+    std::ostringstream oss;
+    agg.print(oss, "exp");
+    EXPECT_NE(oss.str().find("total processed"), std::string::npos);
+    EXPECT_NE(oss.str().find("+-"), std::string::npos);
+}
+
+TEST(Experiment, RejectsZeroRuns)
+{
+    ScenarioConfig cfg = presets::fig10(presets::fiosNeofog(), 0);
+    EXPECT_THROW(ExperimentRunner::runSeeds(cfg, 0), FatalError);
+}
+
+TEST(Experiment, CompareTotalsShowsNeofogAdvantage)
+{
+    ScenarioConfig vp = presets::fig10(presets::nosVp(), 0);
+    ScenarioConfig neo = presets::fig10(presets::fiosNeofog(), 0);
+    vp.horizon = neo.horizon = kHour;
+    const ScalarStat ratio =
+        ExperimentRunner::compareTotals(vp, neo, 4, 50);
+    EXPECT_EQ(ratio.count(), 4u);
+    EXPECT_GT(ratio.mean(), 1.5);
+    EXPECT_GT(ratio.min(), 1.0);
+}
+
+} // namespace
+} // namespace neofog

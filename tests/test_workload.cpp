@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Tests for application profiles (Table 2 exactness) and the
+ * kernel-backed fog tasks.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/app_profile.hh"
+#include "workload/fog_task.hh"
+
+namespace neofog {
+namespace {
+
+struct Table2Row
+{
+    AppKind kind;
+    std::uint64_t inst;
+    double computeNj;
+    double txNj;
+    double naiveRatio;
+    double computeMj;
+    double txMj;
+    double bufferedRatio;
+    double saved;
+};
+
+// Values as printed in the paper's Table 2.
+const Table2Row kPaperRows[] = {
+    {AppKind::BridgeHealth, 545, 1366.86, 22809.6, 0.0565, 81.7, 6.95,
+     0.922, -0.552},
+    {AppKind::UvMeter, 460, 1153.68, 5702.4, 0.168, 108.3, 6.8, 0.941,
+     -0.488},
+    {AppKind::WsnTemp, 56, 140.448, 5702.4, 0.024, 75.0, 6.99, 0.915,
+     -0.571},
+    {AppKind::WsnAccel, 477, 1196.316, 17107.2, 0.0653, 83.6, 6.59,
+     0.927, -0.549},
+    {AppKind::PatternMatching, 1670, 4188.36, 2851.2, 0.595, 345.1,
+     5.39, 0.985, -0.241},
+};
+
+class Table2Test : public ::testing::TestWithParam<Table2Row>
+{
+};
+
+TEST_P(Table2Test, NaiveColumnsMatchPaper)
+{
+    const Table2Row &row = GetParam();
+    const AppProfile p = appProfile(row.kind);
+    EXPECT_EQ(p.naiveInstructions, row.inst);
+    EXPECT_NEAR(p.naiveComputeEnergy().nanojoules(), row.computeNj, 0.01);
+    EXPECT_NEAR(p.naiveTxEnergy().nanojoules(), row.txNj, 0.1);
+    EXPECT_NEAR(p.naiveComputeRatio(), row.naiveRatio, 0.001);
+}
+
+TEST_P(Table2Test, BufferedColumnsMatchPaper)
+{
+    const Table2Row &row = GetParam();
+    const AppProfile p = appProfile(row.kind);
+    EXPECT_NEAR(p.bufferedComputeEnergy().millijoules(), row.computeMj,
+                0.1);
+    EXPECT_NEAR(p.bufferedTxEnergy().millijoules(), row.txMj, 0.05);
+    EXPECT_NEAR(p.bufferedComputeRatio(), row.bufferedRatio, 0.002);
+}
+
+TEST_P(Table2Test, EnergySavedMatchesPaper)
+{
+    const Table2Row &row = GetParam();
+    const AppProfile p = appProfile(row.kind);
+    EXPECT_NEAR(p.energySavedRatio(), row.saved, 0.004);
+}
+
+TEST_P(Table2Test, CompressionRatioInPaperWindow)
+{
+    const AppProfile p = appProfile(GetParam().kind);
+    EXPECT_GE(p.compressionRatio, 0.02);
+    EXPECT_LE(p.compressionRatio, 0.145);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, Table2Test,
+                         ::testing::ValuesIn(kPaperRows));
+
+TEST(AppProfile, SamplesPerBatch)
+{
+    EXPECT_EQ(appProfile(AppKind::BridgeHealth).samplesPerBatch(),
+              64u * 1024u / 8u);
+    EXPECT_EQ(appProfile(AppKind::PatternMatching).samplesPerBatch(),
+              64u * 1024u);
+}
+
+TEST(AppProfile, BufferedInstructionsScale)
+{
+    const AppProfile p = appProfile(AppKind::WsnTemp);
+    const auto half = p.bufferedInstructionsFor(32 * 1024);
+    const auto full = p.bufferedInstructionsFor(64 * 1024);
+    EXPECT_NEAR(static_cast<double>(full),
+                2.0 * static_cast<double>(half), 2.0);
+}
+
+TEST(AppProfile, CompressedSizeNeverZeroForNonEmpty)
+{
+    const AppProfile p = appProfile(AppKind::PatternMatching);
+    EXPECT_EQ(p.compressedSize(0), 0u);
+    EXPECT_GE(p.compressedSize(1), 1u);
+}
+
+TEST(AppProfile, AllProfilesEnumerated)
+{
+    const auto all = allAppProfiles();
+    EXPECT_EQ(all.size(), 5u);
+    for (std::size_t i = 0; i < all.size(); ++i)
+        EXPECT_EQ(all[i].kind, kAllApps[i]);
+}
+
+TEST(AppProfile, NamesNonEmpty)
+{
+    for (AppKind k : kAllApps)
+        EXPECT_FALSE(appName(k).empty());
+    EXPECT_NE(strategyName(Strategy::NaiveSenseTransmit),
+              strategyName(Strategy::BufferedComputeCompress));
+}
+
+class FogTaskTest : public ::testing::TestWithParam<AppKind>
+{
+};
+
+TEST_P(FogTaskTest, ProducesOutput)
+{
+    Rng rng(123);
+    auto task = makeFogTask(GetParam());
+    const FogOutput out = task->processBatch(8 * 1024, rng);
+    EXPECT_FALSE(out.payload.empty());
+    EXPECT_GT(out.opsExecuted, 0u);
+    EXPECT_EQ(out.rawBytes, 8u * 1024u);
+    EXPECT_FALSE(task->name().empty());
+}
+
+TEST_P(FogTaskTest, CompressesWellBelowRaw)
+{
+    Rng rng(77);
+    auto task = makeFogTask(GetParam());
+    const FogOutput out = task->processBatch(16 * 1024, rng);
+    // Fog processing reduces the batch to a small result payload —
+    // well under the paper's 14.5% upper bound.
+    EXPECT_LT(out.achievedRatio(), 0.145);
+}
+
+TEST_P(FogTaskTest, DeterministicForSeed)
+{
+    auto task1 = makeFogTask(GetParam());
+    auto task2 = makeFogTask(GetParam());
+    Rng r1(5), r2(5);
+    const FogOutput a = task1->processBatch(4096, r1);
+    const FogOutput b = task2->processBatch(4096, r2);
+    EXPECT_EQ(a.payload, b.payload);
+    EXPECT_DOUBLE_EQ(a.metric, b.metric);
+    EXPECT_EQ(a.opsExecuted, b.opsExecuted);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, FogTaskTest,
+                         ::testing::ValuesIn(kAllApps));
+
+TEST(FogTask, VolumetricTaskWorks)
+{
+    Rng rng(9);
+    auto task = makeVolumetricTask();
+    const FogOutput out = task->processBatch(2048, rng);
+    EXPECT_FALSE(out.payload.empty());
+    // Metric is the reconstructed peak temperature; the synthetic
+    // field has a hotspot around 65 C.
+    EXPECT_GT(out.metric, 30.0);
+    EXPECT_LT(out.metric, 80.0);
+}
+
+TEST(FogTask, PatternMatchRecoversPlausibleBpm)
+{
+    Rng rng(11);
+    auto task = makeFogTask(AppKind::PatternMatching);
+    const FogOutput out = task->processBatch(8 * 1024, rng);
+    EXPECT_GT(out.metric, 35.0);
+    EXPECT_LT(out.metric, 130.0);
+}
+
+} // namespace
+} // namespace neofog
