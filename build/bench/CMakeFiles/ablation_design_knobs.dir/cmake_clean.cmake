@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_design_knobs.dir/ablation_design_knobs.cpp.o"
+  "CMakeFiles/ablation_design_knobs.dir/ablation_design_knobs.cpp.o.d"
+  "ablation_design_knobs"
+  "ablation_design_knobs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_design_knobs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_forward_progress.dir/ablation_forward_progress.cpp.o"
+  "CMakeFiles/ablation_forward_progress.dir/ablation_forward_progress.cpp.o.d"
+  "ablation_forward_progress"
+  "ablation_forward_progress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_forward_progress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

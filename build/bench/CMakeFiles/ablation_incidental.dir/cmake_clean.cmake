@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_incidental.dir/ablation_incidental.cpp.o"
+  "CMakeFiles/ablation_incidental.dir/ablation_incidental.cpp.o.d"
+  "ablation_incidental"
+  "ablation_incidental.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_incidental.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_income_sweep.dir/ablation_income_sweep.cpp.o"
+  "CMakeFiles/ablation_income_sweep.dir/ablation_income_sweep.cpp.o.d"
+  "ablation_income_sweep"
+  "ablation_income_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_income_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

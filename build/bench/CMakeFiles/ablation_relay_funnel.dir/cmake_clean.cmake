@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_relay_funnel.dir/ablation_relay_funnel.cpp.o"
+  "CMakeFiles/ablation_relay_funnel.dir/ablation_relay_funnel.cpp.o.d"
+  "ablation_relay_funnel"
+  "ablation_relay_funnel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_relay_funnel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/confidence.dir/confidence.cpp.o"
+  "CMakeFiles/confidence.dir/confidence.cpp.o.d"
+  "confidence"
+  "confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

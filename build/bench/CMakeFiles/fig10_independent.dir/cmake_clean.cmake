@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_independent.dir/fig10_independent.cpp.o"
+  "CMakeFiles/fig10_independent.dir/fig10_independent.cpp.o.d"
+  "fig10_independent"
+  "fig10_independent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_independent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_dependent.dir/fig11_dependent.cpp.o"
+  "CMakeFiles/fig11_dependent.dir/fig11_dependent.cpp.o.d"
+  "fig11_dependent"
+  "fig11_dependent.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_dependent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

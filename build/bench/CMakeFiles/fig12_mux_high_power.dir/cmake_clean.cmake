@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_mux_high_power.dir/fig12_mux_high_power.cpp.o"
+  "CMakeFiles/fig12_mux_high_power.dir/fig12_mux_high_power.cpp.o.d"
+  "fig12_mux_high_power"
+  "fig12_mux_high_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_mux_high_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_density_hops.dir/fig7_density_hops.cpp.o"
+  "CMakeFiles/fig7_density_hops.dir/fig7_density_hops.cpp.o.d"
+  "fig7_density_hops"
+  "fig7_density_hops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_density_hops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

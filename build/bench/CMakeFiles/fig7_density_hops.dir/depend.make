@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_density_hops.
+# This may be replaced when dependencies are built.

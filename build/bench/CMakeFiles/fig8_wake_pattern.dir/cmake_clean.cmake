@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_wake_pattern.dir/fig8_wake_pattern.cpp.o"
+  "CMakeFiles/fig8_wake_pattern.dir/fig8_wake_pattern.cpp.o.d"
+  "fig8_wake_pattern"
+  "fig8_wake_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_wake_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deployment_survey.dir/deployment_survey.cpp.o"
+  "CMakeFiles/deployment_survey.dir/deployment_survey.cpp.o.d"
+  "deployment_survey"
+  "deployment_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deployment_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

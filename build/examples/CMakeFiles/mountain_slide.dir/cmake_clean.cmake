@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mountain_slide.dir/mountain_slide.cpp.o"
+  "CMakeFiles/mountain_slide.dir/mountain_slide.cpp.o.d"
+  "mountain_slide"
+  "mountain_slide.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mountain_slide.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neofog_cli.dir/neofog_cli.cpp.o"
+  "CMakeFiles/neofog_cli.dir/neofog_cli.cpp.o.d"
+  "neofog_cli"
+  "neofog_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neofog_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_timeline.dir/node_timeline.cpp.o"
+  "CMakeFiles/node_timeline.dir/node_timeline.cpp.o.d"
+  "node_timeline"
+  "node_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neofog_balance.dir/assignment.cc.o"
+  "CMakeFiles/neofog_balance.dir/assignment.cc.o.d"
+  "CMakeFiles/neofog_balance.dir/balancer.cc.o"
+  "CMakeFiles/neofog_balance.dir/balancer.cc.o.d"
+  "libneofog_balance.a"
+  "libneofog_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neofog_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

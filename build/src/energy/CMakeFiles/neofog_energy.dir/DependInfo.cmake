@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/energy/capacitor.cc" "src/energy/CMakeFiles/neofog_energy.dir/capacitor.cc.o" "gcc" "src/energy/CMakeFiles/neofog_energy.dir/capacitor.cc.o.d"
+  "/root/repo/src/energy/frontend.cc" "src/energy/CMakeFiles/neofog_energy.dir/frontend.cc.o" "gcc" "src/energy/CMakeFiles/neofog_energy.dir/frontend.cc.o.d"
+  "/root/repo/src/energy/power_trace.cc" "src/energy/CMakeFiles/neofog_energy.dir/power_trace.cc.o" "gcc" "src/energy/CMakeFiles/neofog_energy.dir/power_trace.cc.o.d"
+  "/root/repo/src/energy/trace_io.cc" "src/energy/CMakeFiles/neofog_energy.dir/trace_io.cc.o" "gcc" "src/energy/CMakeFiles/neofog_energy.dir/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/neofog_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

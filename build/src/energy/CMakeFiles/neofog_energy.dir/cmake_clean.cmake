@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neofog_energy.dir/capacitor.cc.o"
+  "CMakeFiles/neofog_energy.dir/capacitor.cc.o.d"
+  "CMakeFiles/neofog_energy.dir/frontend.cc.o"
+  "CMakeFiles/neofog_energy.dir/frontend.cc.o.d"
+  "CMakeFiles/neofog_energy.dir/power_trace.cc.o"
+  "CMakeFiles/neofog_energy.dir/power_trace.cc.o.d"
+  "CMakeFiles/neofog_energy.dir/trace_io.cc.o"
+  "CMakeFiles/neofog_energy.dir/trace_io.cc.o.d"
+  "libneofog_energy.a"
+  "libneofog_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neofog_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

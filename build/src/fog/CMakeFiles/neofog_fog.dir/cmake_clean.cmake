@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neofog_fog.dir/deployments.cc.o"
+  "CMakeFiles/neofog_fog.dir/deployments.cc.o.d"
+  "CMakeFiles/neofog_fog.dir/experiment.cc.o"
+  "CMakeFiles/neofog_fog.dir/experiment.cc.o.d"
+  "CMakeFiles/neofog_fog.dir/fog_system.cc.o"
+  "CMakeFiles/neofog_fog.dir/fog_system.cc.o.d"
+  "CMakeFiles/neofog_fog.dir/presets.cc.o"
+  "CMakeFiles/neofog_fog.dir/presets.cc.o.d"
+  "CMakeFiles/neofog_fog.dir/scenario.cc.o"
+  "CMakeFiles/neofog_fog.dir/scenario.cc.o.d"
+  "libneofog_fog.a"
+  "libneofog_fog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neofog_fog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

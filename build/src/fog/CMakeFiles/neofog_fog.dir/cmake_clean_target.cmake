@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libneofog_fog.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/nv_buffer.cc" "src/hw/CMakeFiles/neofog_hw.dir/nv_buffer.cc.o" "gcc" "src/hw/CMakeFiles/neofog_hw.dir/nv_buffer.cc.o.d"
+  "/root/repo/src/hw/processor.cc" "src/hw/CMakeFiles/neofog_hw.dir/processor.cc.o" "gcc" "src/hw/CMakeFiles/neofog_hw.dir/processor.cc.o.d"
+  "/root/repo/src/hw/rf.cc" "src/hw/CMakeFiles/neofog_hw.dir/rf.cc.o" "gcc" "src/hw/CMakeFiles/neofog_hw.dir/rf.cc.o.d"
+  "/root/repo/src/hw/rtc.cc" "src/hw/CMakeFiles/neofog_hw.dir/rtc.cc.o" "gcc" "src/hw/CMakeFiles/neofog_hw.dir/rtc.cc.o.d"
+  "/root/repo/src/hw/sensor.cc" "src/hw/CMakeFiles/neofog_hw.dir/sensor.cc.o" "gcc" "src/hw/CMakeFiles/neofog_hw.dir/sensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/neofog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/neofog_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

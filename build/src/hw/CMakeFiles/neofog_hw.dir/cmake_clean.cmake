@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neofog_hw.dir/nv_buffer.cc.o"
+  "CMakeFiles/neofog_hw.dir/nv_buffer.cc.o.d"
+  "CMakeFiles/neofog_hw.dir/processor.cc.o"
+  "CMakeFiles/neofog_hw.dir/processor.cc.o.d"
+  "CMakeFiles/neofog_hw.dir/rf.cc.o"
+  "CMakeFiles/neofog_hw.dir/rf.cc.o.d"
+  "CMakeFiles/neofog_hw.dir/rtc.cc.o"
+  "CMakeFiles/neofog_hw.dir/rtc.cc.o.d"
+  "CMakeFiles/neofog_hw.dir/sensor.cc.o"
+  "CMakeFiles/neofog_hw.dir/sensor.cc.o.d"
+  "libneofog_hw.a"
+  "libneofog_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neofog_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernels/ar_model.cc" "src/kernels/CMakeFiles/neofog_kernels.dir/ar_model.cc.o" "gcc" "src/kernels/CMakeFiles/neofog_kernels.dir/ar_model.cc.o.d"
+  "/root/repo/src/kernels/bridge_model.cc" "src/kernels/CMakeFiles/neofog_kernels.dir/bridge_model.cc.o" "gcc" "src/kernels/CMakeFiles/neofog_kernels.dir/bridge_model.cc.o.d"
+  "/root/repo/src/kernels/compress.cc" "src/kernels/CMakeFiles/neofog_kernels.dir/compress.cc.o" "gcc" "src/kernels/CMakeFiles/neofog_kernels.dir/compress.cc.o.d"
+  "/root/repo/src/kernels/fft.cc" "src/kernels/CMakeFiles/neofog_kernels.dir/fft.cc.o" "gcc" "src/kernels/CMakeFiles/neofog_kernels.dir/fft.cc.o.d"
+  "/root/repo/src/kernels/filters.cc" "src/kernels/CMakeFiles/neofog_kernels.dir/filters.cc.o" "gcc" "src/kernels/CMakeFiles/neofog_kernels.dir/filters.cc.o.d"
+  "/root/repo/src/kernels/goertzel.cc" "src/kernels/CMakeFiles/neofog_kernels.dir/goertzel.cc.o" "gcc" "src/kernels/CMakeFiles/neofog_kernels.dir/goertzel.cc.o.d"
+  "/root/repo/src/kernels/pattern_match.cc" "src/kernels/CMakeFiles/neofog_kernels.dir/pattern_match.cc.o" "gcc" "src/kernels/CMakeFiles/neofog_kernels.dir/pattern_match.cc.o.d"
+  "/root/repo/src/kernels/signal_gen.cc" "src/kernels/CMakeFiles/neofog_kernels.dir/signal_gen.cc.o" "gcc" "src/kernels/CMakeFiles/neofog_kernels.dir/signal_gen.cc.o.d"
+  "/root/repo/src/kernels/volumetric.cc" "src/kernels/CMakeFiles/neofog_kernels.dir/volumetric.cc.o" "gcc" "src/kernels/CMakeFiles/neofog_kernels.dir/volumetric.cc.o.d"
+  "/root/repo/src/kernels/window.cc" "src/kernels/CMakeFiles/neofog_kernels.dir/window.cc.o" "gcc" "src/kernels/CMakeFiles/neofog_kernels.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/neofog_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neofog_kernels.dir/ar_model.cc.o"
+  "CMakeFiles/neofog_kernels.dir/ar_model.cc.o.d"
+  "CMakeFiles/neofog_kernels.dir/bridge_model.cc.o"
+  "CMakeFiles/neofog_kernels.dir/bridge_model.cc.o.d"
+  "CMakeFiles/neofog_kernels.dir/compress.cc.o"
+  "CMakeFiles/neofog_kernels.dir/compress.cc.o.d"
+  "CMakeFiles/neofog_kernels.dir/fft.cc.o"
+  "CMakeFiles/neofog_kernels.dir/fft.cc.o.d"
+  "CMakeFiles/neofog_kernels.dir/filters.cc.o"
+  "CMakeFiles/neofog_kernels.dir/filters.cc.o.d"
+  "CMakeFiles/neofog_kernels.dir/goertzel.cc.o"
+  "CMakeFiles/neofog_kernels.dir/goertzel.cc.o.d"
+  "CMakeFiles/neofog_kernels.dir/pattern_match.cc.o"
+  "CMakeFiles/neofog_kernels.dir/pattern_match.cc.o.d"
+  "CMakeFiles/neofog_kernels.dir/signal_gen.cc.o"
+  "CMakeFiles/neofog_kernels.dir/signal_gen.cc.o.d"
+  "CMakeFiles/neofog_kernels.dir/volumetric.cc.o"
+  "CMakeFiles/neofog_kernels.dir/volumetric.cc.o.d"
+  "CMakeFiles/neofog_kernels.dir/window.cc.o"
+  "CMakeFiles/neofog_kernels.dir/window.cc.o.d"
+  "libneofog_kernels.a"
+  "libneofog_kernels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neofog_kernels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

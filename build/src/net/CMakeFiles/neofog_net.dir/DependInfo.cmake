@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/checksum.cc" "src/net/CMakeFiles/neofog_net.dir/checksum.cc.o" "gcc" "src/net/CMakeFiles/neofog_net.dir/checksum.cc.o.d"
+  "/root/repo/src/net/loss.cc" "src/net/CMakeFiles/neofog_net.dir/loss.cc.o" "gcc" "src/net/CMakeFiles/neofog_net.dir/loss.cc.o.d"
+  "/root/repo/src/net/mac.cc" "src/net/CMakeFiles/neofog_net.dir/mac.cc.o" "gcc" "src/net/CMakeFiles/neofog_net.dir/mac.cc.o.d"
+  "/root/repo/src/net/packet.cc" "src/net/CMakeFiles/neofog_net.dir/packet.cc.o" "gcc" "src/net/CMakeFiles/neofog_net.dir/packet.cc.o.d"
+  "/root/repo/src/net/topology.cc" "src/net/CMakeFiles/neofog_net.dir/topology.cc.o" "gcc" "src/net/CMakeFiles/neofog_net.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/neofog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/neofog_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/neofog_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

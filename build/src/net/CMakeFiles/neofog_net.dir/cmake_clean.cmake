@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neofog_net.dir/checksum.cc.o"
+  "CMakeFiles/neofog_net.dir/checksum.cc.o.d"
+  "CMakeFiles/neofog_net.dir/loss.cc.o"
+  "CMakeFiles/neofog_net.dir/loss.cc.o.d"
+  "CMakeFiles/neofog_net.dir/mac.cc.o"
+  "CMakeFiles/neofog_net.dir/mac.cc.o.d"
+  "CMakeFiles/neofog_net.dir/packet.cc.o"
+  "CMakeFiles/neofog_net.dir/packet.cc.o.d"
+  "CMakeFiles/neofog_net.dir/topology.cc.o"
+  "CMakeFiles/neofog_net.dir/topology.cc.o.d"
+  "libneofog_net.a"
+  "libneofog_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neofog_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

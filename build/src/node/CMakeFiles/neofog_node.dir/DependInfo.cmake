@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/node/intermittent.cc" "src/node/CMakeFiles/neofog_node.dir/intermittent.cc.o" "gcc" "src/node/CMakeFiles/neofog_node.dir/intermittent.cc.o.d"
+  "/root/repo/src/node/node.cc" "src/node/CMakeFiles/neofog_node.dir/node.cc.o" "gcc" "src/node/CMakeFiles/neofog_node.dir/node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/neofog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/neofog_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/neofog_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/neofog_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neofog_node.dir/intermittent.cc.o"
+  "CMakeFiles/neofog_node.dir/intermittent.cc.o.d"
+  "CMakeFiles/neofog_node.dir/node.cc.o"
+  "CMakeFiles/neofog_node.dir/node.cc.o.d"
+  "libneofog_node.a"
+  "libneofog_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neofog_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neofog_sim.dir/event_queue.cc.o"
+  "CMakeFiles/neofog_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/neofog_sim.dir/logging.cc.o"
+  "CMakeFiles/neofog_sim.dir/logging.cc.o.d"
+  "CMakeFiles/neofog_sim.dir/rng.cc.o"
+  "CMakeFiles/neofog_sim.dir/rng.cc.o.d"
+  "CMakeFiles/neofog_sim.dir/stats.cc.o"
+  "CMakeFiles/neofog_sim.dir/stats.cc.o.d"
+  "libneofog_sim.a"
+  "libneofog_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neofog_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

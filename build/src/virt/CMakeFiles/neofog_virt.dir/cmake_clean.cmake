@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neofog_virt.dir/nvd4q.cc.o"
+  "CMakeFiles/neofog_virt.dir/nvd4q.cc.o.d"
+  "libneofog_virt.a"
+  "libneofog_virt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neofog_virt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/app_profile.cc" "src/workload/CMakeFiles/neofog_workload.dir/app_profile.cc.o" "gcc" "src/workload/CMakeFiles/neofog_workload.dir/app_profile.cc.o.d"
+  "/root/repo/src/workload/fog_task.cc" "src/workload/CMakeFiles/neofog_workload.dir/fog_task.cc.o" "gcc" "src/workload/CMakeFiles/neofog_workload.dir/fog_task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/neofog_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/neofog_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/neofog_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/neofog_energy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

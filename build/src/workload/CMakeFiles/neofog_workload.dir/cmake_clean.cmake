@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neofog_workload.dir/app_profile.cc.o"
+  "CMakeFiles/neofog_workload.dir/app_profile.cc.o.d"
+  "CMakeFiles/neofog_workload.dir/fog_task.cc.o"
+  "CMakeFiles/neofog_workload.dir/fog_task.cc.o.d"
+  "libneofog_workload.a"
+  "libneofog_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neofog_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

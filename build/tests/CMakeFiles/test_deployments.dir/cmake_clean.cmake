@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deployments.dir/test_deployments.cpp.o"
+  "CMakeFiles/test_deployments.dir/test_deployments.cpp.o.d"
+  "test_deployments"
+  "test_deployments.pdb"
+  "test_deployments[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deployments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

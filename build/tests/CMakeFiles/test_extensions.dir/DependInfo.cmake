@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/test_extensions.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/test_extensions.dir/test_extensions.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fog/CMakeFiles/neofog_fog.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/neofog_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernels/CMakeFiles/neofog_kernels.dir/DependInfo.cmake"
+  "/root/repo/build/src/balance/CMakeFiles/neofog_balance.dir/DependInfo.cmake"
+  "/root/repo/build/src/virt/CMakeFiles/neofog_virt.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/neofog_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/neofog_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/neofog_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/energy/CMakeFiles/neofog_energy.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/neofog_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fog_system.dir/test_fog_system.cpp.o"
+  "CMakeFiles/test_fog_system.dir/test_fog_system.cpp.o.d"
+  "test_fog_system"
+  "test_fog_system.pdb"
+  "test_fog_system[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fog_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw_parts.dir/test_hw_parts.cpp.o"
+  "CMakeFiles/test_hw_parts.dir/test_hw_parts.cpp.o.d"
+  "test_hw_parts"
+  "test_hw_parts.pdb"
+  "test_hw_parts[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw_parts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

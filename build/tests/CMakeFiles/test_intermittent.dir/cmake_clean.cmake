@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_intermittent.dir/test_intermittent.cpp.o"
+  "CMakeFiles/test_intermittent.dir/test_intermittent.cpp.o.d"
+  "test_intermittent"
+  "test_intermittent.pdb"
+  "test_intermittent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_intermittent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvd4q.dir/test_nvd4q.cpp.o"
+  "CMakeFiles/test_nvd4q.dir/test_nvd4q.cpp.o.d"
+  "test_nvd4q"
+  "test_nvd4q.pdb"
+  "test_nvd4q[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvd4q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_relay_rt.dir/test_relay_rt.cpp.o"
+  "CMakeFiles/test_relay_rt.dir/test_relay_rt.cpp.o.d"
+  "test_relay_rt"
+  "test_relay_rt.pdb"
+  "test_relay_rt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_relay_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

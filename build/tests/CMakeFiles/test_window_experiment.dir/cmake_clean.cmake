@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_window_experiment.dir/test_window_experiment.cpp.o"
+  "CMakeFiles/test_window_experiment.dir/test_window_experiment.cpp.o.d"
+  "test_window_experiment"
+  "test_window_experiment.pdb"
+  "test_window_experiment[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_window_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
