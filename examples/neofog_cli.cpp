@@ -45,6 +45,11 @@ usage(const char *argv0)
         "  --mux K                   NVD4Q multiplexing (default 1)\n"
         "  --profile P               day profile 0-4 (default 0)\n"
         "  --seed S                  RNG seed (default 1)\n"
+        "  --threads N               worker threads for the chain "
+        "loop\n"
+        "                            (default 1; 0 = all hardware "
+        "threads;\n"
+        "                            results identical for any N)\n"
         "  --incidental              enable incidental computing\n"
         "  --relay                   hop-by-hop relaying to the sink\n"
         "  --rt-chance P             real-time request probability\n"
@@ -154,6 +159,9 @@ main(int argc, char **argv)
         } else if (arg == "--seed") {
             cfg.seed =
                 static_cast<std::uint64_t>(std::atoll(next().c_str()));
+        } else if (arg == "--threads") {
+            cfg.threads =
+                static_cast<unsigned>(std::atoi(next().c_str()));
         } else if (arg == "--incidental") {
             cfg.nodeTemplate.enableIncidentalComputing = true;
         } else if (arg == "--relay") {

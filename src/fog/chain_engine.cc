@@ -1,0 +1,450 @@
+#include "fog/chain_engine.hh"
+
+#include "energy/power_trace.hh"
+#include "net/mac.hh"
+#include "net/packet.hh"
+#include "sim/logging.hh"
+
+namespace neofog {
+
+ChainEngine::ChainEngine(const ScenarioConfig &cfg,
+                         std::size_t chain_index,
+                         std::uint32_t first_node_id, Rng rng)
+    : _cfg(cfg), _chainIndex(chain_index), _rng(rng), _loss(cfg.loss),
+      _balancer(makeBalancer(cfg.balancerPolicy))
+{
+    const auto mux = static_cast<std::size_t>(_cfg.multiplexing);
+    std::uint32_t next_id = first_node_id;
+    _nodes.reserve(_cfg.nodesPerChain * mux);
+    for (std::size_t l = 0; l < _cfg.nodesPerChain; ++l) {
+        std::vector<std::size_t> members;
+        for (std::size_t m = 0; m < mux; ++m) {
+            Node::Config ncfg = _cfg.nodeTemplate;
+            ncfg.id = next_id++;
+            ncfg.mode = _cfg.mode;
+            ncfg.rtc.interval = _cfg.slotInterval;
+            members.push_back(_nodes.size());
+            _nodes.push_back(std::make_unique<Node>(
+                ncfg, makeTrace(), _rng.fork()));
+        }
+        _groups.emplace_back(l, std::move(members));
+    }
+    _aliveLastSlot.assign(_cfg.nodesPerChain, true);
+}
+
+std::unique_ptr<PowerTrace>
+ChainEngine::makeTrace()
+{
+    const Tick span = _cfg.horizon + 2 * _cfg.slotInterval;
+    switch (_cfg.traceKind) {
+      case TraceKind::ForestIndependent:
+        return traces::makeForestTrace(_rng, span, _cfg.meanIncome);
+      case TraceKind::BridgeDependent:
+        return traces::makeBridgeTrace(_cfg.profileIndex, _rng, span,
+                                       _cfg.meanIncome);
+      case TraceKind::MountainSunny:
+        return traces::makeMountainTrace(_rng, span, _cfg.meanIncome);
+      case TraceKind::RainLow:
+        // Dependent: all nodes share the deployment's spell schedule.
+        return traces::makeRainTrace(_cfg.seed * 131 + 7, _rng, span,
+                                     _cfg.meanIncome);
+      case TraceKind::Constant:
+        return std::make_unique<ConstantTrace>(_cfg.meanIncome);
+    }
+    NEOFOG_PANIC("unknown trace kind");
+}
+
+const Node &
+ChainEngine::node(std::size_t physical_idx) const
+{
+    NEOFOG_ASSERT(physical_idx < _nodes.size(), "node index");
+    return *_nodes[physical_idx];
+}
+
+void
+ChainEngine::updateMembership(std::int64_t slot_index)
+{
+    // NVD4Q membership update (Algorithm 2 line 9-10): rotate the
+    // clone schedules at the programmer-defined frequency before
+    // resolving who serves this slot.  State travels via the NVRF
+    // clone mechanism, so no network reconstruction is needed.
+    if (_cfg.membershipUpdateInterval <= 0 || slot_index == 0)
+        return;
+    const std::int64_t every =
+        _cfg.membershipUpdateInterval / _cfg.slotInterval;
+    if (every > 0 && slot_index % every == 0) {
+        for (CloneGroup &g : _groups) {
+            if (g.multiplier() > 1) {
+                g.rotateMembership();
+                ++_shard.membershipUpdates;
+            }
+        }
+    }
+}
+
+void
+ChainEngine::runSlot(std::int64_t slot_index)
+{
+    const Tick t = slot_index * _cfg.slotInterval;
+
+    updateMembership(slot_index);
+
+    // One physical clone of every logical node is scheduled this slot.
+    std::vector<Node *> scheduled;
+    scheduled.reserve(_groups.size());
+    for (const CloneGroup &g : _groups)
+        scheduled.push_back(_nodes[g.memberForSlot(slot_index)].get());
+
+    for (Node *n : scheduled) {
+        n->beginSlot(t, _cfg.slotInterval);
+        n->recordEnergyPoint(t);
+        // A volatile node loses buffered-but-unprocessed data at
+        // power-off; NV buffers persist.
+        if (_cfg.mode == OperatingMode::NosVp)
+            n->discardPendingPackages();
+    }
+
+    for (Node *n : scheduled) {
+        if (!n->tryWake())
+            continue;
+        if (_cfg.mode == OperatingMode::NosVp) {
+            // A normally-off VP only performs its burst when the
+            // capacitor holds a complete unit of work; otherwise the
+            // wake was just the RTC check.
+            const EnergyClass cls = n->classify();
+            if (cls == EnergyClass::Ready || cls == EnergyClass::Extra)
+                n->samplePackage();
+        } else {
+            // NVP modes bank samples in the NV buffer whenever they
+            // can; processing happens when energy allows.
+            n->samplePackage();
+        }
+    }
+
+    heal(scheduled);
+    balance(scheduled);
+
+    for (std::size_t l = 0; l < scheduled.size(); ++l) {
+        if (!scheduled[l]->awake())
+            continue;
+        maybeServeRealTimeRequest(*scheduled[l], scheduled, l);
+        executeAndTransmit(*scheduled[l], scheduled, l);
+    }
+}
+
+void
+ChainEngine::maybeServeRealTimeRequest(
+    Node &node, const std::vector<Node *> &scheduled,
+    std::size_t logical_idx)
+{
+    if (_cfg.realTimeRequestChance <= 0.0 ||
+        !_rng.chance(_cfg.realTimeRequestChance))
+        return;
+    // The control node wants this node's current sample immediately:
+    // raw, unbuffered, no fog processing (paper §5.1).
+    const std::size_t raw = _cfg.nodeTemplate.rawPackageBytes;
+    if (node.pendingPackages() == 0) {
+        ++_shard.rtRequestsMissed;
+        return;
+    }
+    const int attempts = _loss.deliver(_rng);
+    const int paid =
+        attempts == 0 ? _loss.config().maxRetries + 1 : attempts;
+    if (!node.payTransmit(raw, paid) || attempts == 0) {
+        ++_shard.rtRequestsMissed;
+        return;
+    }
+    if (!relayToSink(scheduled, logical_idx, raw)) {
+        ++_shard.rtRequestsMissed;
+        return;
+    }
+    node.addPendingPackages(-1);
+    node.stats().packagesToCloud.increment();
+    ++_shard.packagesToCloud;
+    ++_shard.rtRequestsServed;
+}
+
+bool
+ChainEngine::relayToSink(const std::vector<Node *> &scheduled,
+                         std::size_t src, std::size_t payload_bytes)
+{
+    if (!_cfg.hopByHopRelay || src == 0)
+        return true; // MAC-abstracted direct delivery (paper default)
+
+    // The packet walks the chain src-1, src-2, ..., 0.  Each awake
+    // intermediate pays an RX and a TX; dead intermediates are skipped
+    // (the orphan-scan bypass already re-linked the chain).  The final
+    // receive at the sink is free (the sink is mains-powered in the
+    // deployments the paper surveys).
+    for (std::size_t hop = src; hop-- > 1;) {
+        Node *relay = scheduled[hop];
+        if (!relay->awake())
+            continue; // bypassed
+        if (!relay->payReceive(payload_bytes) ||
+            !relay->payTransmit(payload_bytes)) {
+            ++_shard.relayDrops;
+            return false;
+        }
+        if (!_loss.attempt(_rng)) {
+            ++_shard.relayDrops;
+            return false;
+        }
+        ++_shard.relayHops;
+    }
+    return true;
+}
+
+void
+ChainEngine::heal(const std::vector<Node *> &scheduled)
+{
+    // Zigbee self-healing (§4): when B in A->B->C fails to start, A
+    // broadcasts orphan_scan, C confirms, and the AssociatedDevList
+    // updates so traffic bypasses B.  When B recovers it broadcasts
+    // and the neighbours re-associate it.  Both handshakes cost the
+    // *neighbours* (and the recovering node) short control exchanges.
+    const std::size_t n = scheduled.size();
+
+    auto neighbor = [&](std::size_t idx, int dir) -> Node * {
+        // Nearest awake neighbour in the given direction.
+        std::size_t j = idx;
+        while (true) {
+            if (dir < 0 && j == 0)
+                return nullptr;
+            if (dir > 0 && j + 1 >= n)
+                return nullptr;
+            j = dir < 0 ? j - 1 : j + 1;
+            if (scheduled[j]->awake())
+                return scheduled[j];
+        }
+    };
+
+    for (std::size_t l = 0; l < n; ++l) {
+        const bool now = scheduled[l]->awake();
+        const bool before = _aliveLastSlot[l];
+        if (before && !now) {
+            // Newly dead: the upstream neighbour scans, the
+            // downstream one confirms.
+            Node *left = neighbor(l, -1);
+            Node *right = neighbor(l, +1);
+            if (left && right) {
+                left->payControlMessage(
+                    Mac::Config{}.orphanScanBytes);
+                left->payReceive(Mac::Config{}.scanConfirmBytes);
+                right->payReceive(Mac::Config{}.orphanScanBytes);
+                right->payControlMessage(
+                    Mac::Config{}.scanConfirmBytes);
+                ++_shard.orphanScans;
+            }
+        } else if (!before && now) {
+            // Recovered: broadcast presence, neighbours re-associate.
+            Node *left = neighbor(l, -1);
+            scheduled[l]->payControlMessage(
+                Mac::Config{}.orphanScanBytes);
+            if (left) {
+                left->payReceive(Mac::Config{}.orphanScanBytes);
+                left->payControlMessage(
+                    Mac::Config{}.devListEntryBytes);
+            }
+            scheduled[l]->payReceive(
+                Mac::Config{}.devListEntryBytes);
+            ++_shard.rejoins;
+        }
+        _aliveLastSlot[l] = now;
+    }
+}
+
+void
+ChainEngine::balance(std::vector<Node *> &scheduled)
+{
+    // The no-op policy costs nothing and moves nothing.
+    if (_balancer->name() == "none")
+        return;
+
+    std::vector<LbNodeState> states(scheduled.size());
+    for (std::size_t i = 0; i < scheduled.size(); ++i) {
+        Node *n = scheduled[i];
+        LbNodeState &s = states[i];
+        s.alive = n->awake();
+        s.pendingTasks = n->pendingPackages();
+        // Capacity = own queued work the node can actually complete
+        // right now, plus headroom for received tasks.  A node only
+        // becomes a donor when it genuinely cannot fund its own queue.
+        // A node with a nearly drained capacitor offloads even work
+        // it could technically fund: saving scarce stored energy for
+        // future slots beats spending it now when a neighbour has
+        // surplus (the efficiency-oriented goal of §3.2).
+        const bool scarce = n->fillFraction() < 0.15;
+        const bool can_own = !scarce &&
+            n->pendingPackages() > 0 && n->canCompleteOnePackage();
+        s.capacityTasks =
+            n->spareTaskCapacity() +
+            (can_own ? static_cast<double>(n->pendingPackages()) : 0.0);
+        s.taskCost = n->relativeTaskCost();
+    }
+
+    // Every awake participant shares its state once per round.  The
+    // share piggybacks on the slot-synchronization beacon the node
+    // already exchanges, so it costs one short control transmission.
+    for (Node *n : scheduled) {
+        if (!n->awake())
+            continue;
+        n->payControlMessage(4);
+    }
+
+    Rng lb_rng = _rng.fork();
+    const LbOutcome outcome = _balancer->balance(states, lb_rng);
+    _shard.lbMessages +=
+        static_cast<std::uint64_t>(outcome.messagesExchanged);
+    _shard.lbFailedRegions +=
+        static_cast<std::uint64_t>(outcome.failedRegions);
+
+    const std::size_t raw = _cfg.nodeTemplate.rawPackageBytes;
+    for (const TaskMove &m : outcome.moves) {
+        Node *from = scheduled[m.from];
+        Node *to = scheduled[m.to];
+        if (!from->awake() || !to->awake())
+            continue;
+        int shipped = 0;
+        for (int k = 0; k < m.tasks; ++k) {
+            if (from->pendingPackages() == 0)
+                break;
+            // Ship the raw package over the chain (virtual buffers,
+            // loss applies per transfer).
+            const int attempts = _loss.deliver(_rng);
+            const int paid = attempts == 0
+                ? _loss.config().maxRetries + 1 : attempts;
+            if (!from->payTransmit(raw, paid))
+                break;
+            if (attempts == 0) {
+                ++_shard.txLost;
+                from->stats().txFailures.increment();
+                from->addPendingPackages(-1);
+                continue; // raw data lost in transit
+            }
+            if (!to->payReceive(raw))
+                break;
+            from->addPendingPackages(-1);
+            to->addPendingPackages(1);
+            ++shipped;
+        }
+        if (shipped > 0) {
+            from->stats().tasksShipped.increment(
+                static_cast<std::uint64_t>(shipped));
+            to->stats().tasksReceived.increment(
+                static_cast<std::uint64_t>(shipped));
+            _shard.tasksBalancedAway +=
+                static_cast<std::uint64_t>(shipped);
+        }
+    }
+}
+
+void
+ChainEngine::executeAndTransmit(Node &node,
+                                const std::vector<Node *> &scheduled,
+                                std::size_t logical_idx)
+{
+    const bool vp = _cfg.mode == OperatingMode::NosVp;
+    const std::size_t result_bytes = vp
+        ? _cfg.nodeTemplate.rawPackageBytes
+        : _cfg.nodeTemplate.compressedPackageBytes;
+
+    // Process as many queued packages as energy and slot time allow,
+    // transmitting each result.  The node only starts a task when the
+    // whole process-and-ship pipeline is affordable, so compute energy
+    // is never wasted on unshippable results.
+    while (node.pendingPackages() > 0) {
+        if (!vp && !node.canCompleteOnePackage())
+            break;
+        if (node.executeTasks(1) == 0)
+            break;
+        const int attempts = _loss.deliver(_rng);
+        const int paid = attempts == 0
+            ? _loss.config().maxRetries + 1 : attempts;
+        if (!node.payTransmit(result_bytes, paid)) {
+            // Processed but unshippable this slot.
+            ++_shard.txAborted;
+            break;
+        }
+        if (attempts == 0) {
+            node.stats().txFailures.increment();
+            ++_shard.txLost;
+            continue;
+        }
+        if (!relayToSink(scheduled, logical_idx, result_bytes))
+            continue;
+        if (vp) {
+            node.stats().packagesToCloud.increment();
+            ++_shard.packagesToCloud;
+        } else {
+            node.stats().packagesInFog.increment();
+            ++_shard.packagesInFog;
+        }
+    }
+
+    // Incidental computing (if enabled): packages that cannot get the
+    // full fog treatment are summarized at reduced fidelity rather
+    // than discarded (paper §5.1, citing [47]).
+    while (!vp && node.pendingPackages() > 0 &&
+           node.canCompleteIncidental()) {
+        if (node.executeIncidentalTasks(1) == 0)
+            break;
+        const int attempts = _loss.deliver(_rng);
+        const int paid = attempts == 0
+            ? _loss.config().maxRetries + 1 : attempts;
+        if (!node.payTransmit(result_bytes, paid)) {
+            ++_shard.txAborted;
+            break;
+        }
+        if (attempts == 0) {
+            node.stats().txFailures.increment();
+            ++_shard.txLost;
+            continue;
+        }
+        if (!relayToSink(scheduled, logical_idx, result_bytes))
+            continue;
+        ++_shard.packagesIncidental;
+    }
+
+    // An NVP node with leftover transmit energy but no compute budget
+    // (slot time exhausted, or income too bursty to fund a whole task)
+    // falls back to shipping one raw package to the cloud — the small
+    // cloud component of the NVP bars in Fig 10/11.  It requires
+    // surplus energy so it never starves future fog work.
+    if (!vp && node.pendingPackages() > 0 &&
+        node.classify() == EnergyClass::Extra &&
+        !node.canCompleteOnePackage()) {
+        const int attempts = _loss.deliver(_rng);
+        const int paid = attempts == 0
+            ? _loss.config().maxRetries + 1 : attempts;
+        if (node.payTransmit(_cfg.nodeTemplate.rawPackageBytes, paid) &&
+            attempts != 0 &&
+            relayToSink(scheduled, logical_idx,
+                        _cfg.nodeTemplate.rawPackageBytes)) {
+            node.addPendingPackages(-1);
+            node.stats().packagesToCloud.increment();
+            ++_shard.packagesToCloud;
+        }
+    }
+}
+
+void
+ChainEngine::finalizeShard()
+{
+    for (const auto &node : _nodes) {
+        const NodeStats &st = node->stats();
+        _shard.wakeups += st.wakeups.value();
+        _shard.depletionFailures += st.depletionFailures.value();
+        _shard.packagesSampled += st.packagesSampled.value();
+        _shard.rtcResyncs += st.rtcResyncs.value();
+        _shard.capOverflowMj +=
+            node->capacitor().overflowTotal().millijoules();
+        _shard.spentComputeMj += st.spentCompute.millijoules();
+        _shard.spentTxMj += st.spentTx.millijoules();
+        _shard.spentRxMj += st.spentRx.millijoules();
+        _shard.spentSampleMj += st.spentSample.millijoules();
+        _shard.spentWakeMj += st.spentWake.millijoules();
+        _shard.harvestedMj += st.harvestedTotal.millijoules();
+    }
+}
+
+} // namespace neofog

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * ChainEngine: one chain's worth of the system simulation.
+ *
+ * The paper's framework "starts thousands of node simulators at a
+ * time" (§4); chains are mutually independent (results aggregate, no
+ * cross-chain traffic), so each chain is an independently executable
+ * unit.  A ChainEngine owns everything one chain touches during a
+ * slot — its physical nodes, NVD4Q clone groups, heal/relay/real-time
+ * logic, a private Rng stream forked from the scenario seed in chain
+ * order, private LossModel state, a private LoadBalancer, and a
+ * SystemReport shard.  Because no two engines share mutable state,
+ * FogSystem can run the engines of one slot on any number of threads
+ * and still produce bit-identical results (see DESIGN.md, "Threading
+ * and determinism model").
+ */
+
+#ifndef NEOFOG_FOG_CHAIN_ENGINE_HH
+#define NEOFOG_FOG_CHAIN_ENGINE_HH
+
+#include <memory>
+#include <vector>
+
+#include "balance/balancer.hh"
+#include "fog/scenario.hh"
+#include "fog/system_report.hh"
+#include "net/loss.hh"
+#include "node/node.hh"
+#include "virt/nvd4q.hh"
+
+namespace neofog {
+
+/**
+ * Simulator for one independent chain of an energy-harvesting WSN.
+ */
+class ChainEngine
+{
+  public:
+    /**
+     * Build the chain's physical nodes and clone groups.
+     *
+     * @param cfg Scenario shared by all chains (must outlive this).
+     * @param chain_index Position of this chain in the scenario.
+     * @param first_node_id Global id of this chain's first physical
+     *        node (ids stay contiguous across chains).
+     * @param rng Private stream, pre-forked from the scenario root in
+     *        chain order so results never depend on which thread runs
+     *        which chain.
+     */
+    ChainEngine(const ScenarioConfig &cfg, std::size_t chain_index,
+                std::uint32_t first_node_id, Rng rng);
+
+    ChainEngine(const ChainEngine &) = delete;
+    ChainEngine &operator=(const ChainEngine &) = delete;
+
+    /** Execute one slot.  Touches only this engine's state. */
+    void runSlot(std::int64_t slot_index);
+
+    /** Fold the chain's node counters into the report shard. */
+    void finalizeShard();
+
+    /** This engine's report shard (valid after finalizeShard). */
+    const SystemReport &shard() const { return _shard; }
+
+    std::size_t chainIndex() const { return _chainIndex; }
+
+    /** Physical nodes, in id order. */
+    const std::vector<std::unique_ptr<Node>> &nodes() const
+    { return _nodes; }
+
+    const Node &node(std::size_t physical_idx) const;
+
+  private:
+    /** Build the trace for one physical node. */
+    std::unique_ptr<PowerTrace> makeTrace();
+
+    /** Rotate NVD4Q clone groups at the configured frequency. */
+    void updateMembership(std::int64_t slot_index);
+
+    /** Heal the chain around dead nodes (orphan scan / rejoin). */
+    void heal(const std::vector<Node *> &scheduled);
+
+    /** Run the load-balancing round over the scheduled nodes. */
+    void balance(std::vector<Node *> &scheduled);
+
+    /** Serve a possible real-time request at this node. */
+    void maybeServeRealTimeRequest(Node &node,
+                                   const std::vector<Node *> &scheduled,
+                                   std::size_t logical_idx);
+
+    /** Execute tasks and transmit results for one node. */
+    void executeAndTransmit(Node &node,
+                            const std::vector<Node *> &scheduled,
+                            std::size_t logical_idx);
+
+    /**
+     * Deliver @p payload_bytes from logical node @p src toward the
+     * sink: direct (MAC-abstracted) by default, hop-by-hop when
+     * configured.  The sender has already paid its own transmission.
+     * @return true if the packet reached the sink.
+     */
+    bool relayToSink(const std::vector<Node *> &scheduled,
+                     std::size_t src, std::size_t payload_bytes);
+
+    const ScenarioConfig &_cfg;
+    std::size_t _chainIndex;
+    Rng _rng;
+    LossModel _loss;
+    std::unique_ptr<LoadBalancer> _balancer;
+
+    /** Physical nodes of this chain, in id order. */
+    std::vector<std::unique_ptr<Node>> _nodes;
+    /** Clone groups (size nodesPerChain). */
+    std::vector<CloneGroup> _groups;
+    /** Whether each logical position was alive last slot. */
+    std::vector<bool> _aliveLastSlot;
+
+    SystemReport _shard;
+};
+
+} // namespace neofog
+
+#endif // NEOFOG_FOG_CHAIN_ENGINE_HH

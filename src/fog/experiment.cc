@@ -1,6 +1,7 @@
 #include "fog/experiment.hh"
 
 #include "sim/logging.hh"
+#include "sim/thread_pool.hh"
 
 namespace neofog {
 
@@ -25,18 +26,30 @@ AggregateReport::print(std::ostream &os, const std::string &label) const
 
 AggregateReport
 ExperimentRunner::runSeeds(const ScenarioConfig &cfg, int runs,
-                           std::uint64_t base_seed)
+                           std::uint64_t base_seed, unsigned threads)
 {
     if (runs < 1)
         fatal("experiment needs at least one run");
     AggregateReport agg;
     agg.runs = runs;
-    agg.reports.reserve(static_cast<std::size_t>(runs));
-    for (int i = 0; i < runs; ++i) {
+    agg.reports.resize(static_cast<std::size_t>(runs));
+
+    // Each seed is an independent FogSystem; run them concurrently
+    // and deposit each report in its seed-indexed slot, then fold the
+    // statistics serially in seed order so the aggregate is identical
+    // to the serial run.
+    std::unique_ptr<ThreadPool> pool;
+    if (runs > 1 && threads != 1)
+        pool = std::make_unique<ThreadPool>(threads);
+    parallelFor(pool.get(), static_cast<std::size_t>(runs),
+                [&](std::size_t i) {
         ScenarioConfig run_cfg = cfg;
         run_cfg.seed = base_seed + static_cast<std::uint64_t>(i);
         FogSystem sys(run_cfg);
-        const SystemReport r = sys.run();
+        agg.reports[i] = sys.run();
+    });
+
+    for (const SystemReport &r : agg.reports) {
         agg.totalProcessed.sample(
             static_cast<double>(r.totalProcessed()));
         agg.packagesInFog.sample(static_cast<double>(r.packagesInFog));
@@ -51,7 +64,6 @@ ExperimentRunner::runSeeds(const ScenarioConfig &cfg, int runs,
             static_cast<double>(r.tasksBalancedAway));
         agg.yield.sample(r.yield());
         agg.computeRatio.sample(r.computeRatio());
-        agg.reports.push_back(r);
     }
     return agg;
 }

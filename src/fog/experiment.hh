@@ -52,10 +52,18 @@ class ExperimentRunner
     /**
      * Run @p cfg with seeds base_seed, base_seed+1, ...,
      * base_seed+runs-1 and aggregate.
+     *
+     * @param threads Seeds are mutually independent, so they run
+     *        concurrently on this many threads (0 = all hardware
+     *        threads, 1 = serial).  Aggregation happens in seed order
+     *        afterwards, so the result is identical for any value.
+     *        Leave cfg.threads at 1 when parallelizing across seeds;
+     *        the two levels multiply.
      */
     static AggregateReport runSeeds(const ScenarioConfig &cfg,
                                     int runs,
-                                    std::uint64_t base_seed = 1);
+                                    std::uint64_t base_seed = 1,
+                                    unsigned threads = 1);
 
     /**
      * Two-system comparison across the same seeds: returns the

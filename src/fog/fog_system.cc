@@ -1,50 +1,11 @@
 #include "fog/fog_system.hh"
 
-#include <algorithm>
-
-#include "energy/power_trace.hh"
-#include "net/mac.hh"
-#include "net/packet.hh"
 #include "sim/logging.hh"
 
 namespace neofog {
 
-void
-SystemReport::print(std::ostream &os, const std::string &label) const
-{
-    os << label << ":\n"
-       << "  wakeups            " << wakeups << "\n"
-       << "  depletion failures " << depletionFailures << "\n"
-       << "  packages sampled   " << packagesSampled << "\n"
-       << "  cloud processed    " << packagesToCloud << "\n"
-       << "  fog processed      " << packagesInFog << "\n"
-       << "  incidental         " << packagesIncidental << "\n"
-       << "  total processed    " << totalProcessed() << " ("
-       << yield() * 100.0 << "% of ideal " << idealPackages << ")\n"
-       << "  balanced tasks     " << tasksBalancedAway << "\n"
-       << "  lb messages        " << lbMessages << "\n"
-       << "  lb failed regions  " << lbFailedRegions << "\n"
-       << "  tx lost (radio)    " << txLost << "\n"
-       << "  tx aborted (energy)" << txAborted << "\n"
-       << "  orphan scans       " << orphanScans << "\n"
-       << "  rejoins            " << rejoins << "\n"
-       << "  membership updates " << membershipUpdates << "\n"
-       << "  rt requests        " << rtRequestsServed << " served, "
-       << rtRequestsMissed << " missed\n"
-       << "  relay              " << relayHops << " hops, "
-       << relayDrops << " drops\n"
-       << "  rtc resyncs        " << rtcResyncs << "\n"
-       << "  cap overflow (mJ)  " << capOverflowMj << "\n"
-       << "  energy: compute " << computeRatio() * 100.0
-       << "%, radio " << radioRatio() * 100.0 << "% of "
-       << (spentComputeMj + spentTxMj + spentRxMj + spentSampleMj +
-           spentWakeMj)
-       << " mJ spent (" << harvestedMj << " mJ ambient)\n";
-}
-
 FogSystem::FogSystem(const ScenarioConfig &cfg)
-    : _cfg(cfg), _sim(cfg.seed), _rng(cfg.seed ^ 0xF06F06ULL),
-      _loss(cfg.loss), _balancer(makeBalancer(cfg.balancerPolicy))
+    : _cfg(cfg), _sim(cfg.seed)
 {
     if (_cfg.nodesPerChain == 0 || _cfg.chains == 0)
         fatal("scenario needs at least one node and one chain");
@@ -53,49 +14,43 @@ FogSystem::FogSystem(const ScenarioConfig &cfg)
     if (_cfg.slotInterval <= 0 || _cfg.horizon < _cfg.slotInterval)
         fatal("bad slot interval / horizon");
 
+    // Fork the per-chain streams up front, in chain order, from a
+    // root derived only from the seed.  Every stochastic draw a chain
+    // makes afterwards comes from its own stream, so neither the
+    // number of chains executing concurrently nor their interleaving
+    // can perturb any chain's results.
+    Rng root(_cfg.seed ^ 0xF06F06ULL);
     const auto mux = static_cast<std::size_t>(_cfg.multiplexing);
-    _nodes.resize(_cfg.chains);
-    _groups.resize(_cfg.chains);
-    std::uint32_t next_id = 0;
+    _engines.reserve(_cfg.chains);
     for (std::size_t c = 0; c < _cfg.chains; ++c) {
-        _nodes[c].reserve(_cfg.nodesPerChain * mux);
-        for (std::size_t l = 0; l < _cfg.nodesPerChain; ++l) {
-            std::vector<std::size_t> members;
-            for (std::size_t m = 0; m < mux; ++m) {
-                Node::Config ncfg = _cfg.nodeTemplate;
-                ncfg.id = next_id++;
-                ncfg.mode = _cfg.mode;
-                ncfg.rtc.interval = _cfg.slotInterval;
-                members.push_back(_nodes[c].size());
-                _nodes[c].push_back(std::make_unique<Node>(
-                    ncfg, makeTrace(_rng), _rng.fork()));
-            }
-            _groups[c].emplace_back(l, std::move(members));
-        }
-        _aliveLastSlot.emplace_back(_cfg.nodesPerChain, true);
+        const auto first_id =
+            static_cast<std::uint32_t>(c * _cfg.nodesPerChain * mux);
+        _engines.push_back(std::make_unique<ChainEngine>(
+            _cfg, c, first_id, root.fork()));
     }
+
+    const unsigned threads = _cfg.threads == 0
+        ? ThreadPool::hardwareThreads() : _cfg.threads;
+    if (threads > 1 && _cfg.chains > 1)
+        _pool = std::make_unique<ThreadPool>(threads);
 }
 
-std::unique_ptr<PowerTrace>
-FogSystem::makeTrace(Rng &rng)
+void
+FogSystem::slotTick(std::int64_t slot_index)
 {
-    const Tick span = _cfg.horizon + 2 * _cfg.slotInterval;
-    switch (_cfg.traceKind) {
-      case TraceKind::ForestIndependent:
-        return traces::makeForestTrace(rng, span, _cfg.meanIncome);
-      case TraceKind::BridgeDependent:
-        return traces::makeBridgeTrace(_cfg.profileIndex, rng, span,
-                                       _cfg.meanIncome);
-      case TraceKind::MountainSunny:
-        return traces::makeMountainTrace(rng, span, _cfg.meanIncome);
-      case TraceKind::RainLow:
-        // Dependent: all nodes share the deployment's spell schedule.
-        return traces::makeRainTrace(_cfg.seed * 131 + 7, rng, span,
-                                     _cfg.meanIncome);
-      case TraceKind::Constant:
-        return std::make_unique<ConstantTrace>(_cfg.meanIncome);
+    // Chains are mutually independent, so the order (and thread) in
+    // which they execute a slot is irrelevant to the outcome.
+    parallelFor(_pool.get(), _engines.size(), [&](std::size_t c) {
+        _engines[c]->runSlot(slot_index);
+    });
+
+    // Self-rescheduling slot event: keeps the event queue O(1) in the
+    // horizon instead of pre-allocating every slot up front.
+    const std::int64_t next = slot_index + 1;
+    if (next < _cfg.slotCount()) {
+        _sim.schedule(next * _cfg.slotInterval,
+                      [this, next] { slotTick(next); });
     }
-    NEOFOG_PANIC("unknown trace kind");
 }
 
 SystemReport
@@ -106,33 +61,16 @@ FogSystem::run()
     _report = SystemReport{};
     _report.idealPackages = _cfg.idealPackages();
 
-    const std::int64_t slots = _cfg.slotCount();
-    for (std::int64_t s = 0; s < slots; ++s) {
-        const Tick when = s * _cfg.slotInterval;
-        _sim.schedule(when, [this, s] {
-            for (std::size_t c = 0; c < _cfg.chains; ++c)
-                runChainSlot(c, s);
-        });
-    }
+    if (_cfg.slotCount() > 0)
+        _sim.schedule(0, [this] { slotTick(0); });
     _sim.runAll();
 
-    // Aggregate node counters.
-    for (const auto &chain : _nodes) {
-        for (const auto &node : chain) {
-            const NodeStats &st = node->stats();
-            _report.wakeups += st.wakeups.value();
-            _report.depletionFailures += st.depletionFailures.value();
-            _report.packagesSampled += st.packagesSampled.value();
-            _report.rtcResyncs += st.rtcResyncs.value();
-            _report.capOverflowMj +=
-                node->capacitor().overflowTotal().millijoules();
-            _report.spentComputeMj += st.spentCompute.millijoules();
-            _report.spentTxMj += st.spentTx.millijoules();
-            _report.spentRxMj += st.spentRx.millijoules();
-            _report.spentSampleMj += st.spentSample.millijoules();
-            _report.spentWakeMj += st.spentWake.millijoules();
-            _report.harvestedMj += st.harvestedTotal.millijoules();
-        }
+    // Merge the shards serially in chain order: uint64 sums commute,
+    // but double sums do not, and a fixed order keeps the energy
+    // totals bit-identical across thread counts.
+    for (auto &engine : _engines) {
+        engine->finalizeShard();
+        _report.merge(engine->shard());
     }
     return _report;
 }
@@ -141,9 +79,10 @@ void
 FogSystem::dumpStats(std::ostream &os) const
 {
     StatRegistry registry;
-    for (std::size_t c = 0; c < _nodes.size(); ++c) {
-        for (std::size_t i = 0; i < _nodes[c].size(); ++i) {
-            const NodeStats &st = _nodes[c][i]->stats();
+    for (std::size_t c = 0; c < _engines.size(); ++c) {
+        const auto &nodes = _engines[c]->nodes();
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            const NodeStats &st = nodes[i]->stats();
             const std::string prefix = "chain" + std::to_string(c) +
                                        ".node" + std::to_string(i) +
                                        ".";
@@ -180,9 +119,8 @@ FogSystem::dumpStats(std::ostream &os) const
 const Node &
 FogSystem::node(std::size_t chain, std::size_t physical_idx) const
 {
-    NEOFOG_ASSERT(chain < _nodes.size(), "chain index");
-    NEOFOG_ASSERT(physical_idx < _nodes[chain].size(), "node index");
-    return *_nodes[chain][physical_idx];
+    NEOFOG_ASSERT(chain < _engines.size(), "chain index");
+    return _engines[chain]->node(physical_idx);
 }
 
 std::size_t
@@ -190,370 +128,6 @@ FogSystem::physicalPerChain() const
 {
     return _cfg.nodesPerChain *
            static_cast<std::size_t>(_cfg.multiplexing);
-}
-
-void
-FogSystem::runChainSlot(std::size_t chain, std::int64_t slot_index)
-{
-    const Tick t = slot_index * _cfg.slotInterval;
-    auto &nodes = _nodes[chain];
-    auto &groups = _groups[chain];
-
-    // NVD4Q membership update (Algorithm 2 line 9-10): rotate the
-    // clone schedules at the programmer-defined frequency before
-    // resolving who serves this slot.  State travels via the NVRF
-    // clone mechanism, so no network reconstruction is needed.
-    if (_cfg.membershipUpdateInterval > 0 && slot_index > 0) {
-        const std::int64_t every =
-            _cfg.membershipUpdateInterval / _cfg.slotInterval;
-        if (every > 0 && slot_index % every == 0) {
-            for (CloneGroup &g : groups) {
-                if (g.multiplier() > 1) {
-                    g.rotateMembership();
-                    ++_report.membershipUpdates;
-                }
-            }
-        }
-    }
-
-    // One physical clone of every logical node is scheduled this slot.
-    std::vector<Node *> scheduled;
-    scheduled.reserve(groups.size());
-    for (const CloneGroup &g : groups)
-        scheduled.push_back(nodes[g.memberForSlot(slot_index)].get());
-
-    for (Node *n : scheduled) {
-        n->beginSlot(t, _cfg.slotInterval);
-        n->recordEnergyPoint(t);
-        // A volatile node loses buffered-but-unprocessed data at
-        // power-off; NV buffers persist.
-        if (_cfg.mode == OperatingMode::NosVp)
-            n->discardPendingPackages();
-    }
-
-    for (Node *n : scheduled) {
-        if (!n->tryWake())
-            continue;
-        if (_cfg.mode == OperatingMode::NosVp) {
-            // A normally-off VP only performs its burst when the
-            // capacitor holds a complete unit of work; otherwise the
-            // wake was just the RTC check.
-            const EnergyClass cls = n->classify();
-            if (cls == EnergyClass::Ready || cls == EnergyClass::Extra)
-                n->samplePackage();
-        } else {
-            // NVP modes bank samples in the NV buffer whenever they
-            // can; processing happens when energy allows.
-            n->samplePackage();
-        }
-    }
-
-    healChain(chain, scheduled);
-    balanceChain(scheduled);
-
-    for (std::size_t l = 0; l < scheduled.size(); ++l) {
-        if (!scheduled[l]->awake())
-            continue;
-        maybeServeRealTimeRequest(*scheduled[l], scheduled, l);
-        executeAndTransmit(*scheduled[l], scheduled, l);
-    }
-}
-
-void
-FogSystem::maybeServeRealTimeRequest(
-    Node &node, const std::vector<Node *> &scheduled,
-    std::size_t logical_idx)
-{
-    if (_cfg.realTimeRequestChance <= 0.0 ||
-        !_rng.chance(_cfg.realTimeRequestChance))
-        return;
-    // The control node wants this node's current sample immediately:
-    // raw, unbuffered, no fog processing (paper §5.1).
-    const std::size_t raw = _cfg.nodeTemplate.rawPackageBytes;
-    if (node.pendingPackages() == 0) {
-        ++_report.rtRequestsMissed;
-        return;
-    }
-    const int attempts = _loss.deliver(_rng);
-    const int paid =
-        attempts == 0 ? _loss.config().maxRetries + 1 : attempts;
-    if (!node.payTransmit(raw, paid) || attempts == 0) {
-        ++_report.rtRequestsMissed;
-        return;
-    }
-    if (!relayToSink(scheduled, logical_idx, raw)) {
-        ++_report.rtRequestsMissed;
-        return;
-    }
-    node.addPendingPackages(-1);
-    node.stats().packagesToCloud.increment();
-    ++_report.packagesToCloud;
-    ++_report.rtRequestsServed;
-}
-
-bool
-FogSystem::relayToSink(const std::vector<Node *> &scheduled,
-                       std::size_t src, std::size_t payload_bytes)
-{
-    if (!_cfg.hopByHopRelay || src == 0)
-        return true; // MAC-abstracted direct delivery (paper default)
-
-    // The packet walks the chain src-1, src-2, ..., 0.  Each awake
-    // intermediate pays an RX and a TX; dead intermediates are skipped
-    // (the orphan-scan bypass already re-linked the chain).  The final
-    // receive at the sink is free (the sink is mains-powered in the
-    // deployments the paper surveys).
-    for (std::size_t hop = src; hop-- > 1;) {
-        Node *relay = scheduled[hop];
-        if (!relay->awake())
-            continue; // bypassed
-        if (!relay->payReceive(payload_bytes) ||
-            !relay->payTransmit(payload_bytes)) {
-            ++_report.relayDrops;
-            return false;
-        }
-        if (!_loss.attempt(_rng)) {
-            ++_report.relayDrops;
-            return false;
-        }
-        ++_report.relayHops;
-    }
-    return true;
-}
-
-void
-FogSystem::healChain(std::size_t chain,
-                     const std::vector<Node *> &scheduled)
-{
-    // Zigbee self-healing (§4): when B in A->B->C fails to start, A
-    // broadcasts orphan_scan, C confirms, and the AssociatedDevList
-    // updates so traffic bypasses B.  When B recovers it broadcasts
-    // and the neighbours re-associate it.  Both handshakes cost the
-    // *neighbours* (and the recovering node) short control exchanges.
-    auto &alive_last = _aliveLastSlot[chain];
-    const std::size_t n = scheduled.size();
-
-    auto neighbor = [&](std::size_t idx, int dir) -> Node * {
-        // Nearest awake neighbour in the given direction.
-        std::size_t j = idx;
-        while (true) {
-            if (dir < 0 && j == 0)
-                return nullptr;
-            if (dir > 0 && j + 1 >= n)
-                return nullptr;
-            j = dir < 0 ? j - 1 : j + 1;
-            if (scheduled[j]->awake())
-                return scheduled[j];
-        }
-    };
-
-    for (std::size_t l = 0; l < n; ++l) {
-        const bool now = scheduled[l]->awake();
-        const bool before = alive_last[l];
-        if (before && !now) {
-            // Newly dead: the upstream neighbour scans, the
-            // downstream one confirms.
-            Node *left = neighbor(l, -1);
-            Node *right = neighbor(l, +1);
-            if (left && right) {
-                left->payControlMessage(
-                    Mac::Config{}.orphanScanBytes);
-                left->payReceive(Mac::Config{}.scanConfirmBytes);
-                right->payReceive(Mac::Config{}.orphanScanBytes);
-                right->payControlMessage(
-                    Mac::Config{}.scanConfirmBytes);
-                ++_report.orphanScans;
-            }
-        } else if (!before && now) {
-            // Recovered: broadcast presence, neighbours re-associate.
-            Node *left = neighbor(l, -1);
-            scheduled[l]->payControlMessage(
-                Mac::Config{}.orphanScanBytes);
-            if (left) {
-                left->payReceive(Mac::Config{}.orphanScanBytes);
-                left->payControlMessage(
-                    Mac::Config{}.devListEntryBytes);
-            }
-            scheduled[l]->payReceive(
-                Mac::Config{}.devListEntryBytes);
-            ++_report.rejoins;
-        }
-        alive_last[l] = now;
-    }
-}
-
-void
-FogSystem::balanceChain(std::vector<Node *> &scheduled)
-{
-    // The no-op policy costs nothing and moves nothing.
-    if (_balancer->name() == "none")
-        return;
-
-    std::vector<LbNodeState> states(scheduled.size());
-    for (std::size_t i = 0; i < scheduled.size(); ++i) {
-        Node *n = scheduled[i];
-        LbNodeState &s = states[i];
-        s.alive = n->awake();
-        s.pendingTasks = n->pendingPackages();
-        // Capacity = own queued work the node can actually complete
-        // right now, plus headroom for received tasks.  A node only
-        // becomes a donor when it genuinely cannot fund its own queue.
-        // A node with a nearly drained capacitor offloads even work
-        // it could technically fund: saving scarce stored energy for
-        // future slots beats spending it now when a neighbour has
-        // surplus (the efficiency-oriented goal of §3.2).
-        const bool scarce = n->fillFraction() < 0.15;
-        const bool can_own = !scarce &&
-            n->pendingPackages() > 0 && n->canCompleteOnePackage();
-        s.capacityTasks =
-            n->spareTaskCapacity() +
-            (can_own ? static_cast<double>(n->pendingPackages()) : 0.0);
-        s.taskCost = n->relativeTaskCost();
-    }
-
-    // Every awake participant shares its state once per round.  The
-    // share piggybacks on the slot-synchronization beacon the node
-    // already exchanges, so it costs one short control transmission.
-    for (Node *n : scheduled) {
-        if (!n->awake())
-            continue;
-        n->payControlMessage(4);
-    }
-
-    Rng lb_rng = _rng.fork();
-    const LbOutcome outcome = _balancer->balance(states, lb_rng);
-    _report.lbMessages +=
-        static_cast<std::uint64_t>(outcome.messagesExchanged);
-    _report.lbFailedRegions +=
-        static_cast<std::uint64_t>(outcome.failedRegions);
-
-    const std::size_t raw = _cfg.nodeTemplate.rawPackageBytes;
-    for (const TaskMove &m : outcome.moves) {
-        Node *from = scheduled[m.from];
-        Node *to = scheduled[m.to];
-        if (!from->awake() || !to->awake())
-            continue;
-        int shipped = 0;
-        for (int k = 0; k < m.tasks; ++k) {
-            if (from->pendingPackages() == 0)
-                break;
-            // Ship the raw package over the chain (virtual buffers,
-            // loss applies per transfer).
-            const int attempts = _loss.deliver(_rng);
-            const int paid = attempts == 0
-                ? _loss.config().maxRetries + 1 : attempts;
-            if (!from->payTransmit(raw, paid))
-                break;
-            if (attempts == 0) {
-                ++_report.txLost;
-                from->stats().txFailures.increment();
-                from->addPendingPackages(-1);
-                continue; // raw data lost in transit
-            }
-            if (!to->payReceive(raw))
-                break;
-            from->addPendingPackages(-1);
-            to->addPendingPackages(1);
-            ++shipped;
-        }
-        if (shipped > 0) {
-            from->stats().tasksShipped.increment(
-                static_cast<std::uint64_t>(shipped));
-            to->stats().tasksReceived.increment(
-                static_cast<std::uint64_t>(shipped));
-            _report.tasksBalancedAway +=
-                static_cast<std::uint64_t>(shipped);
-        }
-    }
-}
-
-void
-FogSystem::executeAndTransmit(Node &node,
-                              const std::vector<Node *> &scheduled,
-                              std::size_t logical_idx)
-{
-    const bool vp = _cfg.mode == OperatingMode::NosVp;
-    const std::size_t result_bytes = vp
-        ? _cfg.nodeTemplate.rawPackageBytes
-        : _cfg.nodeTemplate.compressedPackageBytes;
-
-    // Process as many queued packages as energy and slot time allow,
-    // transmitting each result.  The node only starts a task when the
-    // whole process-and-ship pipeline is affordable, so compute energy
-    // is never wasted on unshippable results.
-    while (node.pendingPackages() > 0) {
-        if (!vp && !node.canCompleteOnePackage())
-            break;
-        if (node.executeTasks(1) == 0)
-            break;
-        const int attempts = _loss.deliver(_rng);
-        const int paid = attempts == 0
-            ? _loss.config().maxRetries + 1 : attempts;
-        if (!node.payTransmit(result_bytes, paid)) {
-            // Processed but unshippable this slot.
-            ++_report.txAborted;
-            break;
-        }
-        if (attempts == 0) {
-            node.stats().txFailures.increment();
-            ++_report.txLost;
-            continue;
-        }
-        if (!relayToSink(scheduled, logical_idx, result_bytes))
-            continue;
-        if (vp) {
-            node.stats().packagesToCloud.increment();
-            ++_report.packagesToCloud;
-        } else {
-            node.stats().packagesInFog.increment();
-            ++_report.packagesInFog;
-        }
-    }
-
-    // Incidental computing (if enabled): packages that cannot get the
-    // full fog treatment are summarized at reduced fidelity rather
-    // than discarded (paper §5.1, citing [47]).
-    while (!vp && node.pendingPackages() > 0 &&
-           node.canCompleteIncidental()) {
-        if (node.executeIncidentalTasks(1) == 0)
-            break;
-        const int attempts = _loss.deliver(_rng);
-        const int paid = attempts == 0
-            ? _loss.config().maxRetries + 1 : attempts;
-        if (!node.payTransmit(result_bytes, paid)) {
-            ++_report.txAborted;
-            break;
-        }
-        if (attempts == 0) {
-            node.stats().txFailures.increment();
-            ++_report.txLost;
-            continue;
-        }
-        if (!relayToSink(scheduled, logical_idx, result_bytes))
-            continue;
-        ++_report.packagesIncidental;
-    }
-
-    // An NVP node with leftover transmit energy but no compute budget
-    // (slot time exhausted, or income too bursty to fund a whole task)
-    // falls back to shipping one raw package to the cloud — the small
-    // cloud component of the NVP bars in Fig 10/11.  It requires
-    // surplus energy so it never starves future fog work.
-    if (!vp && node.pendingPackages() > 0 &&
-        node.classify() == EnergyClass::Extra &&
-        !node.canCompleteOnePackage()) {
-        const int attempts = _loss.deliver(_rng);
-        const int paid = attempts == 0
-            ? _loss.config().maxRetries + 1 : attempts;
-        if (node.payTransmit(_cfg.nodeTemplate.rawPackageBytes, paid) &&
-            attempts != 0 &&
-            relayToSink(scheduled, logical_idx,
-                        _cfg.nodeTemplate.rawPackageBytes)) {
-            node.addPendingPackages(-1);
-            node.stats().packagesToCloud.increment();
-            ++_report.packagesToCloud;
-        }
-    }
 }
 
 } // namespace neofog

@@ -9,6 +9,12 @@
  * intra-chain load balancing and inter-chain virtualization, and
  * mimics communication as direct transfers through virtual buffers
  * under a success probability.
+ *
+ * The per-chain simulation lives in ChainEngine; FogSystem is the
+ * orchestrator: it forks one RNG stream per chain (in chain order),
+ * schedules the slot grid, dispatches the chains of each slot across
+ * a ThreadPool, and merges the per-chain report shards in chain order
+ * so results are bit-identical for any thread count.
  */
 
 #ifndef NEOFOG_FOG_FOG_SYSTEM_HH
@@ -18,83 +24,13 @@
 #include <ostream>
 #include <vector>
 
-#include "balance/balancer.hh"
+#include "fog/chain_engine.hh"
 #include "fog/scenario.hh"
-#include "net/loss.hh"
-#include "node/node.hh"
+#include "fog/system_report.hh"
 #include "sim/simulator.hh"
-#include "virt/nvd4q.hh"
+#include "sim/thread_pool.hh"
 
 namespace neofog {
-
-/** Aggregated results of one run. */
-struct SystemReport
-{
-    std::uint64_t idealPackages = 0;
-    std::uint64_t wakeups = 0;
-    std::uint64_t depletionFailures = 0;
-    std::uint64_t packagesSampled = 0;
-    std::uint64_t packagesToCloud = 0;
-    std::uint64_t packagesInFog = 0;
-    /** Reduced-fidelity summaries (incidental computing, if enabled). */
-    std::uint64_t packagesIncidental = 0;
-    std::uint64_t tasksBalancedAway = 0;
-    std::uint64_t lbMessages = 0;
-    std::uint64_t lbFailedRegions = 0;
-    std::uint64_t txLost = 0;    ///< packets lost on the radio
-    std::uint64_t txAborted = 0; ///< transmissions unaffordable (energy/time)
-    std::uint64_t orphanScans = 0; ///< Zigbee bypass handshakes run
-    std::uint64_t rejoins = 0;     ///< nodes re-associated after recovery
-    std::uint64_t membershipUpdates = 0; ///< NVD4Q clone rotations
-    std::uint64_t rtRequestsServed = 0;  ///< real-time queries answered
-    std::uint64_t rtRequestsMissed = 0;  ///< real-time queries unmet
-    std::uint64_t relayHops = 0;         ///< hop-by-hop relays performed
-    std::uint64_t relayDrops = 0;        ///< packets lost mid-chain
-    std::uint64_t rtcResyncs = 0;
-    double capOverflowMj = 0.0; ///< energy rejected by full capacitors
-
-    /** System-wide spend by category (mJ), summed over all nodes. */
-    double spentComputeMj = 0.0;
-    double spentTxMj = 0.0;
-    double spentRxMj = 0.0;
-    double spentSampleMj = 0.0;
-    double spentWakeMj = 0.0;
-    double harvestedMj = 0.0;
-
-    /** Compute share of the spend — the paper's "compute ratio". */
-    double
-    computeRatio() const
-    {
-        const double total = spentComputeMj + spentTxMj + spentRxMj +
-                             spentSampleMj + spentWakeMj;
-        return total > 0.0 ? spentComputeMj / total : 0.0;
-    }
-
-    /** Radio (TX+RX) share of the spend. */
-    double
-    radioRatio() const
-    {
-        const double total = spentComputeMj + spentTxMj + spentRxMj +
-                             spentSampleMj + spentWakeMj;
-        return total > 0.0 ? (spentTxMj + spentRxMj) / total : 0.0;
-    }
-
-    /** Total packages delivered (cloud + fog). */
-    std::uint64_t totalProcessed() const
-    { return packagesToCloud + packagesInFog; }
-
-    /** Delivered fraction of the ideal. */
-    double yield() const
-    {
-        return idealPackages == 0
-            ? 0.0
-            : static_cast<double>(totalProcessed()) /
-              static_cast<double>(idealPackages);
-    }
-
-    /** Print a human-readable summary. */
-    void print(std::ostream &os, const std::string &label) const;
-};
 
 /**
  * One simulated deployment.
@@ -115,6 +51,10 @@ class FogSystem
 
     const ScenarioConfig &config() const { return _cfg; }
 
+    /** The per-chain engines, in chain order. */
+    const std::vector<std::unique_ptr<ChainEngine>> &chains() const
+    { return _engines; }
+
     /**
      * Dump every node's counters and series sizes as "name value"
      * lines (gem5-style), e.g. `chain0.node3.wakeups 117`.
@@ -125,50 +65,17 @@ class FogSystem
     Simulator &sim() { return _sim; }
 
   private:
-    /** Execute one slot for one chain. */
-    void runChainSlot(std::size_t chain, std::int64_t slot_index);
-
-    /** Build the trace for one physical node. */
-    std::unique_ptr<PowerTrace> makeTrace(Rng &rng);
-
-    /** Run the load-balancing round over a chain's scheduled nodes. */
-    void balanceChain(std::vector<Node *> &scheduled);
-
-    /** Execute tasks and transmit results for one node. */
-    void executeAndTransmit(Node &node,
-                            const std::vector<Node *> &scheduled,
-                            std::size_t logical_idx);
-
-    /**
-     * Deliver @p payload_bytes from logical node @p src toward the
-     * sink: direct (MAC-abstracted) by default, hop-by-hop when
-     * configured.  The sender has already paid its own transmission.
-     * @return true if the packet reached the sink.
-     */
-    bool relayToSink(const std::vector<Node *> &scheduled,
-                     std::size_t src, std::size_t payload_bytes);
-
-    /** Serve a possible real-time request at this node. */
-    void maybeServeRealTimeRequest(Node &node,
-                                   const std::vector<Node *> &scheduled,
-                                   std::size_t logical_idx);
+    /** Run one slot across every chain, then schedule the next. */
+    void slotTick(std::int64_t slot_index);
 
     ScenarioConfig _cfg;
     Simulator _sim;
-    Rng _rng;
-    LossModel _loss;
-    std::unique_ptr<LoadBalancer> _balancer;
 
-    /** Heal the chain around dead nodes (orphan scan / rejoin). */
-    void healChain(std::size_t chain,
-                   const std::vector<Node *> &scheduled);
+    /** One engine per chain; no two share mutable state. */
+    std::vector<std::unique_ptr<ChainEngine>> _engines;
 
-    /** _nodes[chain][physical index within chain]. */
-    std::vector<std::vector<std::unique_ptr<Node>>> _nodes;
-    /** Clone groups per chain (size nodesPerChain each). */
-    std::vector<std::vector<CloneGroup>> _groups;
-    /** Per chain: whether each logical position was alive last slot. */
-    std::vector<std::vector<bool>> _aliveLastSlot;
+    /** Worker pool for the per-slot chain loop (null when serial). */
+    std::unique_ptr<ThreadPool> _pool;
 
     SystemReport _report;
     bool _ran = false;

@@ -91,6 +91,15 @@ struct ScenarioConfig
 
     std::uint64_t seed = 1;
 
+    /**
+     * Worker threads for the per-slot chain loop: chains of a slot run
+     * concurrently on this many threads (0 = all hardware threads).
+     * Results are bit-identical for any value — every chain draws from
+     * its own pre-forked RNG stream and shards merge in chain order
+     * (see DESIGN.md, "Threading and determinism model").
+     */
+    unsigned threads = 1;
+
     /** Ideal package count: logical nodes x chains x slots. */
     std::uint64_t idealPackages() const;
     /** Slots in the horizon. */

@@ -1,0 +1,69 @@
+#include "fog/system_report.hh"
+
+namespace neofog {
+
+void
+SystemReport::merge(const SystemReport &shard)
+{
+    wakeups += shard.wakeups;
+    depletionFailures += shard.depletionFailures;
+    packagesSampled += shard.packagesSampled;
+    packagesToCloud += shard.packagesToCloud;
+    packagesInFog += shard.packagesInFog;
+    packagesIncidental += shard.packagesIncidental;
+    tasksBalancedAway += shard.tasksBalancedAway;
+    lbMessages += shard.lbMessages;
+    lbFailedRegions += shard.lbFailedRegions;
+    txLost += shard.txLost;
+    txAborted += shard.txAborted;
+    orphanScans += shard.orphanScans;
+    rejoins += shard.rejoins;
+    membershipUpdates += shard.membershipUpdates;
+    rtRequestsServed += shard.rtRequestsServed;
+    rtRequestsMissed += shard.rtRequestsMissed;
+    relayHops += shard.relayHops;
+    relayDrops += shard.relayDrops;
+    rtcResyncs += shard.rtcResyncs;
+    capOverflowMj += shard.capOverflowMj;
+    spentComputeMj += shard.spentComputeMj;
+    spentTxMj += shard.spentTxMj;
+    spentRxMj += shard.spentRxMj;
+    spentSampleMj += shard.spentSampleMj;
+    spentWakeMj += shard.spentWakeMj;
+    harvestedMj += shard.harvestedMj;
+}
+
+void
+SystemReport::print(std::ostream &os, const std::string &label) const
+{
+    os << label << ":\n"
+       << "  wakeups            " << wakeups << "\n"
+       << "  depletion failures " << depletionFailures << "\n"
+       << "  packages sampled   " << packagesSampled << "\n"
+       << "  cloud processed    " << packagesToCloud << "\n"
+       << "  fog processed      " << packagesInFog << "\n"
+       << "  incidental         " << packagesIncidental << "\n"
+       << "  total processed    " << totalProcessed() << " ("
+       << yield() * 100.0 << "% of ideal " << idealPackages << ")\n"
+       << "  balanced tasks     " << tasksBalancedAway << "\n"
+       << "  lb messages        " << lbMessages << "\n"
+       << "  lb failed regions  " << lbFailedRegions << "\n"
+       << "  tx lost (radio)    " << txLost << "\n"
+       << "  tx aborted (energy)" << txAborted << "\n"
+       << "  orphan scans       " << orphanScans << "\n"
+       << "  rejoins            " << rejoins << "\n"
+       << "  membership updates " << membershipUpdates << "\n"
+       << "  rt requests        " << rtRequestsServed << " served, "
+       << rtRequestsMissed << " missed\n"
+       << "  relay              " << relayHops << " hops, "
+       << relayDrops << " drops\n"
+       << "  rtc resyncs        " << rtcResyncs << "\n"
+       << "  cap overflow (mJ)  " << capOverflowMj << "\n"
+       << "  energy: compute " << computeRatio() * 100.0
+       << "%, radio " << radioRatio() * 100.0 << "% of "
+       << (spentComputeMj + spentTxMj + spentRxMj + spentSampleMj +
+           spentWakeMj)
+       << " mJ spent (" << harvestedMj << " mJ ambient)\n";
+}
+
+} // namespace neofog

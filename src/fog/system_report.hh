@@ -1,0 +1,101 @@
+/**
+ * @file
+ * SystemReport: aggregated results of one system-level run.
+ *
+ * Every counter is a plain sum over nodes/chains, so per-chain shards
+ * (see ChainEngine) merge into the run-level report by field-wise
+ * addition.  Merging happens serially in chain order, which keeps the
+ * floating-point fields bit-identical no matter how many threads ran
+ * the chains.
+ */
+
+#ifndef NEOFOG_FOG_SYSTEM_REPORT_HH
+#define NEOFOG_FOG_SYSTEM_REPORT_HH
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+
+namespace neofog {
+
+/** Aggregated results of one run. */
+struct SystemReport
+{
+    std::uint64_t idealPackages = 0;
+    std::uint64_t wakeups = 0;
+    std::uint64_t depletionFailures = 0;
+    std::uint64_t packagesSampled = 0;
+    std::uint64_t packagesToCloud = 0;
+    std::uint64_t packagesInFog = 0;
+    /** Reduced-fidelity summaries (incidental computing, if enabled). */
+    std::uint64_t packagesIncidental = 0;
+    std::uint64_t tasksBalancedAway = 0;
+    std::uint64_t lbMessages = 0;
+    std::uint64_t lbFailedRegions = 0;
+    std::uint64_t txLost = 0;    ///< packets lost on the radio
+    std::uint64_t txAborted = 0; ///< transmissions unaffordable (energy/time)
+    std::uint64_t orphanScans = 0; ///< Zigbee bypass handshakes run
+    std::uint64_t rejoins = 0;     ///< nodes re-associated after recovery
+    std::uint64_t membershipUpdates = 0; ///< NVD4Q clone rotations
+    std::uint64_t rtRequestsServed = 0;  ///< real-time queries answered
+    std::uint64_t rtRequestsMissed = 0;  ///< real-time queries unmet
+    std::uint64_t relayHops = 0;         ///< hop-by-hop relays performed
+    std::uint64_t relayDrops = 0;        ///< packets lost mid-chain
+    std::uint64_t rtcResyncs = 0;
+    double capOverflowMj = 0.0; ///< energy rejected by full capacitors
+
+    /** System-wide spend by category (mJ), summed over all nodes. */
+    double spentComputeMj = 0.0;
+    double spentTxMj = 0.0;
+    double spentRxMj = 0.0;
+    double spentSampleMj = 0.0;
+    double spentWakeMj = 0.0;
+    double harvestedMj = 0.0;
+
+    /** Compute share of the spend — the paper's "compute ratio". */
+    double
+    computeRatio() const
+    {
+        const double total = spentComputeMj + spentTxMj + spentRxMj +
+                             spentSampleMj + spentWakeMj;
+        return total > 0.0 ? spentComputeMj / total : 0.0;
+    }
+
+    /** Radio (TX+RX) share of the spend. */
+    double
+    radioRatio() const
+    {
+        const double total = spentComputeMj + spentTxMj + spentRxMj +
+                             spentSampleMj + spentWakeMj;
+        return total > 0.0 ? (spentTxMj + spentRxMj) / total : 0.0;
+    }
+
+    /** Total packages delivered (cloud + fog). */
+    std::uint64_t totalProcessed() const
+    { return packagesToCloud + packagesInFog; }
+
+    /** Delivered fraction of the ideal. */
+    double yield() const
+    {
+        return idealPackages == 0
+            ? 0.0
+            : static_cast<double>(totalProcessed()) /
+              static_cast<double>(idealPackages);
+    }
+
+    /**
+     * Field-wise accumulate @p shard into this report.  idealPackages
+     * is scenario-derived, not shard-derived, so it is left alone.
+     */
+    void merge(const SystemReport &shard);
+
+    /** Exact equality of every field (determinism checks). */
+    bool operator==(const SystemReport &other) const = default;
+
+    /** Print a human-readable summary. */
+    void print(std::ostream &os, const std::string &label) const;
+};
+
+} // namespace neofog
+
+#endif // NEOFOG_FOG_SYSTEM_REPORT_HH

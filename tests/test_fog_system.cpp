@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "fog/experiment.hh"
 #include "fog/fog_system.hh"
 #include "fog/presets.hh"
 #include "sim/logging.hh"
@@ -172,10 +173,15 @@ TEST(FogSystem, MultiplexingNeutralInHighPower)
         cfg.horizon = 2 * kHour;
         return cfg;
     };
-    const SystemReport m1 = FogSystem(mk(1)).run();
-    const SystemReport m3 = FogSystem(mk(3)).run();
-    const double gain = static_cast<double>(m3.totalProcessed()) /
-                        static_cast<double>(m1.totalProcessed());
+    // A single 2-hour seed is too noisy to pin the "roughly neutral"
+    // property, so average a few seeds (the paper itself averages
+    // five power profiles per figure).
+    const AggregateReport m1 =
+        ExperimentRunner::runSeeds(mk(1), 5, 500, 4);
+    const AggregateReport m3 =
+        ExperimentRunner::runSeeds(mk(3), 5, 500, 4);
+    const double gain =
+        m3.totalProcessed.mean() / m1.totalProcessed.mean();
     EXPECT_LT(gain, 1.35);
 }
 
