@@ -26,6 +26,7 @@ using namespace neofog::bench;
 int
 main()
 {
+    ResultSink sink("ablation_design_knobs");
     header("Ablation 1: package freshness deadline (NEOFog, forest "
            "power)");
     {
@@ -47,6 +48,12 @@ main()
                    std::to_string(r.totalProcessed()),
                    std::to_string(r.tasksBalancedAway),
                    std::to_string(discarded), pct(r.yield())});
+            const std::string key =
+                "deadline" + std::to_string(deadline);
+            sink.add(key + "_total",
+                     static_cast<double>(r.totalProcessed()));
+            sink.add(key + "_balanced",
+                     static_cast<double>(r.tasksBalancedAway));
         }
         std::printf("\nThroughput is nearly deadline-insensitive at this "
                     "operating point, but the\nbalancer's role shrinks as "
@@ -74,10 +81,15 @@ main()
             t.row({fmt(cap_mj, 0) + " mJ",
                    std::to_string(r.totalProcessed()), pct(r.yield()),
                    fmt(r.capOverflowMj / 1000.0, 2)});
+            const std::string key = "cap" + fmt(cap_mj, 0) + "mj";
+            sink.add(key + "_total",
+                     static_cast<double>(r.totalProcessed()));
+            sink.add(key + "_yield", r.yield());
         }
         std::printf("\nSmall capacitors overflow during bright spells "
                     "and starve the multiplexed\nclones; growing them "
                     "recovers yield until the income itself binds.\n");
     }
+    sink.write();
     return 0;
 }

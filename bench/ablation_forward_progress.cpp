@@ -63,6 +63,7 @@ main()
            "Cycles", "Ratio"});
     t.separator();
 
+    ResultSink sink("ablation_forward_progress");
     IntermittentExecution::Config cfg;
     for (const Profile &p : profiles) {
         NvProcessor nvp{NvProcessor::fiosConfig()};
@@ -84,7 +85,9 @@ main()
                std::to_string(rv.instructionsWasted),
                std::to_string(rv.powerCycles),
                ratio > 0.0 ? fmt(ratio, 2) + "x" : "inf"});
+        sink.add(keyify(p.label) + "_nvp_vs_vp", ratio);
     }
+    sink.write();
 
     std::printf("\nShape check (paper §2.2, citing [47]): 2.2x-5x more "
                 "forward progress in\nharvesting regimes; the advantage "

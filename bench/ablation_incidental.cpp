@@ -41,6 +41,7 @@ main()
            "Gain"});
     t.separator();
 
+    ResultSink sink("ablation_incidental");
     for (const Regime &regime : regimes) {
         std::uint64_t totals[2] = {};
         std::uint64_t fog[2] = {}, incidental[2] = {}, discarded[2] = {};
@@ -73,7 +74,13 @@ main()
                std::to_string(totals[1]) + " (was " +
                    std::to_string(totals[0]) + ")",
                fmt(gain, 2) + "x"});
+        const std::string key = keyify(regime.label);
+        sink.add(key + "_useful_with", static_cast<double>(totals[1]));
+        sink.add(key + "_useful_without",
+                 static_cast<double>(totals[0]));
+        sink.add(key + "_gain", gain);
     }
+    sink.write();
 
     std::printf("\nShape check: incidental summaries recover otherwise-"
                 "discarded samples, with\nthe largest relative gain in "

@@ -37,6 +37,7 @@ main()
            "NEOFog/NVP"});
     t.separator();
 
+    ResultSink sink("ablation_income_sweep");
     for (double mw : {0.2, 0.5, 1.0, 2.0, 2.6, 4.0, 6.0, 10.0, 16.0}) {
         double totals[3] = {};
         for (int si = 0; si < 3; ++si) {
@@ -53,7 +54,12 @@ main()
                                : "inf",
                totals[1] > 0.0 ? fmt(totals[2] / totals[1], 2) + "x"
                                : "inf"});
+        const std::string key = keyify(fmt(mw, 1)) + "mw";
+        sink.add("neofog_total_" + key, totals[2]);
+        sink.add("neofog_vs_vp_" + key,
+                 totals[0] > 0.0 ? totals[2] / totals[0] : 0.0);
     }
+    sink.write();
 
     std::printf("\nShape check: the NEOFog advantage is largest in the "
                 "harvesting regime and\ncompresses toward 1x as every "

@@ -25,7 +25,8 @@ using namespace neofog::bench;
 namespace {
 
 void
-runOne(const presets::SystemUnderTest &sut, bool relay)
+runOne(ResultSink &sink, const presets::SystemUnderTest &sut,
+       bool relay)
 {
     ScenarioConfig cfg = presets::fig10(sut, 0);
     cfg.hopByHopRelay = relay;
@@ -40,6 +41,11 @@ runOne(const presets::SystemUnderTest &sut, bool relay)
                 static_cast<unsigned long long>(r.totalProcessed()),
                 static_cast<unsigned long long>(r.relayHops),
                 static_cast<unsigned long long>(r.relayDrops));
+    const std::string key =
+        keyify(sut.label) + (relay ? "_relay" : "_direct");
+    sink.add(key + "_total", static_cast<double>(r.totalProcessed()));
+    if (relay)
+        sink.add(key + "_hops", static_cast<double>(r.relayHops));
     if (relay) {
         std::printf("    radio energy by chain position (mJ):");
         for (std::size_t i = 1; i < 10; ++i) {
@@ -59,10 +65,11 @@ main()
     header("Ablation: direct (MAC-abstracted) vs hop-by-hop relay "
            "delivery");
 
+    ResultSink sink("ablation_relay_funnel");
     for (const auto &sut :
          {presets::nosVp(), presets::fiosNeofog()}) {
-        runOne(sut, false);
-        runOne(sut, true);
+        runOne(sink, sut, false);
+        runOne(sink, sut, true);
     }
 
     std::printf("\nShape check: relaying taxes the chain near the sink "
@@ -70,5 +77,6 @@ main()
                 "the VP's raw packets suffer far more than NEOFog's\n"
                 "compressed results, reinforcing the case for in-fog "
                 "processing.\n");
+    sink.write();
     return 0;
 }

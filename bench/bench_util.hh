@@ -1,15 +1,28 @@
 /**
  * @file
- * Shared helpers for the experiment harnesses: aligned table printing
- * and paper-vs-measured annotation.
+ * Shared helpers for the experiment harnesses.
+ *
+ * The aligned-table printing is the report_io::TextTable implementation
+ * (the same one SystemReport::print uses) bound to stdout; this header
+ * only adapts it to the harnesses' printf-style usage.  ResultSink is
+ * the machine-readable side: every harness deposits its headline
+ * numbers and writes a schema-tagged BENCH_<name>.json next to its
+ * tables, so perf trajectories can be tracked across commits.
  */
 
 #ifndef NEOFOG_BENCH_BENCH_UTIL_HH
 #define NEOFOG_BENCH_BENCH_UTIL_HH
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "sim/report_io.hh"
 
 namespace neofog::bench {
 
@@ -17,72 +30,144 @@ namespace neofog::bench {
 inline void
 rule(int width = 78)
 {
-    for (int i = 0; i < width; ++i)
-        std::putchar('-');
-    std::putchar('\n');
+    report_io::rule(std::cout, width);
 }
 
 /** Print a section header. */
 inline void
 header(const std::string &title)
 {
-    std::printf("\n");
-    rule();
-    std::printf("%s\n", title.c_str());
-    rule();
+    report_io::sectionHeader(std::cout, title);
 }
 
 /**
- * Simple fixed-width table printer: set column widths, then feed rows
- * of strings.
+ * Fixed-width table on stdout: set column widths, then feed rows of
+ * strings.  Thin stdout binding of report_io::TextTable — the one
+ * aligned-table implementation.
  */
 class Table
 {
   public:
-    explicit Table(std::vector<int> widths) : _widths(std::move(widths))
+    explicit Table(std::vector<int> widths)
+        : _table(std::cout, std::move(widths))
     {}
 
-    void
-    row(const std::vector<std::string> &cells)
-    {
-        for (std::size_t i = 0; i < cells.size(); ++i) {
-            const int w =
-                i < _widths.size() ? _widths[i] : 12;
-            std::printf("%-*s", w, cells[i].c_str());
-        }
-        std::printf("\n");
-    }
+    void row(const std::vector<std::string> &cells)
+    { _table.row(cells); }
 
-    void
-    separator()
-    {
-        int total = 0;
-        for (int w : _widths)
-            total += w;
-        rule(total);
-    }
+    void separator() { _table.separator(); }
 
   private:
-    std::vector<int> _widths;
+    report_io::TextTable _table;
 };
 
 /** Format a double with the given precision. */
 inline std::string
 fmt(double v, int precision = 2)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
-    return buf;
+    return report_io::fmtFixed(v, precision);
 }
 
 /** Format a percentage. */
 inline std::string
 pct(double v, int precision = 1)
 {
-    char buf[64];
-    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, v * 100.0);
-    return buf;
+    return report_io::fmtPct(v, precision);
 }
+
+/**
+ * Turn a human-facing label ("NOS-VP", "forest solar 0.20 mW") into a
+ * stable snake_case result key ("nos_vp", "forest_solar_0_20_mw").
+ */
+inline std::string
+keyify(const std::string &label)
+{
+    std::string out;
+    bool sep = false;
+    for (const char ch : label) {
+        if (std::isalnum(static_cast<unsigned char>(ch))) {
+            if (sep && !out.empty())
+                out.push_back('_');
+            sep = false;
+            out.push_back(static_cast<char>(
+                std::tolower(static_cast<unsigned char>(ch))));
+        } else {
+            sep = true;
+        }
+    }
+    return out;
+}
+
+/**
+ * Machine-readable results of one harness: ordered key/number pairs
+ * (plus string notes), written as a neofog-bench-v1 JSON document to
+ * BENCH_<name>.json in the current directory (or $NEOFOG_BENCH_DIR).
+ */
+class ResultSink
+{
+  public:
+    explicit ResultSink(std::string bench_name)
+        : _name(std::move(bench_name))
+    {}
+
+    void
+    add(const std::string &key, double value)
+    {
+        _results.emplace_back(key, value);
+    }
+
+    void
+    note(const std::string &key, const std::string &value)
+    {
+        _notes.emplace_back(key, value);
+    }
+
+    /** Target path (for tooling that re-reads the file). */
+    std::string
+    path() const
+    {
+        const char *dir = std::getenv("NEOFOG_BENCH_DIR");
+        return std::string(dir ? dir : ".") + "/BENCH_" + _name +
+               ".json";
+    }
+
+    /**
+     * Write the JSON document; prints the destination and returns
+     * false (with a stderr message) when the file cannot be written.
+     */
+    bool
+    write() const
+    {
+        const std::string file_path = path();
+        std::ofstream os(file_path);
+        if (!os) {
+            std::fprintf(stderr, "bench: cannot write %s\n",
+                         file_path.c_str());
+            return false;
+        }
+        report_io::JsonWriter w(os);
+        w.beginObject();
+        w.key("schema").value("neofog-bench-v1");
+        w.key("bench").value(_name);
+        w.key("results").beginObject();
+        for (const auto &[k, v] : _results)
+            w.key(k).value(v);
+        w.endObject();
+        w.key("notes").beginObject();
+        for (const auto &[k, v] : _notes)
+            w.key(k).value(v);
+        w.endObject();
+        w.endObject();
+        os << '\n';
+        std::printf("\nresults -> %s\n", file_path.c_str());
+        return true;
+    }
+
+  private:
+    std::string _name;
+    std::vector<std::pair<std::string, double>> _results;
+    std::vector<std::pair<std::string, std::string>> _notes;
+};
 
 } // namespace neofog::bench
 

@@ -34,29 +34,35 @@ main()
     const int kRuns = 10;
     const std::uint64_t kBase = 3000;
 
+    ResultSink sink("confidence");
     Table t({18, 18, 18, 14, 14});
     t.row({"System", "Total", "Fog", "Yield", "Compute%"});
     t.separator();
     for (const auto &sut : systems) {
         const ScenarioConfig cfg = presets::fig10(sut, 0);
-        const AggregateReport agg =
-            ExperimentRunner::runSeeds(cfg, kRuns, kBase);
+        const AggregateReport agg = ExperimentRunner::runSeeds(
+            cfg, {.runs = kRuns, .baseSeed = kBase});
+        const ScalarStat &total = agg.stat("total_processed");
+        const ScalarStat &fog = agg.stat("packages_in_fog");
         t.row({sut.label,
-               fmt(agg.totalProcessed.mean(), 0) + " +- " +
-                   fmt(agg.totalProcessed.stddev(), 0),
-               fmt(agg.packagesInFog.mean(), 0) + " +- " +
-                   fmt(agg.packagesInFog.stddev(), 0),
-               pct(agg.yield.mean()),
-               pct(agg.computeRatio.mean())});
+               fmt(total.mean(), 0) + " +- " + fmt(total.stddev(), 0),
+               fmt(fog.mean(), 0) + " +- " + fmt(fog.stddev(), 0),
+               pct(agg.stat("yield").mean()),
+               pct(agg.stat("compute_ratio").mean())});
+        sink.add(sut.label + std::string("_total_mean"), total.mean());
+        sink.add(sut.label + std::string("_total_stddev"),
+                 total.stddev());
+        sink.add(sut.label + std::string("_fog_mean"), fog.mean());
     }
 
     // Paired per-seed ratios (same traces for both systems).
+    const RunOptions paired{.runs = kRuns, .baseSeed = kBase};
     const ScalarStat vs_vp = ExperimentRunner::compareTotals(
         presets::fig10(presets::nosVp(), 0),
-        presets::fig10(presets::fiosNeofog(), 0), kRuns, kBase);
+        presets::fig10(presets::fiosNeofog(), 0), paired);
     const ScalarStat vs_nvp = ExperimentRunner::compareTotals(
         presets::fig10(presets::nosNvpBaseline(), 0),
-        presets::fig10(presets::fiosNeofog(), 0), kRuns, kBase);
+        presets::fig10(presets::fiosNeofog(), 0), paired);
 
     std::printf("\nPaired per-seed ratios:\n");
     std::printf("  NEOFog/VP:  %.2fx +- %.2f  [%.2f, %.2f]\n",
@@ -68,5 +74,10 @@ main()
     std::printf("\nShape check: the minimum per-seed ratio stays well "
                 "above 1x — the ordering\nholds for every trace draw, "
                 "not just on average.\n");
+    sink.add("neofog_vs_vp_ratio_mean", vs_vp.mean());
+    sink.add("neofog_vs_vp_ratio_min", vs_vp.min());
+    sink.add("neofog_vs_nvp_ratio_mean", vs_nvp.mean());
+    sink.add("neofog_vs_nvp_ratio_min", vs_nvp.min());
+    sink.write();
     return 0;
 }

@@ -66,5 +66,15 @@ main()
                 avg_total[2] / avg_total[1]);
     std::printf("  NEOFog yield     = %.1f%% of ideal (37%%)\n",
                 100.0 * avg_total[2] / 15000.0);
+
+    ResultSink sink("fig10_independent");
+    sink.add("vp_avg_total", avg_total[0]);
+    sink.add("nvp_avg_total", avg_total[1]);
+    sink.add("neofog_avg_total", avg_total[2]);
+    sink.add("nvp_vs_vp", avg_total[1] / avg_total[0]);
+    sink.add("neofog_vs_vp", avg_total[2] / avg_total[0]);
+    sink.add("neofog_vs_nvp", avg_total[2] / avg_total[1]);
+    sink.add("neofog_yield", avg_total[2] / 15000.0);
+    sink.write();
     return 0;
 }

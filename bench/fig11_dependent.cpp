@@ -74,5 +74,16 @@ main()
                 " than the\n  independent scenario since dependent power"
                 " leaves less variance to exploit\n",
                 avg_balanced[2]);
+
+    ResultSink sink("fig11_dependent");
+    sink.add("vp_avg_total", avg_total[0]);
+    sink.add("nvp_avg_total", avg_total[1]);
+    sink.add("neofog_avg_total", avg_total[2]);
+    sink.add("nvp_vs_vp", avg_total[1] / avg_total[0]);
+    sink.add("neofog_vs_vp", avg_total[2] / avg_total[0]);
+    sink.add("neofog_vs_nvp", avg_total[2] / avg_total[1]);
+    sink.add("neofog_yield", avg_total[2] / 15000.0);
+    sink.add("neofog_avg_balanced", avg_balanced[2]);
+    sink.write();
     return 0;
 }

@@ -59,5 +59,14 @@ main()
                 processed_at[2] / processed_at[1]);
     std::printf("  gain 500%%/100%% = %.2fx (expect ~1.0x)\n",
                 processed_at[5] / processed_at[1]);
+
+    ResultSink sink("fig12_mux_high_power");
+    for (int mux = 1; mux <= 5; ++mux) {
+        sink.add("neofog_total_mux" + std::to_string(mux),
+                 processed_at[mux]);
+    }
+    sink.add("gain_200_vs_100", processed_at[2] / processed_at[1]);
+    sink.add("gain_500_vs_100", processed_at[5] / processed_at[1]);
+    sink.write();
     return 0;
 }

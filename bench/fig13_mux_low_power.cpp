@@ -63,5 +63,15 @@ main()
                 "(expect ~1.0x past 300%%)\n",
                 processed_at[4] / processed_at[3],
                 processed_at[5] / processed_at[3]);
+
+    ResultSink sink("fig13_mux_low_power");
+    sink.add("vp_total", vp_ref);
+    for (int mux = 1; mux <= 5; ++mux) {
+        sink.add("neofog_total_mux" + std::to_string(mux),
+                 processed_at[mux]);
+    }
+    sink.add("neofog_100_vs_vp", processed_at[1] / vp_ref);
+    sink.add("neofog_300_vs_vp", processed_at[3] / vp_ref);
+    sink.write();
     return 0;
 }

@@ -77,38 +77,52 @@ main()
     NvRfController nvrf;
     nvrf.configure();
 
+    const double init_vs_nvm =
+        msFromTicks(sw_nvm.swConfig().initLatency) /
+        msFromTicks(nvrf.nvConfig().selfInitLatency);
+    const double init_vs_sw =
+        msFromTicks(sw_vp.swConfig().initLatency) /
+        msFromTicks(nvrf.nvConfig().selfInitLatency);
     std::printf("\nDerived ratios (paper in parentheses):\n");
     std::printf("  RF init speedup, NVRF vs NVM-direct: %.1fx (27x)\n",
-                msFromTicks(sw_nvm.swConfig().initLatency) /
-                    msFromTicks(nvrf.nvConfig().selfInitLatency));
+                init_vs_nvm);
     std::printf("  RF init speedup, NVRF vs software:   %.0fx "
-                "(531 ms -> 1.2 ms)\n",
-                msFromTicks(sw_vp.swConfig().initLatency) /
-                    msFromTicks(nvrf.nvConfig().selfInitLatency));
+                "(531 ms -> 1.2 ms)\n", init_vs_sw);
 
     // Throughput advantage: sustained bytes/s including per-packet
     // overheads.  The paper's 6.2x corresponds to multi-kB transfers;
     // at small payloads the fixed-cost elimination makes the NVRF
     // advantage even larger.
     const std::size_t bulk = 3700;
+    const double tx_adv_bulk =
+        msFromTicks(sw_nvm.txCost(bulk).duration) /
+        msFromTicks(nvrf.txCost(bulk).duration);
+    const double tx_adv_small =
+        msFromTicks(sw_nvm.txCost(payload).duration) /
+        msFromTicks(nvrf.txCost(payload).duration);
     std::printf("  TX throughput advantage, NVRF vs software RF: "
                 "%.1fx at %zu B (6.2x), %.1fx at %zu B\n",
-                msFromTicks(sw_nvm.txCost(bulk).duration) /
-                    msFromTicks(nvrf.txCost(bulk).duration),
-                bulk,
-                msFromTicks(sw_nvm.txCost(payload).duration) /
-                    msFromTicks(nvrf.txCost(payload).duration),
-                payload);
+                tx_adv_bulk, bulk, tx_adv_small, payload);
 
     NvProcessor nos_nvp;
     VolatileProcessor vp;
+    const double wake_vp = static_cast<double>(vp.wakeLatency());
+    const double wake_nvp = static_cast<double>(nos_nvp.wakeLatency());
+    const double wake_fios = static_cast<double>(
+        NvProcessor{NvProcessor::fiosConfig()}.wakeLatency());
     std::printf("  CPU wake: VP %.0f us vs NOS-NVP %.0f us vs FIOS "
                 "%.0f us (300/32/7 us)\n",
-                static_cast<double>(vp.wakeLatency()),
-                static_cast<double>(nos_nvp.wakeLatency()),
-                static_cast<double>(
-                    NvProcessor{NvProcessor::fiosConfig()}
-                        .wakeLatency()));
+                wake_vp, wake_nvp, wake_fios);
+
+    ResultSink sink("fig4_node_timing");
+    sink.add("rf_init_speedup_nvrf_vs_nvm", init_vs_nvm);
+    sink.add("rf_init_speedup_nvrf_vs_sw", init_vs_sw);
+    sink.add("tx_throughput_advantage_3700b", tx_adv_bulk);
+    sink.add("tx_throughput_advantage_64b", tx_adv_small);
+    sink.add("cpu_wake_us_vp", wake_vp);
+    sink.add("cpu_wake_us_nvp", wake_nvp);
+    sink.add("cpu_wake_us_fios", wake_fios);
+    sink.write();
 
     // ASCII rendition of Fig 1/4's activation timelines: one glyph per
     // ~25 ms of activation time ('.'=cpu wake, 's'=sensor, 'i'=RF

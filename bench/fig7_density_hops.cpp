@@ -32,12 +32,16 @@ main()
     t.row({"Deployment", "Nodes", "Hops end-to-end"});
     t.separator();
 
+    ResultSink sink("fig7_density_hops");
+
     // Baseline: 10 nodes, 9 hops.
     ChainMesh base = ChainMesh::makeLinear(n_logical, spacing);
     const auto base_route =
         base.greedyRoute(0, n_logical - 1, range);
     t.row({"10 nodes (baseline)", "10",
            std::to_string(ChainMesh::hopCount(base_route))});
+    sink.add("baseline_hops",
+             static_cast<double>(ChainMesh::hopCount(base_route)));
 
     // 4x density, naive Zigbee: locality preference inflates hops.
     Rng rng(77);
@@ -50,6 +54,8 @@ main()
         t.row({std::to_string(density) + "x density, naive Zigbee",
                std::to_string(dense.size()),
                std::to_string(ChainMesh::hopCount(route))});
+        sink.add("naive_hops_density" + std::to_string(density),
+                 static_cast<double>(ChainMesh::hopCount(route)));
     }
 
     // 4x density with NVD4Q: clones share the anchor's identity, so
@@ -70,7 +76,10 @@ main()
         t.row({"4x density + NVD4Q (virtual)",
                std::to_string(dense.size()) + " phys",
                std::to_string(ChainMesh::hopCount(route))});
+        sink.add("nvd4q_hops_density4",
+                 static_cast<double>(ChainMesh::hopCount(route)));
     }
+    sink.write();
 
     std::printf("\nShape check (paper): 9 hops at baseline; ~25 hops at"
                 " 4x density under naive\nZigbee; NVD4Q keeps the"

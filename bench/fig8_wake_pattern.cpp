@@ -83,5 +83,13 @@ main()
     std::printf("  network (virtual) topology changes across the "
                 "rotation: none — clones\n  share the anchor's NVRF "
                 "state, so no reconstruction penalty exists.\n");
+
+    ResultSink sink("fig8_wake_pattern");
+    sink.add("common_phase_invariant", common_phase ? 1.0 : 0.0);
+    sink.add("clone_activations_30_slots",
+             static_cast<double>(activations));
+    sink.add("expected_activations",
+             static_cast<double>(30 / mux));
+    sink.write();
     return 0;
 }

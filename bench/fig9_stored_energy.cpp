@@ -55,6 +55,7 @@ main()
         nodes_of_interest[2] = best + 2;
     }
 
+    ResultSink sink("fig9_stored_energy");
     for (const auto &sut : systems) {
         ScenarioConfig cfg = presets::fig9(sut);
         FogSystem system(cfg);
@@ -74,20 +75,22 @@ main()
                     next += step;
                 }
             }
+            const double overflow_mj =
+                node.capacitor().overflowTotal().millijoules();
+            double mean_mj = 0.0;
+            for (const auto &pt : series.points())
+                mean_mj += pt.value;
+            if (!series.points().empty())
+                mean_mj /= static_cast<double>(series.points().size());
             std::printf("\n    overflow (rejected) total: %.1f mJ, "
-                        "mean stored %.1f mJ\n",
-                        node.capacitor().overflowTotal().millijoules(),
-                        [&] {
-                            double s = 0.0;
-                            for (const auto &pt : series.points())
-                                s += pt.value;
-                            return series.points().empty()
-                                ? 0.0
-                                : s / static_cast<double>(
-                                          series.points().size());
-                        }());
+                        "mean stored %.1f mJ\n", overflow_mj, mean_mj);
+            const std::string key =
+                keyify(sut.label) + "_node" + std::to_string(ni);
+            sink.add(key + "_overflow_mj", overflow_mj);
+            sink.add(key + "_mean_stored_mj", mean_mj);
         }
     }
+    sink.write();
 
     std::printf(
         "\nShape checks: (a) the ordinary nodes' mean stored level "

@@ -11,13 +11,27 @@
  * QoS matters most; 8x adds 3x NVD4Q multiplexing.  This bench also
  * prints the per-technique contribution ladder (FIOS alone, +LB,
  * +NVD4Q) as an ablation.
+ *
+ * Options:
+ *   --hours X   override the horizon (default: preset's 5 h)
+ *   --smoke     tiny-horizon run that re-reads the emitted JSON and
+ *               validates it against the neofog-bench-v1 schema;
+ *               exits nonzero on any serialization breakage (the
+ *               bench_smoke ctest runs this, so schema drift fails
+ *               tier-1 instead of silently corrupting trajectories)
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "bench_util.hh"
 #include "fog/fog_system.hh"
 #include "fog/presets.hh"
+#include "sim/logging.hh"
+#include "sim/report_io.hh"
 
 using namespace neofog;
 using namespace neofog::bench;
@@ -25,38 +39,90 @@ using namespace neofog::bench;
 namespace {
 
 double
-runTotal(const ScenarioConfig &cfg)
+runTotal(ScenarioConfig cfg, double hours)
 {
+    if (hours > 0.0)
+        cfg.horizon = ticksFromSeconds(hours * 3600.0);
     FogSystem sys(cfg);
     return static_cast<double>(sys.run().totalProcessed());
+}
+
+/** Re-read the emitted JSON and check it against the schema. */
+int
+validateSink(const ResultSink &sink)
+{
+    std::ifstream in(sink.path());
+    if (!in) {
+        std::fprintf(stderr, "bench_smoke: cannot re-read %s\n",
+                     sink.path().c_str());
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        const auto doc = report_io::parseJson(text.str());
+        const std::string err = report_io::validateBenchJson(doc);
+        if (!err.empty()) {
+            std::fprintf(stderr, "bench_smoke: schema violation: %s\n",
+                         err.c_str());
+            return 1;
+        }
+    } catch (const FatalError &e) {
+        std::fprintf(stderr, "bench_smoke: emitted invalid JSON: %s\n",
+                     e.what());
+        return 1;
+    }
+    std::printf("bench_smoke: %s validates against "
+                "neofog-bench-v1\n",
+                sink.path().c_str());
+    return 0;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    double hours = 0.0; // 0 = preset default
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+            hours = 0.25;
+        } else if (std::strcmp(argv[i], "--hours") == 0 &&
+                   i + 1 < argc) {
+            hours = std::atof(argv[++i]);
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--hours X] [--smoke]\n", argv[0]);
+            return 2;
+        }
+    }
+
     header("Headline: in-fog processing gains of the NEOFog stack "
            "(low-power deployment)");
 
     // Reference: traditional VP, no load balance, rain scenario.
-    const double vp = runTotal(presets::fig13(presets::nosVp(), 1));
+    const double vp =
+        runTotal(presets::fig13(presets::nosVp(), 1), hours);
 
     // Ablation ladder.
     presets::SystemUnderTest fios_nolb = presets::fiosNeofog();
     fios_nolb.balancerPolicy = "none";
     fios_nolb.label = "FIOS (no LB)";
-    const double fios = runTotal(presets::fig13(fios_nolb, 1));
+    const double fios =
+        runTotal(presets::fig13(fios_nolb, 1), hours);
 
     presets::SystemUnderTest fios_tree = presets::fiosNeofog();
     fios_tree.balancerPolicy = "tree";
     fios_tree.label = "FIOS + tree LB";
-    const double fios_t = runTotal(presets::fig13(fios_tree, 1));
+    const double fios_t =
+        runTotal(presets::fig13(fios_tree, 1), hours);
 
     const double neofog =
-        runTotal(presets::fig13(presets::fiosNeofog(), 1));
+        runTotal(presets::fig13(presets::fiosNeofog(), 1), hours);
     const double neofog3x =
-        runTotal(presets::fig13(presets::fiosNeofog(), 3));
+        runTotal(presets::fig13(presets::fiosNeofog(), 3), hours);
 
     Table t({34, 14, 12});
     t.row({"System", "Processed", "vs VP"});
@@ -73,5 +139,18 @@ main()
     std::printf("\nHeadline checks (paper in parentheses):\n");
     std::printf("  NEOFog vs VP:        %.1fx (4.2x)\n", neofog / vp);
     std::printf("  NEOFog @3x vs VP:    %.1fx (8x)\n", neofog3x / vp);
-    return 0;
+
+    ResultSink sink("headline_summary");
+    sink.add("vp_total", vp);
+    sink.add("fios_nolb_total", fios);
+    sink.add("fios_tree_total", fios_t);
+    sink.add("neofog_total", neofog);
+    sink.add("neofog_3x_total", neofog3x);
+    sink.add("neofog_vs_vp", vp > 0.0 ? neofog / vp : 0.0);
+    sink.add("neofog_3x_vs_vp", vp > 0.0 ? neofog3x / vp : 0.0);
+    if (smoke)
+        sink.note("mode", "smoke");
+    if (!sink.write())
+        return 1;
+    return smoke ? validateSink(sink) : 0;
 }

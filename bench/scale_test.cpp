@@ -41,8 +41,8 @@ runAndTime(const ScenarioConfig &cfg, SystemReport &out)
  * @return false if any parallel run diverged from the serial one.
  */
 bool
-sweepThreads(Table &t, const char *label, ScenarioConfig cfg,
-             const char *nodes)
+sweepThreads(Table &t, ResultSink &sink, const char *label,
+             ScenarioConfig cfg, const char *nodes)
 {
     bool consistent = true;
     SystemReport serial;
@@ -62,6 +62,10 @@ sweepThreads(Table &t, const char *label, ScenarioConfig cfg,
                std::to_string(r.totalProcessed()), pct(r.yield()),
                fmt(secs, 2) + " s",
                fmt(serial_secs / secs, 2) + "x"});
+        const std::string key = keyify(label) + "_t" +
+                                std::to_string(threads);
+        sink.add(key + "_secs", secs);
+        sink.add(key + "_speedup", serial_secs / secs);
     }
     return consistent;
 }
@@ -81,13 +85,15 @@ main()
            "Wall time", "Speedup"});
     t.separator();
 
+    ResultSink sink("scale_test");
     bool consistent = true;
     {
         // Intra-chain scale: 100 chains x 10 nodes = 1000 simulators.
         ScenarioConfig cfg = presets::fig10(presets::fiosNeofog(), 0);
         cfg.chains = 100;
         cfg.seed = 7;
-        consistent &= sweepThreads(t, "intra-chain: 100 x 10 nodes",
+        consistent &= sweepThreads(t, sink,
+                                   "intra-chain: 100 x 10 nodes",
                                    cfg, "1000");
     }
     t.separator();
@@ -97,7 +103,8 @@ main()
         ScenarioConfig cfg = presets::fig13(presets::fiosNeofog(), 5);
         cfg.chains = 100;
         cfg.seed = 7;
-        consistent &= sweepThreads(t, "inter-chain: 1000 logical @5x",
+        consistent &= sweepThreads(t, sink,
+                                   "inter-chain: 1000 logical @5x",
                                    cfg, "5000");
     }
 
@@ -111,5 +118,7 @@ main()
                 "yields at scale match the 10-node presentations (the "
                 "paper\nalso simulates thousands and presents 10 "
                 "consecutive nodes for simplicity).\n");
+    sink.add("reports_consistent", consistent ? 1.0 : 0.0);
+    sink.write();
     return 0;
 }

@@ -55,9 +55,16 @@ main()
            "TX mJ", "Ratio", "Saved"});
     t.separator();
 
+    ResultSink sink("table2_energy");
     const auto profiles = allAppProfiles();
     for (std::size_t i = 0; i < profiles.size(); ++i) {
         const AppProfile &p = profiles[i];
+        sink.add(keyify(p.name) + "_naive_compute_ratio",
+                 p.naiveComputeRatio());
+        sink.add(keyify(p.name) + "_buffered_compute_ratio",
+                 p.bufferedComputeRatio());
+        sink.add(keyify(p.name) + "_energy_saved_ratio",
+                 p.energySavedRatio());
         t.row({
             p.name,
             std::to_string(p.naiveInstructions),
@@ -104,7 +111,10 @@ main()
             pct(out.achievedRatio()),
             fmt(out.metric, 3),
         });
+        sink.add(keyify(appName(kind)) + "_achieved_ratio",
+                 out.achievedRatio());
     }
+    sink.write();
     std::printf("\nNote: achieved compression operates on the pipeline's"
                 " *result* payloads\n(strength records, beat positions,"
                 " aggregates), which is why results stay\nwithin the"

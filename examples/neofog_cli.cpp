@@ -6,21 +6,26 @@
  *
  *   neofog_cli --mode fios --balancer distributed --trace forest \
  *              --income-mw 2.6 --nodes 10 --chains 1 --hours 5 \
- *              --mux 1 --seed 1 [--incidental] [--dump-energy node]
+ *              --mux 1 --seed 1 [--format json] [--out results.json] \
+ *              [--probes] [--dump-energy node]
  *
- * Prints the full SystemReport, and optionally one node's stored-
- * energy series as CSV for plotting.
+ * Every result flows through the report_io exporter: text (aligned
+ * tables), json (schema-tagged, machine-readable), or csv.  --probes
+ * enables the per-chain time-series probes and exports their streams;
+ * --dump-energy exports one node's stored-energy series the same way.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 
 #include "fog/fog_system.hh"
 #include "fog/presets.hh"
 #include "sim/logging.hh"
+#include "sim/report_io.hh"
 
 using namespace neofog;
 
@@ -54,7 +59,17 @@ usage(const char *argv0)
         "  --relay                   hop-by-hop relaying to the sink\n"
         "  --rt-chance P             real-time request probability\n"
         "  --freq-scaling            Spendthrift clock scaling\n"
-        "  --dump-energy I           print node I's energy series CSV\n"
+        "  --format text|json|csv    output format (default text)\n"
+        "  --out FILE                write results to FILE instead of "
+        "stdout\n"
+        "  --probes                  per-chain time-series probes "
+        "(stored\n"
+        "                            energy, yield, balancer, "
+        "depletion)\n"
+        "  --probe-cap N             probe ring capacity "
+        "(default 4096)\n"
+        "  --dump-energy I           export node I's stored-energy "
+        "series\n"
         "  --help\n",
         argv0);
 }
@@ -93,6 +108,23 @@ parseTrace(const std::string &v, TraceKind &out)
     return true;
 }
 
+/** One-line scenario summary used by the text format and JSON meta. */
+std::string
+scenarioLine(const ScenarioConfig &cfg)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%s, %s balancer, %s @ %.2f mW, %zux%zu nodes, "
+                  "mux %d, %.1f h",
+                  operatingModeName(cfg.mode).c_str(),
+                  cfg.balancerPolicy.c_str(),
+                  traceKindName(cfg.traceKind).c_str(),
+                  cfg.meanIncome.milliwatts(), cfg.chains,
+                  cfg.nodesPerChain, cfg.multiplexing,
+                  secondsFromTicks(cfg.horizon) / 3600.0);
+    return buf;
+}
+
 } // namespace
 
 int
@@ -111,6 +143,8 @@ main(int argc, char **argv)
     cfg.seed = 1;
 
     int dump_energy = -1;
+    report_io::Format format = report_io::Format::Text;
+    std::string out_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -170,6 +204,19 @@ main(int argc, char **argv)
             cfg.realTimeRequestChance = std::atof(next().c_str());
         } else if (arg == "--freq-scaling") {
             cfg.nodeTemplate.enableFrequencyScaling = true;
+        } else if (arg == "--format") {
+            if (!report_io::parseFormat(next(), format)) {
+                std::fprintf(stderr,
+                             "bad --format (text|json|csv)\n");
+                return 2;
+            }
+        } else if (arg == "--out") {
+            out_path = next();
+        } else if (arg == "--probes") {
+            cfg.probes.enabled = true;
+        } else if (arg == "--probe-cap") {
+            cfg.probes.capacity =
+                static_cast<std::size_t>(std::atoll(next().c_str()));
         } else if (arg == "--dump-energy") {
             dump_energy = std::atoi(next().c_str());
         } else {
@@ -183,31 +230,79 @@ main(int argc, char **argv)
         FogSystem system(cfg);
         const SystemReport report = system.run();
 
-        std::printf("scenario: %s, %s balancer, %s @ %.2f mW, "
-                    "%zux%zu nodes, mux %d, %.1f h\n\n",
-                    operatingModeName(cfg.mode).c_str(),
-                    cfg.balancerPolicy.c_str(),
-                    traceKindName(cfg.traceKind).c_str(),
-                    cfg.meanIncome.milliwatts(), cfg.chains,
-                    cfg.nodesPerChain, cfg.multiplexing,
-                    secondsFromTicks(cfg.horizon) / 3600.0);
-        report.print(std::cout, "result");
-
+        // Collect every requested time-series stream; they all leave
+        // through the same exporter as the report.
+        std::vector<report_io::LabeledSeries> series =
+            system.probeSeries();
         if (dump_energy >= 0) {
             const auto idx = static_cast<std::size_t>(dump_energy);
             if (idx >= system.physicalPerChain()) {
                 std::fprintf(stderr, "node index out of range\n");
                 return 2;
             }
-            std::printf("\ntime_min,stored_mj\n");
-            const auto &series =
-                system.node(0, idx).stats().storedEnergyMj;
-            for (const auto &pt : series.downsampled(400)) {
-                std::printf("%.2f,%.3f\n",
-                            secondsFromTicks(pt.when) / 60.0,
-                            pt.value);
+            series.push_back(system.nodeEnergySeries(0, idx));
+        }
+
+        std::ofstream file;
+        if (!out_path.empty()) {
+            file.open(out_path);
+            if (!file) {
+                std::fprintf(stderr, "cannot open %s\n",
+                             out_path.c_str());
+                return 2;
             }
         }
+        std::ostream &os = out_path.empty() ? std::cout : file;
+
+        switch (format) {
+          case report_io::Format::Text:
+            os << "scenario: " << scenarioLine(cfg) << "\n\n";
+            report.print(os, "result");
+            if (!series.empty()) {
+                os << '\n';
+                report_io::writeSeriesCsv(os, series);
+            }
+            break;
+          case report_io::Format::Json: {
+            report_io::JsonWriter w(os);
+            w.beginObject();
+            w.key("schema").value("neofog-run-v1");
+            w.key("scenario").value(scenarioLine(cfg));
+            w.key("seed").value(cfg.seed);
+            w.key("report");
+            report_io::writeMetricsJson(w, report.snapshot());
+            if (!series.empty()) {
+                w.key("series").beginArray();
+                for (const auto &s : series) {
+                    w.beginObject();
+                    w.key("name").value(s.name);
+                    w.key("unit").value(s.unit);
+                    w.key("points").beginArray();
+                    for (const auto &pt : s.points) {
+                        w.beginArray();
+                        w.value(secondsFromTicks(pt.when));
+                        w.value(pt.value);
+                        w.endArray();
+                    }
+                    w.endArray();
+                    w.endObject();
+                }
+                w.endArray();
+            }
+            w.endObject();
+            os << '\n';
+            break;
+          }
+          case report_io::Format::Csv:
+            report.toCsv(os);
+            if (!series.empty()) {
+                os << '\n';
+                report_io::writeSeriesCsv(os, series);
+            }
+            break;
+        }
+        if (!out_path.empty())
+            std::printf("results -> %s\n", out_path.c_str());
     } catch (const FatalError &err) {
         std::fprintf(stderr, "fatal: %s\n", err.what());
         return 1;

@@ -30,6 +30,13 @@ ChainEngine::ChainEngine(const ScenarioConfig &cfg,
         _groups.emplace_back(l, std::move(members));
     }
     _aliveLastSlot.assign(_cfg.nodesPerChain, true);
+
+    if (_cfg.probes.enabled) {
+        _probe.storedEnergyMj.reset(_cfg.probes.capacity);
+        _probe.yieldFrac.reset(_cfg.probes.capacity);
+        _probe.balancedTasks.reset(_cfg.probes.capacity);
+        _probe.depletionFailures.reset(_cfg.probes.capacity);
+    }
 }
 
 std::unique_ptr<PowerTrace>
@@ -130,6 +137,40 @@ ChainEngine::runSlot(std::int64_t slot_index)
         maybeServeRealTimeRequest(*scheduled[l], scheduled, l);
         executeAndTransmit(*scheduled[l], scheduled, l);
     }
+
+    if (_cfg.probes.enabled)
+        sampleProbe(slot_index, t);
+}
+
+void
+ChainEngine::sampleProbe(std::int64_t slot_index, Tick now)
+{
+    const std::int64_t every =
+        _cfg.probes.everySlots < 1 ? 1 : _cfg.probes.everySlots;
+    if (slot_index % every != 0)
+        return;
+
+    // Everything read here is owned by this engine: node state, the
+    // report shard, and cumulative node counters.  No RNG draws.
+    double stored_mj = 0.0;
+    std::uint64_t depletions = 0;
+    for (const auto &node : _nodes) {
+        stored_mj += node->capacitor().stored().millijoules();
+        depletions += node->stats().depletionFailures.value();
+    }
+    const double chain_ideal =
+        static_cast<double>(_cfg.nodesPerChain) *
+        static_cast<double>(_cfg.slotCount());
+    const double delivered = static_cast<double>(
+        _shard.packagesToCloud + _shard.packagesInFog);
+
+    _probe.storedEnergyMj.push(now, stored_mj);
+    _probe.yieldFrac.push(
+        now, chain_ideal > 0.0 ? delivered / chain_ideal : 0.0);
+    _probe.balancedTasks.push(
+        now, static_cast<double>(_shard.tasksBalancedAway));
+    _probe.depletionFailures.push(
+        now, static_cast<double>(depletions));
 }
 
 void

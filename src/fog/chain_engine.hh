@@ -26,9 +26,27 @@
 #include "fog/system_report.hh"
 #include "net/loss.hh"
 #include "node/node.hh"
+#include "sim/metrics.hh"
 #include "virt/nvd4q.hh"
 
 namespace neofog {
+
+/**
+ * Opt-in ring-buffered time-series samplers for one chain (see
+ * ScenarioConfig::probes).  Fed at the end of each sampled slot from
+ * chain-local state only — no RNG draws, no cross-chain reads — so
+ * the samples are bit-identical for any thread count and enabling the
+ * probe never perturbs the simulation.
+ */
+struct ChainProbe
+{
+    RingSeries storedEnergyMj;     ///< total stored energy, all nodes
+    RingSeries yieldFrac;          ///< cumulative delivered / chain ideal
+    RingSeries balancedTasks;      ///< cumulative balancer shipments
+    RingSeries depletionFailures;  ///< cumulative failed wakes
+
+    bool operator==(const ChainProbe &other) const = default;
+};
 
 /**
  * Simulator for one independent chain of an energy-harvesting WSN.
@@ -61,6 +79,9 @@ class ChainEngine
 
     /** This engine's report shard (valid after finalizeShard). */
     const SystemReport &shard() const { return _shard; }
+
+    /** This chain's probe series (empty unless cfg.probes.enabled). */
+    const ChainProbe &probe() const { return _probe; }
 
     std::size_t chainIndex() const { return _chainIndex; }
 
@@ -102,6 +123,9 @@ class ChainEngine
     bool relayToSink(const std::vector<Node *> &scheduled,
                      std::size_t src, std::size_t payload_bytes);
 
+    /** Feed the probe rings from this slot's chain-local state. */
+    void sampleProbe(std::int64_t slot_index, Tick now);
+
     const ScenarioConfig &_cfg;
     std::size_t _chainIndex;
     Rng _rng;
@@ -116,6 +140,7 @@ class ChainEngine
     std::vector<bool> _aliveLastSlot;
 
     SystemReport _shard;
+    ChainProbe _probe;
 };
 
 } // namespace neofog

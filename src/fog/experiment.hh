@@ -4,9 +4,11 @@
  *
  * A single run of a stochastic scenario is an anecdote; the paper
  * itself averages five power profiles per figure.  ExperimentRunner
- * replays one scenario across many seeds and aggregates every report
- * field into mean/stddev/min/max summaries, so users can put error
- * bars on their results and compare systems with confidence.
+ * replays one scenario across many seeds and aggregates every metric
+ * the SystemReport registry declares into mean/stddev/min/max
+ * summaries, so users can put error bars on their results and compare
+ * systems with confidence.  The aggregate is registry-derived: adding
+ * a metric to SystemReport::metrics() automatically aggregates it.
  */
 
 #ifndef NEOFOG_FOG_EXPERIMENT_HH
@@ -14,6 +16,7 @@
 
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fog/fog_system.hh"
@@ -22,25 +25,61 @@
 
 namespace neofog {
 
-/** Statistical summary of SystemReport fields across seeds. */
+/**
+ * How to replay a scenario across seeds.  Replaces the old positional
+ * (runs, base_seed, threads) tail; seedThreads is named distinctly
+ * from ScenarioConfig::threads (the per-slot chain loop) because the
+ * two levels multiply.
+ */
+struct RunOptions
+{
+    /** Number of seeds: baseSeed, baseSeed+1, ... baseSeed+runs-1. */
+    int runs = 1;
+    std::uint64_t baseSeed = 1;
+    /**
+     * Seeds are mutually independent, so they run concurrently on
+     * this many threads (0 = all hardware threads, 1 = serial).
+     * Aggregation happens in seed order afterwards, so the result is
+     * identical for any value.  Leave ScenarioConfig::threads at 1
+     * when parallelizing across seeds.
+     */
+    unsigned seedThreads = 1;
+};
+
+/**
+ * Statistical summary of every registry metric across seeds: a
+ * ScalarStat per SystemReport metric (stored and derived), sampled in
+ * seed order.
+ */
 struct AggregateReport
 {
     int runs = 0;
-    ScalarStat totalProcessed;
-    ScalarStat packagesInFog;
-    ScalarStat packagesToCloud;
-    ScalarStat packagesIncidental;
-    ScalarStat wakeups;
-    ScalarStat depletionFailures;
-    ScalarStat tasksBalancedAway;
-    ScalarStat yield;
-    ScalarStat computeRatio;
 
     /** The individual reports, in seed order. */
     std::vector<SystemReport> reports;
 
-    /** Print "mean +- stddev [min, max]" rows. */
+    /**
+     * One ScalarStat per SystemReport::metrics() entry, in
+     * declaration order.
+     */
+    std::vector<ScalarStat> stats;
+
+    /**
+     * Summary of one metric by registry name (e.g.
+     * "total_processed", "yield").  Throws FatalError for unknown
+     * names.
+     */
+    const ScalarStat &stat(std::string_view metric) const;
+
+    /** Print "mean +- stddev [min, max]" rows (registry-derived). */
     void print(std::ostream &os, const std::string &label) const;
+
+    /** neofog-aggregate-v1 JSON document. */
+    void toJson(std::ostream &os,
+                const std::string &label = "aggregate") const;
+
+    /** CSV: one row per metric (name,count,mean,stddev,min,max). */
+    void toCsv(std::ostream &os) const;
 };
 
 /**
@@ -49,29 +88,18 @@ struct AggregateReport
 class ExperimentRunner
 {
   public:
-    /**
-     * Run @p cfg with seeds base_seed, base_seed+1, ...,
-     * base_seed+runs-1 and aggregate.
-     *
-     * @param threads Seeds are mutually independent, so they run
-     *        concurrently on this many threads (0 = all hardware
-     *        threads, 1 = serial).  Aggregation happens in seed order
-     *        afterwards, so the result is identical for any value.
-     *        Leave cfg.threads at 1 when parallelizing across seeds;
-     *        the two levels multiply.
-     */
+    /** Run @p cfg across the seeds @p opt describes and aggregate. */
     static AggregateReport runSeeds(const ScenarioConfig &cfg,
-                                    int runs,
-                                    std::uint64_t base_seed = 1,
-                                    unsigned threads = 1);
+                                    const RunOptions &opt);
 
     /**
      * Two-system comparison across the same seeds: returns the
      * per-seed ratio statistics of totalProcessed (b over a).
+     * opt.seedThreads is ignored (pairs run serially).
      */
     static ScalarStat compareTotals(const ScenarioConfig &a,
-                                    const ScenarioConfig &b, int runs,
-                                    std::uint64_t base_seed = 1);
+                                    const ScenarioConfig &b,
+                                    const RunOptions &opt);
 };
 
 } // namespace neofog

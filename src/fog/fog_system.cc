@@ -116,6 +116,38 @@ FogSystem::dumpStats(std::ostream &os) const
     registry.dump(os);
 }
 
+std::vector<report_io::LabeledSeries>
+FogSystem::probeSeries() const
+{
+    std::vector<report_io::LabeledSeries> out;
+    if (!_cfg.probes.enabled)
+        return out;
+    out.reserve(_engines.size() * 4);
+    for (std::size_t c = 0; c < _engines.size(); ++c) {
+        const ChainProbe &p = _engines[c]->probe();
+        const std::string prefix = "chain" + std::to_string(c) + ".";
+        out.push_back({prefix + "stored_mj", "mJ",
+                       p.storedEnergyMj.snapshot()});
+        out.push_back({prefix + "yield", "ratio",
+                       p.yieldFrac.snapshot()});
+        out.push_back({prefix + "balanced_tasks", "",
+                       p.balancedTasks.snapshot()});
+        out.push_back({prefix + "depletion_failures", "",
+                       p.depletionFailures.snapshot()});
+    }
+    return out;
+}
+
+report_io::LabeledSeries
+FogSystem::nodeEnergySeries(std::size_t chain, std::size_t physical_idx,
+                            std::size_t max_points) const
+{
+    const Node &n = node(chain, physical_idx);
+    return {"chain" + std::to_string(chain) + ".node" +
+                std::to_string(physical_idx) + ".stored_mj",
+            "mJ", n.stats().storedEnergyMj.downsampled(max_points)};
+}
+
 const Node &
 FogSystem::node(std::size_t chain, std::size_t physical_idx) const
 {

@@ -27,6 +27,7 @@
 #include "fog/chain_engine.hh"
 #include "fog/scenario.hh"
 #include "fog/system_report.hh"
+#include "sim/report_io.hh"
 #include "sim/simulator.hh"
 #include "sim/thread_pool.hh"
 
@@ -60,6 +61,22 @@ class FogSystem
      * lines (gem5-style), e.g. `chain0.node3.wakeups 117`.
      */
     void dumpStats(std::ostream &os) const;
+
+    /**
+     * Snapshot every chain's probe series for export, in chain order
+     * (names like "chain0.stored_mj").  Empty unless the scenario
+     * enabled probes (ScenarioConfig::probes).
+     */
+    std::vector<report_io::LabeledSeries> probeSeries() const;
+
+    /**
+     * One physical node's stored-energy series, export-ready (the
+     * path behind the CLI's --dump-energy), downsampled to at most
+     * @p max_points.
+     */
+    report_io::LabeledSeries
+    nodeEnergySeries(std::size_t chain, std::size_t physical_idx,
+                     std::size_t max_points = 400) const;
 
     /** The simulator context (time, event queue, stats). */
     Simulator &sim() { return _sim; }

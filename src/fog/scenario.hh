@@ -16,6 +16,7 @@
 
 #include "net/loss.hh"
 #include "node/node.hh"
+#include "sim/metrics.hh"
 #include "sim/types.hh"
 #include "sim/units.hh"
 
@@ -88,6 +89,15 @@ struct ScenarioConfig
      * "mimics communication by direct data transmission").
      */
     bool hopByHopRelay = false;
+
+    /**
+     * Opt-in per-chain time-series probes (stored energy, yield,
+     * balancer shipments, depletion), ring-buffered and sampled on
+     * the slot grid.  Chain-local by construction, so enabling them
+     * never changes simulation results or their thread-count
+     * determinism (probes never touch the RNG streams).
+     */
+    ProbeConfig probes{};
 
     std::uint64_t seed = 1;
 

@@ -1,69 +1,249 @@
 #include "fog/system_report.hh"
 
+#include <cstdlib>
+
+#include "sim/logging.hh"
+
 namespace neofog {
+
+namespace {
+
+using Def = MetricDef<SystemReport>;
+using R = SystemReport;
+
+constexpr MetricKind kCounter = MetricKind::Counter;
+constexpr MetricKind kEnergy = MetricKind::EnergyMj;
+constexpr MetricKind kRatio = MetricKind::Ratio;
+constexpr MergeRule kSum = MergeRule::Sum;
+constexpr MergeRule kConfig = MergeRule::Config;
+
+/** Counter stored in a uint64 member. */
+constexpr Def
+counter(const char *name, const char *label, std::uint64_t R::*field,
+        const char *desc, MergeRule rule = kSum)
+{
+    return Def{name, label, kCounter, rule, desc, field, nullptr,
+               nullptr};
+}
+
+/** Millijoule gauge stored in a double member. */
+constexpr Def
+gaugeMj(const char *name, const char *label, double R::*field,
+        const char *desc)
+{
+    return Def{name, label, kEnergy, kSum, desc, nullptr, field,
+               nullptr};
+}
+
+/** Metric computed from the rest of the report (never merged). */
+constexpr Def
+derivedMetric(const char *name, const char *label, MetricKind kind,
+              double (*fn)(const R &), const char *desc)
+{
+    return Def{name, label, kind, kSum, desc, nullptr, nullptr, fn};
+}
+
+} // namespace
+
+const MetricRegistry<SystemReport> &
+SystemReport::metrics()
+{
+    // THE declaration site: every SystemReport field appears exactly
+    // once below, and merge/==/print/JSON/CSV/aggregation all derive
+    // from this list.  Keep declaration order == struct field order.
+    static const MetricRegistry<SystemReport> registry({
+        counter("ideal_packages", "ideal packages", &R::idealPackages,
+                "scenario ideal: logical nodes x chains x slots",
+                kConfig),
+        counter("wakeups", "wakeups", &R::wakeups,
+                "slots any node woke"),
+        counter("depletion_failures", "depletion failures",
+                &R::depletionFailures,
+                "slots a node could not wake for lack of energy"),
+        counter("packages_sampled", "packages sampled",
+                &R::packagesSampled, "raw packages captured"),
+        counter("packages_to_cloud", "cloud processed",
+                &R::packagesToCloud,
+                "raw packages shipped for cloud processing"),
+        counter("packages_in_fog", "fog processed", &R::packagesInFog,
+                "packages fully fog-processed then shipped"),
+        counter("packages_incidental", "incidental",
+                &R::packagesIncidental,
+                "reduced-fidelity summaries (incidental computing)"),
+        counter("tasks_balanced_away", "balanced tasks",
+                &R::tasksBalancedAway,
+                "tasks shipped to a neighbour by load balancing"),
+        counter("lb_messages", "lb messages", &R::lbMessages,
+                "load-balancer control messages exchanged"),
+        counter("lb_failed_regions", "lb failed regions",
+                &R::lbFailedRegions,
+                "balancer regions with no viable donor/recipient"),
+        counter("tx_lost", "tx lost (radio)", &R::txLost,
+                "packets lost on the radio after all retries"),
+        counter("tx_aborted", "tx aborted (energy)", &R::txAborted,
+                "transmissions unaffordable in energy or slot time"),
+        counter("orphan_scans", "orphan scans", &R::orphanScans,
+                "Zigbee bypass handshakes run"),
+        counter("rejoins", "rejoins", &R::rejoins,
+                "nodes re-associated after recovery"),
+        counter("membership_updates", "membership updates",
+                &R::membershipUpdates, "NVD4Q clone rotations"),
+        counter("rt_requests_served", "rt requests served",
+                &R::rtRequestsServed, "real-time queries answered"),
+        counter("rt_requests_missed", "rt requests missed",
+                &R::rtRequestsMissed, "real-time queries unmet"),
+        counter("relay_hops", "relay hops", &R::relayHops,
+                "hop-by-hop relays performed"),
+        counter("relay_drops", "relay drops", &R::relayDrops,
+                "packets lost mid-chain"),
+        counter("rtc_resyncs", "rtc resyncs", &R::rtcResyncs,
+                "RTC resynchronizations paid"),
+        gaugeMj("cap_overflow_mj", "cap overflow (mJ)",
+                &R::capOverflowMj,
+                "energy rejected by full capacitors"),
+        gaugeMj("spent_compute_mj", "compute spend (mJ)",
+                &R::spentComputeMj, "energy spent computing"),
+        gaugeMj("spent_tx_mj", "tx spend (mJ)", &R::spentTxMj,
+                "energy spent transmitting"),
+        gaugeMj("spent_rx_mj", "rx spend (mJ)", &R::spentRxMj,
+                "energy spent receiving"),
+        gaugeMj("spent_sample_mj", "sample spend (mJ)",
+                &R::spentSampleMj, "energy spent sampling"),
+        gaugeMj("spent_wake_mj", "wake spend (mJ)", &R::spentWakeMj,
+                "energy spent on wake transitions"),
+        gaugeMj("harvested_mj", "harvested (mJ)", &R::harvestedMj,
+                "ambient energy seen"),
+        derivedMetric("total_processed", "total processed", kCounter,
+                      [](const R &r) {
+                          return static_cast<double>(
+                              r.totalProcessed());
+                      },
+                      "packages delivered (cloud + fog)"),
+        derivedMetric("yield", "yield", kRatio,
+                      [](const R &r) { return r.yield(); },
+                      "delivered fraction of the ideal"),
+        derivedMetric("spent_total_mj", "total spend (mJ)", kEnergy,
+                      [](const R &r) { return r.spentTotalMj(); },
+                      "energy spent across all categories"),
+        derivedMetric("compute_ratio", "energy: compute share", kRatio,
+                      [](const R &r) { return r.computeRatio(); },
+                      "compute share of the energy spend"),
+        derivedMetric("radio_ratio", "energy: radio share", kRatio,
+                      [](const R &r) { return r.radioRatio(); },
+                      "radio (TX+RX) share of the energy spend"),
+    });
+    return registry;
+}
 
 void
 SystemReport::merge(const SystemReport &shard)
 {
-    wakeups += shard.wakeups;
-    depletionFailures += shard.depletionFailures;
-    packagesSampled += shard.packagesSampled;
-    packagesToCloud += shard.packagesToCloud;
-    packagesInFog += shard.packagesInFog;
-    packagesIncidental += shard.packagesIncidental;
-    tasksBalancedAway += shard.tasksBalancedAway;
-    lbMessages += shard.lbMessages;
-    lbFailedRegions += shard.lbFailedRegions;
-    txLost += shard.txLost;
-    txAborted += shard.txAborted;
-    orphanScans += shard.orphanScans;
-    rejoins += shard.rejoins;
-    membershipUpdates += shard.membershipUpdates;
-    rtRequestsServed += shard.rtRequestsServed;
-    rtRequestsMissed += shard.rtRequestsMissed;
-    relayHops += shard.relayHops;
-    relayDrops += shard.relayDrops;
-    rtcResyncs += shard.rtcResyncs;
-    capOverflowMj += shard.capOverflowMj;
-    spentComputeMj += shard.spentComputeMj;
-    spentTxMj += shard.spentTxMj;
-    spentRxMj += shard.spentRxMj;
-    spentSampleMj += shard.spentSampleMj;
-    spentWakeMj += shard.spentWakeMj;
-    harvestedMj += shard.harvestedMj;
+    metrics().merge(*this, shard);
+}
+
+bool
+SystemReport::operator==(const SystemReport &other) const
+{
+    return metrics().equal(*this, other);
 }
 
 void
 SystemReport::print(std::ostream &os, const std::string &label) const
 {
-    os << label << ":\n"
-       << "  wakeups            " << wakeups << "\n"
-       << "  depletion failures " << depletionFailures << "\n"
-       << "  packages sampled   " << packagesSampled << "\n"
-       << "  cloud processed    " << packagesToCloud << "\n"
-       << "  fog processed      " << packagesInFog << "\n"
-       << "  incidental         " << packagesIncidental << "\n"
-       << "  total processed    " << totalProcessed() << " ("
-       << yield() * 100.0 << "% of ideal " << idealPackages << ")\n"
-       << "  balanced tasks     " << tasksBalancedAway << "\n"
-       << "  lb messages        " << lbMessages << "\n"
-       << "  lb failed regions  " << lbFailedRegions << "\n"
-       << "  tx lost (radio)    " << txLost << "\n"
-       << "  tx aborted (energy)" << txAborted << "\n"
-       << "  orphan scans       " << orphanScans << "\n"
-       << "  rejoins            " << rejoins << "\n"
-       << "  membership updates " << membershipUpdates << "\n"
-       << "  rt requests        " << rtRequestsServed << " served, "
-       << rtRequestsMissed << " missed\n"
-       << "  relay              " << relayHops << " hops, "
-       << relayDrops << " drops\n"
-       << "  rtc resyncs        " << rtcResyncs << "\n"
-       << "  cap overflow (mJ)  " << capOverflowMj << "\n"
-       << "  energy: compute " << computeRatio() * 100.0
-       << "%, radio " << radioRatio() * 100.0 << "% of "
-       << (spentComputeMj + spentTxMj + spentRxMj + spentSampleMj +
-           spentWakeMj)
-       << " mJ spent (" << harvestedMj << " mJ ambient)\n";
+    os << label << ":\n";
+    report_io::TextTable table(os, {2, 24, 16});
+    for (const MetricValue &m : snapshot()) {
+        std::string text;
+        if (m.integral) {
+            text = std::to_string(m.u64);
+        } else if (m.kind == MetricKind::Ratio) {
+            text = report_io::fmtPct(m.value, 2);
+        } else {
+            text = report_io::fmtFixed(m.value, 3);
+        }
+        table.row({"", m.label, text});
+    }
+}
+
+void
+SystemReport::toJson(std::ostream &os, const std::string &label) const
+{
+    report_io::JsonWriter w(os);
+    w.beginObject();
+    w.key("schema").value("neofog-report-v1");
+    w.key("label").value(label);
+    w.key("metrics");
+    report_io::writeMetricsJson(w, snapshot());
+    w.endObject();
+    os << '\n';
+}
+
+SystemReport
+SystemReport::fromJson(const report_io::JsonValue &doc)
+{
+    const report_io::JsonValue *schema = doc.find("schema");
+    if (!schema || !schema->isString() ||
+        schema->asString() != "neofog-report-v1") {
+        fatal("report JSON: missing or wrong schema tag "
+              "(want neofog-report-v1)");
+    }
+    const report_io::JsonValue *ms = doc.find("metrics");
+    if (!ms || !ms->isObject())
+        fatal("report JSON: missing metrics object");
+
+    SystemReport r;
+    for (const auto &d : metrics().metrics()) {
+        if (d.derived())
+            continue; // recomputed from storage
+        const report_io::JsonValue *v = ms->find(d.name);
+        if (!v || !v->isNumber())
+            fatal("report JSON: metric '", d.name,
+                  "' missing or not a number");
+        if (d.integral())
+            d.setU64(r, v->asU64());
+        else
+            d.set(r, v->asNumber());
+    }
+    return r;
+}
+
+void
+SystemReport::toCsv(std::ostream &os, bool with_header) const
+{
+    const auto snap = snapshot();
+    if (with_header)
+        report_io::writeMetricsCsvHeader(os, snap);
+    report_io::writeMetricsCsvRow(os, snap);
+}
+
+SystemReport
+SystemReport::fromCsv(std::istream &is)
+{
+    std::string header_line, row_line;
+    if (!std::getline(is, header_line) || !std::getline(is, row_line))
+        fatal("report CSV: need a header line and a value line");
+    const auto names = report_io::splitCsvLine(header_line);
+    const auto values = report_io::splitCsvLine(row_line);
+    if (names.size() != values.size())
+        fatal("report CSV: header/value column mismatch");
+
+    SystemReport r;
+    std::size_t filled = 0;
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto *d = metrics().find(names[i]);
+        if (!d)
+            fatal("report CSV: unknown metric '", names[i], "'");
+        if (d->derived())
+            continue;
+        if (d->integral())
+            d->setU64(r, std::strtoull(values[i].c_str(), nullptr, 10));
+        else
+            d->set(r, std::strtod(values[i].c_str(), nullptr));
+        ++filled;
+    }
+    if (filled != metrics().storedCount())
+        fatal("report CSV: not every stored metric present");
+    return r;
 }
 
 } // namespace neofog

@@ -7,14 +7,27 @@
  * addition.  Merging happens serially in chain order, which keeps the
  * floating-point fields bit-identical no matter how many threads ran
  * the chains.
+ *
+ * Observability contract (see DESIGN.md, "Observability"): every field
+ * is declared exactly once in metrics() — name, kind, merge rule,
+ * description, accessor — and merge, equality, text printing, JSON/CSV
+ * serialization, and cross-seed aggregation (AggregateReport) are all
+ * derived from that one list.  To add a metric: add the struct field
+ * AND its one MetricDef line in system_report.cc; nothing else.  A
+ * test asserts sizeof(SystemReport) matches the registry so a field
+ * can't silently bypass the list.
  */
 
 #ifndef NEOFOG_FOG_SYSTEM_REPORT_HH
 #define NEOFOG_FOG_SYSTEM_REPORT_HH
 
 #include <cstdint>
+#include <istream>
 #include <ostream>
 #include <string>
+
+#include "sim/metrics.hh"
+#include "sim/report_io.hh"
 
 namespace neofog {
 
@@ -52,12 +65,19 @@ struct SystemReport
     double spentWakeMj = 0.0;
     double harvestedMj = 0.0;
 
+    /** Total energy spend across categories (mJ). */
+    double
+    spentTotalMj() const
+    {
+        return spentComputeMj + spentTxMj + spentRxMj + spentSampleMj +
+               spentWakeMj;
+    }
+
     /** Compute share of the spend — the paper's "compute ratio". */
     double
     computeRatio() const
     {
-        const double total = spentComputeMj + spentTxMj + spentRxMj +
-                             spentSampleMj + spentWakeMj;
+        const double total = spentTotalMj();
         return total > 0.0 ? spentComputeMj / total : 0.0;
     }
 
@@ -65,8 +85,7 @@ struct SystemReport
     double
     radioRatio() const
     {
-        const double total = spentComputeMj + spentTxMj + spentRxMj +
-                             spentSampleMj + spentWakeMj;
+        const double total = spentTotalMj();
         return total > 0.0 ? (spentTxMj + spentRxMj) / total : 0.0;
     }
 
@@ -84,16 +103,44 @@ struct SystemReport
     }
 
     /**
-     * Field-wise accumulate @p shard into this report.  idealPackages
-     * is scenario-derived, not shard-derived, so it is left alone.
+     * The declare-once metric list: the single source every derived
+     * operation below walks.
+     */
+    static const MetricRegistry<SystemReport> &metrics();
+
+    /** Type-erased metric snapshot in declaration order. */
+    std::vector<MetricValue> snapshot() const
+    { return metrics().snapshot(*this); }
+
+    /**
+     * Registry-derived field-wise accumulate of @p shard.
+     * idealPackages is scenario-derived (MergeRule::Config), so it is
+     * left alone.
      */
     void merge(const SystemReport &shard);
 
     /** Exact equality of every field (determinism checks). */
-    bool operator==(const SystemReport &other) const = default;
+    bool operator==(const SystemReport &other) const;
 
-    /** Print a human-readable summary. */
+    /** Print a human-readable aligned summary (registry-derived). */
     void print(std::ostream &os, const std::string &label) const;
+
+    /** neofog-report-v1 JSON document (lossless round-trip). */
+    void toJson(std::ostream &os,
+                const std::string &label = "result") const;
+
+    /**
+     * Rebuild a report from a parsed neofog-report-v1 document.
+     * Throws FatalError when the schema tag or any stored metric is
+     * missing or mistyped.  Derived metrics are recomputed, not read.
+     */
+    static SystemReport fromJson(const report_io::JsonValue &doc);
+
+    /** CSV: metric-name header plus one value row. */
+    void toCsv(std::ostream &os, bool with_header = true) const;
+
+    /** Rebuild from the two CSV lines toCsv wrote. */
+    static SystemReport fromCsv(std::istream &is);
 };
 
 } // namespace neofog

@@ -176,12 +176,14 @@ TEST(FogSystem, MultiplexingNeutralInHighPower)
     // A single 2-hour seed is too noisy to pin the "roughly neutral"
     // property, so average a few seeds (the paper itself averages
     // five power profiles per figure).
+    const RunOptions opts{.runs = 5, .baseSeed = 500,
+                          .seedThreads = 4};
     const AggregateReport m1 =
-        ExperimentRunner::runSeeds(mk(1), 5, 500, 4);
+        ExperimentRunner::runSeeds(mk(1), opts);
     const AggregateReport m3 =
-        ExperimentRunner::runSeeds(mk(3), 5, 500, 4);
-    const double gain =
-        m3.totalProcessed.mean() / m1.totalProcessed.mean();
+        ExperimentRunner::runSeeds(mk(3), opts);
+    const double gain = m3.stat("total_processed").mean() /
+                        m1.stat("total_processed").mean();
     EXPECT_LT(gain, 1.35);
 }
 

@@ -166,19 +166,20 @@ TEST(ParallelDeterminism, RunSeedsSerialVsParallelIdentical)
     ScenarioConfig cfg = presets::fig10(presets::fiosNeofog(), 0);
     cfg.chains = 2;
     cfg.horizon = 30 * kMin;
-    const AggregateReport serial =
-        ExperimentRunner::runSeeds(cfg, 6, 100, 1);
-    const AggregateReport parallel =
-        ExperimentRunner::runSeeds(cfg, 6, 100, 4);
+    const AggregateReport serial = ExperimentRunner::runSeeds(
+        cfg, {.runs = 6, .baseSeed = 100, .seedThreads = 1});
+    const AggregateReport parallel = ExperimentRunner::runSeeds(
+        cfg, {.runs = 6, .baseSeed = 100, .seedThreads = 4});
     ASSERT_EQ(serial.reports.size(), parallel.reports.size());
     for (std::size_t i = 0; i < serial.reports.size(); ++i)
         EXPECT_EQ(serial.reports[i], parallel.reports[i])
             << "seed slot " << i;
-    EXPECT_DOUBLE_EQ(serial.totalProcessed.mean(),
-                     parallel.totalProcessed.mean());
-    EXPECT_DOUBLE_EQ(serial.totalProcessed.stddev(),
-                     parallel.totalProcessed.stddev());
-    EXPECT_DOUBLE_EQ(serial.yield.mean(), parallel.yield.mean());
+    EXPECT_DOUBLE_EQ(serial.stat("total_processed").mean(),
+                     parallel.stat("total_processed").mean());
+    EXPECT_DOUBLE_EQ(serial.stat("total_processed").stddev(),
+                     parallel.stat("total_processed").stddev());
+    EXPECT_DOUBLE_EQ(serial.stat("yield").mean(),
+                     parallel.stat("yield").mean());
 }
 
 TEST(ParallelDeterminism, ThreadsKnobDoesNotChangeSeedSemantics)

@@ -97,24 +97,24 @@ TEST(Experiment, AggregatesAcrossSeeds)
 {
     ScenarioConfig cfg = presets::fig10(presets::fiosNeofog(), 0);
     cfg.horizon = 30 * kMin;
-    const AggregateReport agg =
-        ExperimentRunner::runSeeds(cfg, 5, 100);
+    const AggregateReport agg = ExperimentRunner::runSeeds(
+        cfg, {.runs = 5, .baseSeed = 100});
     EXPECT_EQ(agg.runs, 5);
     EXPECT_EQ(agg.reports.size(), 5u);
-    EXPECT_EQ(agg.totalProcessed.count(), 5u);
+    EXPECT_EQ(agg.stat("total_processed").count(), 5u);
     // Different seeds produce spread.
-    EXPECT_GT(agg.totalProcessed.stddev(), 0.0);
+    EXPECT_GT(agg.stat("total_processed").stddev(), 0.0);
     // Yield stays a fraction.
-    EXPECT_GT(agg.yield.mean(), 0.0);
-    EXPECT_LT(agg.yield.max(), 1.0 + 1e-9);
+    EXPECT_GT(agg.stat("yield").mean(), 0.0);
+    EXPECT_LT(agg.stat("yield").max(), 1.0 + 1e-9);
 }
 
 TEST(Experiment, PrintIncludesFields)
 {
     ScenarioConfig cfg = presets::fig10(presets::fiosNeofog(), 0);
     cfg.horizon = 20 * kMin;
-    const AggregateReport agg =
-        ExperimentRunner::runSeeds(cfg, 2, 7);
+    const AggregateReport agg = ExperimentRunner::runSeeds(
+        cfg, {.runs = 2, .baseSeed = 7});
     std::ostringstream oss;
     agg.print(oss, "exp");
     EXPECT_NE(oss.str().find("total processed"), std::string::npos);
@@ -124,7 +124,8 @@ TEST(Experiment, PrintIncludesFields)
 TEST(Experiment, RejectsZeroRuns)
 {
     ScenarioConfig cfg = presets::fig10(presets::fiosNeofog(), 0);
-    EXPECT_THROW(ExperimentRunner::runSeeds(cfg, 0), FatalError);
+    EXPECT_THROW(ExperimentRunner::runSeeds(cfg, {.runs = 0}),
+                 FatalError);
 }
 
 TEST(Experiment, CompareTotalsShowsNeofogAdvantage)
@@ -132,8 +133,8 @@ TEST(Experiment, CompareTotalsShowsNeofogAdvantage)
     ScenarioConfig vp = presets::fig10(presets::nosVp(), 0);
     ScenarioConfig neo = presets::fig10(presets::fiosNeofog(), 0);
     vp.horizon = neo.horizon = kHour;
-    const ScalarStat ratio =
-        ExperimentRunner::compareTotals(vp, neo, 4, 50);
+    const ScalarStat ratio = ExperimentRunner::compareTotals(
+        vp, neo, {.runs = 4, .baseSeed = 50});
     EXPECT_EQ(ratio.count(), 4u);
     EXPECT_GT(ratio.mean(), 1.5);
     EXPECT_GT(ratio.min(), 1.0);
