@@ -14,7 +14,6 @@
  *    the rain scenario shows the storage-bound regime.
  */
 
-#include <cstdio>
 
 #include "bench_util.hh"
 #include "fog/fog_system.hh"
@@ -55,7 +54,7 @@ main()
             sink.add(key + "_balanced",
                      static_cast<double>(r.tasksBalancedAway));
         }
-        std::printf("\nThroughput is nearly deadline-insensitive at this "
+        out("\nThroughput is nearly deadline-insensitive at this "
                     "operating point, but the\nbalancer's role shrinks as "
                     "deadlines lengthen (banking energy replaces\nshipping "
                     "work).  The paper's nodes transmit results in the next "
@@ -86,7 +85,7 @@ main()
                      static_cast<double>(r.totalProcessed()));
             sink.add(key + "_yield", r.yield());
         }
-        std::printf("\nSmall capacitors overflow during bright spells "
+        out("\nSmall capacitors overflow during bright spells "
                     "and starve the multiplexed\nclones; growing them "
                     "recovers yield until the income itself binds.\n");
     }

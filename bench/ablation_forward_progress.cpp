@@ -89,7 +89,7 @@ main()
     }
     sink.write();
 
-    std::printf("\nShape check (paper §2.2, citing [47]): 2.2x-5x more "
+    out("\nShape check (paper §2.2, citing [47]): 2.2x-5x more "
                 "forward progress in\nharvesting regimes; the advantage "
                 "shrinks toward 1x under ample stable power.\n");
     return 0;

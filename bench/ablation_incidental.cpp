@@ -9,7 +9,6 @@
  * recovered (incidental) packages matter most when energy is scarce.
  */
 
-#include <cstdio>
 
 #include "bench_util.hh"
 #include "fog/fog_system.hh"
@@ -82,7 +81,7 @@ main()
     }
     sink.write();
 
-    std::printf("\nShape check: incidental summaries recover otherwise-"
+    out("\nShape check: incidental summaries recover otherwise-"
                 "discarded samples, with\nthe largest relative gain in "
                 "the scarcest power regime.\n");
     return 0;

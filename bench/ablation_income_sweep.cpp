@@ -11,7 +11,6 @@
  *    relative advantage compresses (the Fig 12 regime).
  */
 
-#include <cstdio>
 
 #include "bench_util.hh"
 #include "fog/fog_system.hh"
@@ -61,7 +60,7 @@ main()
     }
     sink.write();
 
-    std::printf("\nShape check: the NEOFog advantage is largest in the "
+    out("\nShape check: the NEOFog advantage is largest in the "
                 "harvesting regime and\ncompresses toward 1x as every "
                 "system approaches the 15000-package sampling\nbound.\n");
     return 0;

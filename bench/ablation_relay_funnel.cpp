@@ -13,7 +13,6 @@
  * feel it hard.
  */
 
-#include <cstdio>
 
 #include "bench_util.hh"
 #include "fog/fog_system.hh"
@@ -35,7 +34,7 @@ runOne(ResultSink &sink, const presets::SystemUnderTest &sut,
     FogSystem sys(cfg);
     const SystemReport r = sys.run();
 
-    std::printf("  %-14s %-10s total %5llu  relay hops %6llu  "
+    out("  %-14s %-10s total %5llu  relay hops %6llu  "
                 "drops %4llu\n",
                 sut.label.c_str(), relay ? "hop-by-hop" : "direct",
                 static_cast<unsigned long long>(r.totalProcessed()),
@@ -47,13 +46,13 @@ runOne(ResultSink &sink, const presets::SystemUnderTest &sut,
     if (relay)
         sink.add(key + "_hops", static_cast<double>(r.relayHops));
     if (relay) {
-        std::printf("    radio energy by chain position (mJ):");
+        out("    radio energy by chain position (mJ):");
         for (std::size_t i = 1; i < 10; ++i) {
             const auto &st = sys.node(0, i).stats();
-            std::printf(" %5.0f", st.spentTx.millijoules() +
+            out(" %5.0f", st.spentTx.millijoules() +
                                       st.spentRx.millijoules());
         }
-        std::printf("\n");
+        out("\n");
     }
 }
 
@@ -72,7 +71,7 @@ main()
         runOne(sink, sut, true);
     }
 
-    std::printf("\nShape check: relaying taxes the chain near the sink "
+    out("\nShape check: relaying taxes the chain near the sink "
                 "(funnel effect), and the\ntax scales with payload — "
                 "the VP's raw packets suffer far more than NEOFog's\n"
                 "compressed results, reinforcing the case for in-fog "

@@ -9,7 +9,6 @@
  * not an artifact of any particular trace draw.
  */
 
-#include <cstdio>
 #include <iostream>
 
 #include "bench_util.hh"
@@ -64,14 +63,14 @@ main()
         presets::fig10(presets::nosNvpBaseline(), 0),
         presets::fig10(presets::fiosNeofog(), 0), paired);
 
-    std::printf("\nPaired per-seed ratios:\n");
-    std::printf("  NEOFog/VP:  %.2fx +- %.2f  [%.2f, %.2f]\n",
+    out("\nPaired per-seed ratios:\n");
+    out("  NEOFog/VP:  %.2fx +- %.2f  [%.2f, %.2f]\n",
                 vs_vp.mean(), vs_vp.stddev(), vs_vp.min(),
                 vs_vp.max());
-    std::printf("  NEOFog/NVP: %.2fx +- %.2f  [%.2f, %.2f]\n",
+    out("  NEOFog/NVP: %.2fx +- %.2f  [%.2f, %.2f]\n",
                 vs_nvp.mean(), vs_nvp.stddev(), vs_nvp.min(),
                 vs_nvp.max());
-    std::printf("\nShape check: the minimum per-seed ratio stays well "
+    out("\nShape check: the minimum per-seed ratio stays well "
                 "above 1x — the ordering\nholds for every trace draw, "
                 "not just on average.\n");
     sink.add("neofog_vs_vp_ratio_mean", vs_vp.mean());

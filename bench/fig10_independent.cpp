@@ -11,7 +11,6 @@
  * wakeups / 5582 total (37% of the 15000 ideal) / 5018 in-fog.
  */
 
-#include <cstdio>
 
 #include "bench_util.hh"
 #include "fog/fog_system.hh"
@@ -57,14 +56,14 @@ main()
         t.row(cells);
     }
 
-    std::printf("\nShape checks (paper in parentheses):\n");
-    std::printf("  NVP/VP total     = %.2fx (1.21x)\n",
+    out("\nShape checks (paper in parentheses):\n");
+    out("  NVP/VP total     = %.2fx (1.21x)\n",
                 avg_total[1] / avg_total[0]);
-    std::printf("  NEOFog/VP total  = %.2fx (2.10x)\n",
+    out("  NEOFog/VP total  = %.2fx (2.10x)\n",
                 avg_total[2] / avg_total[0]);
-    std::printf("  NEOFog/NVP total = %.2fx (1.72x)\n",
+    out("  NEOFog/NVP total = %.2fx (1.72x)\n",
                 avg_total[2] / avg_total[1]);
-    std::printf("  NEOFog yield     = %.1f%% of ideal (37%%)\n",
+    out("  NEOFog yield     = %.1f%% of ideal (37%%)\n",
                 100.0 * avg_total[2] / 15000.0);
 
     ResultSink sink("fig10_independent");

@@ -11,7 +11,6 @@
  * but cheaper transfers partially compensate.
  */
 
-#include <cstdio>
 
 #include "bench_util.hh"
 #include "fog/fog_system.hh"
@@ -61,16 +60,16 @@ main()
         t.row(cells);
     }
 
-    std::printf("\nShape checks (paper in parentheses):\n");
-    std::printf("  NVP/VP total     = %.2fx (1.38x)\n",
+    out("\nShape checks (paper in parentheses):\n");
+    out("  NVP/VP total     = %.2fx (1.38x)\n",
                 avg_total[1] / avg_total[0]);
-    std::printf("  NEOFog/VP total  = %.2fx (2.1x, '2.1X gains')\n",
+    out("  NEOFog/VP total  = %.2fx (2.1x, '2.1X gains')\n",
                 avg_total[2] / avg_total[0]);
-    std::printf("  NEOFog/NVP total = %.2fx (1.7x, '1.7X gains')\n",
+    out("  NEOFog/NVP total = %.2fx (1.7x, '1.7X gains')\n",
                 avg_total[2] / avg_total[1]);
-    std::printf("  NEOFog yield     = %.1f%% of ideal (46.6%%)\n",
+    out("  NEOFog yield     = %.1f%% of ideal (46.6%%)\n",
                 100.0 * avg_total[2] / 15000.0);
-    std::printf("  balanced tasks (NEOFog, avg) = %.0f — expected lower"
+    out("  balanced tasks (NEOFog, avg) = %.0f — expected lower"
                 " than the\n  independent scenario since dependent power"
                 " leaves less variance to exploit\n",
                 avg_balanced[2]);

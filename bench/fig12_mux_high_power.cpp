@@ -10,7 +10,6 @@
  * already high.
  */
 
-#include <cstdio>
 
 #include "bench_util.hh"
 #include "fog/fog_system.hh"
@@ -52,12 +51,12 @@ main()
                pct(r.yield())});
     }
 
-    std::printf("\nShape checks (paper): NEOFog@100%% is ~2x the VP "
+    out("\nShape checks (paper): NEOFog@100%% is ~2x the VP "
                 "reference; multiplexing\nbeyond 100%% adds little in "
                 "high-power conditions (rate already high).\n");
-    std::printf("  gain 200%%/100%% = %.2fx (expect ~1.0x)\n",
+    out("  gain 200%%/100%% = %.2fx (expect ~1.0x)\n",
                 processed_at[2] / processed_at[1]);
-    std::printf("  gain 500%%/100%% = %.2fx (expect ~1.0x)\n",
+    out("  gain 500%%/100%% = %.2fx (expect ~1.0x)\n",
                 processed_at[5] / processed_at[1]);
 
     ResultSink sink("fig12_mux_high_power");

@@ -11,7 +11,6 @@
  * giving the headline 8x at 3x multiplexing.
  */
 
-#include <cstdio>
 
 #include "bench_util.hh"
 #include "fog/fog_system.hh"
@@ -54,12 +53,12 @@ main()
                pct(r.yield())});
     }
 
-    std::printf("\nShape checks (paper in parentheses):\n");
-    std::printf("  NEOFog@100%% / VP = %.2fx (~3.9x)\n",
+    out("\nShape checks (paper in parentheses):\n");
+    out("  NEOFog@100%% / VP = %.2fx (~3.9x)\n",
                 processed_at[1] / vp_ref);
-    std::printf("  NEOFog@300%% / VP = %.2fx (~8x headline)\n",
+    out("  NEOFog@300%% / VP = %.2fx (~8x headline)\n",
                 processed_at[3] / vp_ref);
-    std::printf("  saturation: 400%%/300%% = %.2fx, 500%%/300%% = %.2fx "
+    out("  saturation: 400%%/300%% = %.2fx, 500%%/300%% = %.2fx "
                 "(expect ~1.0x past 300%%)\n",
                 processed_at[4] / processed_at[3],
                 processed_at[5] / processed_at[3]);

@@ -10,7 +10,6 @@
  * millisecond-scale transmission setup (6.2x throughput advantage).
  */
 
-#include <cstdio>
 
 #include "bench_util.hh"
 #include "hw/processor.hh"
@@ -83,10 +82,10 @@ main()
     const double init_vs_sw =
         msFromTicks(sw_vp.swConfig().initLatency) /
         msFromTicks(nvrf.nvConfig().selfInitLatency);
-    std::printf("\nDerived ratios (paper in parentheses):\n");
-    std::printf("  RF init speedup, NVRF vs NVM-direct: %.1fx (27x)\n",
+    out("\nDerived ratios (paper in parentheses):\n");
+    out("  RF init speedup, NVRF vs NVM-direct: %.1fx (27x)\n",
                 init_vs_nvm);
-    std::printf("  RF init speedup, NVRF vs software:   %.0fx "
+    out("  RF init speedup, NVRF vs software:   %.0fx "
                 "(531 ms -> 1.2 ms)\n", init_vs_sw);
 
     // Throughput advantage: sustained bytes/s including per-packet
@@ -100,7 +99,7 @@ main()
     const double tx_adv_small =
         msFromTicks(sw_nvm.txCost(payload).duration) /
         msFromTicks(nvrf.txCost(payload).duration);
-    std::printf("  TX throughput advantage, NVRF vs software RF: "
+    out("  TX throughput advantage, NVRF vs software RF: "
                 "%.1fx at %zu B (6.2x), %.1fx at %zu B\n",
                 tx_adv_bulk, bulk, tx_adv_small, payload);
 
@@ -110,7 +109,7 @@ main()
     const double wake_nvp = static_cast<double>(nos_nvp.wakeLatency());
     const double wake_fios = static_cast<double>(
         NvProcessor{NvProcessor::fiosConfig()}.wakeLatency());
-    std::printf("  CPU wake: VP %.0f us vs NOS-NVP %.0f us vs FIOS "
+    out("  CPU wake: VP %.0f us vs NOS-NVP %.0f us vs FIOS "
                 "%.0f us (300/32/7 us)\n",
                 wake_vp, wake_nvp, wake_fios);
 
@@ -128,44 +127,44 @@ main()
     // ~25 ms of activation time ('.'=cpu wake, 's'=sensor, 'i'=RF
     // init, 'j'=network rejoin, 'T'=transmit, 'C'=fog compute on
     // intermittent power).
-    std::printf("\nActivation timelines (1 glyph ~ 25 ms):\n");
+    out("\nActivation timelines (1 glyph ~ 25 ms):\n");
     auto bar = [](char c, double ms) {
         const int n = std::max(1, static_cast<int>(ms / 25.0));
         for (int i = 0; i < n && i < 60; ++i)
-            std::putchar(c);
+            out("%c", c);
     };
     {
         SoftwareRf rf;
-        std::printf("  %-10s", "NOS-VP");
+        out("  %-10s", "NOS-VP");
         bar('.', 0.3);
         bar('s', msFromTicks(sensors::tmp101().initLatency));
         bar('i', msFromTicks(rf.swConfig().initLatency));
         bar('j', msFromTicks(rf.swConfig().rejoinLatency));
         bar('T', msFromTicks(rf.txCost(payload).duration));
-        std::printf("\n");
+        out("\n");
     }
     {
         SoftwareRf rf{SoftwareRf::nvmDirectConfig()};
-        std::printf("  %-10s", "NOS-NVP");
+        out("  %-10s", "NOS-NVP");
         bar('.', 0.032);
         bar('s', msFromTicks(sensors::tmp101().initLatency));
         bar('i', msFromTicks(rf.swConfig().initLatency));
         bar('j', msFromTicks(rf.swConfig().rejoinLatency));
         bar('T', msFromTicks(rf.txCost(payload).duration));
-        std::printf("\n");
+        out("\n");
     }
     {
         NvRfController rf;
         rf.configure();
-        std::printf("  %-10s", "FIOS");
+        out("  %-10s", "FIOS");
         bar('.', 0.007);
         bar('s', msFromTicks(sensors::tmp101().initLatency));
         bar('C', 400.0); // complex fog computing on direct power
         bar('i', msFromTicks(rf.nvConfig().selfInitLatency));
         bar('T', msFromTicks(rf.txCost(payload).duration));
-        std::printf("\n");
+        out("\n");
     }
-    std::printf("\n  The FIOS activation spends its time computing "
+    out("\n  The FIOS activation spends its time computing "
                 "('C'), not waiting on the\n  radio ('i'/'j'/'T') — "
                 "the Fig 1 shift from RF-dominated to compute-"
                 "intensive.\n");

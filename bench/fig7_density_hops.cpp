@@ -7,7 +7,6 @@
  * *virtual* chain keeps its 9 logical hops at any density.
  */
 
-#include <cstdio>
 
 #include "bench_util.hh"
 #include "net/topology.hh"
@@ -81,7 +80,7 @@ main()
     }
     sink.write();
 
-    std::printf("\nShape check (paper): 9 hops at baseline; ~25 hops at"
+    out("\nShape check (paper): 9 hops at baseline; ~25 hops at"
                 " 4x density under naive\nZigbee; NVD4Q keeps the"
                 " virtual chain at 9 hops regardless of density.\n");
     return 0;

@@ -10,7 +10,6 @@
  * figure illustrates.
  */
 
-#include <cstdio>
 
 #include "bench_util.hh"
 #include "net/topology.hh"
@@ -40,20 +39,20 @@ main()
             Nvd4qManager::formGroups(mesh, n_logical, mux));
     }
 
-    std::printf("Active clone (phase index) per slot, chain 1, "
+    out("Active clone (phase index) per slot, chain 1, "
                 "logical nodes 1..10:\n\n  slot:");
     for (int s = 0; s < 9; ++s)
-        std::printf("  %2d", s);
-    std::printf("\n");
+        out("  %2d", s);
+    out("\n");
     for (std::size_t l = 0; l < n_logical; ++l) {
-        std::printf("  n%02zu :", l + 1);
+        out("  n%02zu :", l + 1);
         for (std::int64_t s = 0; s < 9; ++s) {
             const std::size_t member =
                 chains[0][l].memberForSlot(s);
-            std::printf("   %d",
+            out("   %d",
                         static_cast<int>(member % static_cast<std::size_t>(mux)));
         }
-        std::printf("\n");
+        out("\n");
     }
 
     // Invariants of the figure.
@@ -67,7 +66,7 @@ main()
                 common_phase = false;
         }
     }
-    std::printf("\n  only nodes with a common phase wake per slot: "
+    out("\n  only nodes with a common phase wake per slot: "
                 "%s\n", common_phase ? "yes" : "NO");
 
     // Each physical clone activates 1/mux as often as a logical node.
@@ -77,10 +76,10 @@ main()
         if (chains[0][4].memberForSlot(s) == watch)
             ++activations;
     }
-    std::printf("  physical clone activations over 30 slots: %d "
+    out("  physical clone activations over 30 slots: %d "
                 "(expected %d at %dx mux)\n", activations, 30 / mux,
                 mux);
-    std::printf("  network (virtual) topology changes across the "
+    out("  network (virtual) topology changes across the "
                 "rotation: none — clones\n  share the anchor's NVRF "
                 "state, so no reconstruction penalty exists.\n");
 

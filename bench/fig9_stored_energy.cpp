@@ -11,7 +11,6 @@
  * totals, which quantify the rejected energy directly.
  */
 
-#include <cstdio>
 
 #include "bench_util.hh"
 #include "fog/fog_system.hh"
@@ -61,17 +60,17 @@ main()
         FogSystem system(cfg);
         system.run();
 
-        std::printf("\n%s (series in mJ, one sample / 10 min):\n",
+        out("\n%s (series in mJ, one sample / 10 min):\n",
                     sut.label.c_str());
         for (std::size_t ni : nodes_of_interest) {
             const Node &node = system.node(0, ni);
             const auto &series = node.stats().storedEnergyMj;
-            std::printf("  node %zu:", ni);
+            out("  node %zu:", ni);
             const Tick step = 10 * kMin;
             Tick next = 0;
             for (const auto &pt : series.points()) {
                 if (pt.when >= next) {
-                    std::printf(" %5.0f", pt.value);
+                    out(" %5.0f", pt.value);
                     next += step;
                 }
             }
@@ -82,7 +81,7 @@ main()
                 mean_mj += pt.value;
             if (!series.points().empty())
                 mean_mj /= static_cast<double>(series.points().size());
-            std::printf("\n    overflow (rejected) total: %.1f mJ, "
+            out("\n    overflow (rejected) total: %.1f mJ, "
                         "mean stored %.1f mJ\n", overflow_mj, mean_mj);
             const std::string key =
                 keyify(sut.label) + "_node" + std::to_string(ni);
@@ -92,7 +91,7 @@ main()
     }
     sink.write();
 
-    std::printf(
+    out(
         "\nShape checks: (a) the ordinary nodes' mean stored level "
         "decreases from\nno-LB to baseline LB to the distributed "
         "balancer — their work is funded\nmore directly and their "

@@ -21,7 +21,6 @@
  *               tier-1 instead of silently corrupting trajectories)
  */
 
-#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -53,26 +52,26 @@ validateSink(const ResultSink &sink)
 {
     std::ifstream in(sink.path());
     if (!in) {
-        std::fprintf(stderr, "bench_smoke: cannot re-read %s\n",
-                     sink.path().c_str());
+        err("bench_smoke: cannot re-read %s\n",
+            sink.path().c_str());
         return 1;
     }
     std::ostringstream text;
     text << in.rdbuf();
     try {
         const auto doc = report_io::parseJson(text.str());
-        const std::string err = report_io::validateBenchJson(doc);
-        if (!err.empty()) {
-            std::fprintf(stderr, "bench_smoke: schema violation: %s\n",
-                         err.c_str());
+        const std::string schema_err = report_io::validateBenchJson(doc);
+        if (!schema_err.empty()) {
+            err("bench_smoke: schema violation: %s\n",
+                schema_err.c_str());
             return 1;
         }
     } catch (const FatalError &e) {
-        std::fprintf(stderr, "bench_smoke: emitted invalid JSON: %s\n",
-                     e.what());
+        err("bench_smoke: emitted invalid JSON: %s\n",
+            e.what());
         return 1;
     }
-    std::printf("bench_smoke: %s validates against "
+    out("bench_smoke: %s validates against "
                 "neofog-bench-v1\n",
                 sink.path().c_str());
     return 0;
@@ -93,8 +92,7 @@ main(int argc, char **argv)
                    i + 1 < argc) {
             hours = std::atof(argv[++i]);
         } else {
-            std::fprintf(stderr,
-                         "usage: %s [--hours X] [--smoke]\n", argv[0]);
+            err("usage: %s [--hours X] [--smoke]\n", argv[0]);
             return 2;
         }
     }
@@ -136,9 +134,9 @@ main(int argc, char **argv)
     t.row({"NEOFog + 3x NVD4Q multiplexing", fmt(neofog3x, 0),
            fmt(neofog3x / vp, 2) + "x"});
 
-    std::printf("\nHeadline checks (paper in parentheses):\n");
-    std::printf("  NEOFog vs VP:        %.1fx (4.2x)\n", neofog / vp);
-    std::printf("  NEOFog @3x vs VP:    %.1fx (8x)\n", neofog3x / vp);
+    out("\nHeadline checks (paper in parentheses):\n");
+    out("  NEOFog vs VP:        %.1fx (4.2x)\n", neofog / vp);
+    out("  NEOFog @3x vs VP:    %.1fx (8x)\n", neofog3x / vp);
 
     ResultSink sink("headline_summary");
     sink.add("vp_total", vp);

@@ -12,7 +12,6 @@
  */
 
 #include <chrono>
-#include <cstdio>
 #include <cstdlib>
 
 #include "bench_util.hh"
@@ -76,7 +75,7 @@ int
 main()
 {
     header("Scale test: thousands of node simulators (paper §4)");
-    std::printf("hardware threads: %u (speedup saturates at the "
+    out("hardware threads: %u (speedup saturates at the "
                 "physical core count)\n\n",
                 ThreadPool::hardwareThreads());
 
@@ -109,11 +108,11 @@ main()
     }
 
     if (!consistent) {
-        std::printf("\nERROR: parallel runs diverged from the serial "
+        out("\nERROR: parallel runs diverged from the serial "
                     "report for the same seed.\n");
         return 1;
     }
-    std::printf("\nReports are bit-identical at every thread count "
+    out("\nReports are bit-identical at every thread count "
                 "(same seed, per-chain RNG\nstreams).  Aggregate "
                 "yields at scale match the 10-node presentations (the "
                 "paper\nalso simulates thousands and presents 10 "

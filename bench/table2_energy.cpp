@@ -13,7 +13,6 @@
  *     attainable with actual computation.
  */
 
-#include <cstdio>
 
 #include "bench_util.hh"
 #include "sim/rng.hh"
@@ -115,7 +114,7 @@ main()
                  out.achievedRatio());
     }
     sink.write();
-    std::printf("\nNote: achieved compression operates on the pipeline's"
+    out("\nNote: achieved compression operates on the pipeline's"
                 " *result* payloads\n(strength records, beat positions,"
                 " aggregates), which is why results stay\nwithin the"
                 " paper's 3-14.5%% window even for short batches.\n");

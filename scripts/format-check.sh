@@ -1,0 +1,39 @@
+#!/bin/sh
+# Check-only formatting gate: report every tracked C++ file that
+# drifts from .clang-format, without rewriting anything.  Not enforced
+# in CI yet — run it locally before sending a PR:
+#
+#   scripts/format-check.sh            # whole tree
+#   scripts/format-check.sh src/fog    # one subtree
+#
+# Exit codes: 0 clean, 1 drift found, 127 clang-format missing.
+set -u
+
+root=$(git -C "$(dirname "$0")/.." rev-parse --show-toplevel) || exit 1
+cd "$root" || exit 1
+
+if ! command -v clang-format >/dev/null 2>&1; then
+    echo "format-check: clang-format not found on PATH" >&2
+    exit 127
+fi
+
+scope="${*:-src bench examples tools tests}"
+# shellcheck disable=SC2086
+files=$(git ls-files $scope | grep -E '\.(cc|cpp|hh|hpp|h)$')
+if [ -z "$files" ]; then
+    echo "format-check: no C++ files under: $scope" >&2
+    exit 0
+fi
+
+status=0
+for f in $files; do
+    if ! clang-format --dry-run -Werror "$f" >/dev/null 2>&1; then
+        echo "needs formatting: $f"
+        status=1
+    fi
+done
+
+if [ "$status" -eq 0 ]; then
+    echo "format-check: all files match .clang-format"
+fi
+exit "$status"

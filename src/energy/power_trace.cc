@@ -357,7 +357,7 @@ makeRainTrace(std::uint64_t shared_seed, Rng &node_rng, Tick horizon,
     // same bright/dark pattern for every node of a deployment.  Long
     // dark stretches (heavy rain over everyone) alternate with rare
     // brighter spells.
-    Rng shared(shared_seed);
+    Rng shared(shared_seed); // neofog-lint: allow(determinism): the shared weather stream is re-seeded from a scenario-derived value so every node of a deployment sees one rain front
     auto draw = [](Rng &r) {
         const bool spell = r.chance(0.30);
         return (spell ? 2.8 : 0.23) * (1.0 + 0.12 * r.normal());

@@ -1,0 +1,16 @@
+// Fixture: upward include out of the energy layer.  Linted under the
+// logical path src/energy/r2_layering.cc (never compiled).
+#include "energy/capacitor.hh" // fine: own layer
+#include "fog/fog_system.hh"   // R2: energy must not reach up into fog
+#include "node/node.hh"        // R2: nor sideways-up into node
+#include "sim/units.hh"        // fine: sim is below everything
+
+namespace neofog {
+
+double
+peekYield(const FogSystem &sys)
+{
+    return 0.0 * sizeof(sys);
+}
+
+} // namespace neofog

@@ -1,0 +1,16 @@
+// Fixture: header with no include guard and a namespace leak.
+// Linted under the logical path src/net/r4_hygiene.hh (never
+// compiled, never included).
+#include <string>
+
+using namespace std; // R4: leaks into every includer
+
+namespace neofog {
+
+inline string
+frameName(int kind)
+{
+    return "frame-" + to_string(kind);
+}
+
+} // namespace neofog

@@ -1,0 +1,16 @@
+// Fixture: direct stream output in library code.  Linted under the
+// logical path src/node/r3_observability.cc (never compiled).
+#include <cstdio>
+#include <iostream>
+
+namespace neofog {
+
+void
+chattyDebugDump(int wakeups)
+{
+    std::cout << "wakeups: " << wakeups << "\n"; // R3: cout in src/
+    std::printf("wakeups: %d\n", wakeups);       // R3: printf in src/
+    std::fprintf(stderr, "oops\n");              // R3: fprintf in src/
+}
+
+} // namespace neofog

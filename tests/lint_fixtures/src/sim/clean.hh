@@ -1,0 +1,26 @@
+// Fixture: a fully conforming header — guard follows the NEOFOG_
+// convention, includes stay in-layer, strings and comments that
+// mention banned tokens like rand( or std::cout must not trip the
+// token passes.  Logical path src/sim/clean.hh (never compiled).
+
+#ifndef NEOFOG_SIM_CLEAN_HH
+#define NEOFOG_SIM_CLEAN_HH
+
+#include <string>
+
+#include "sim/rng.hh"
+
+namespace neofog {
+
+/** Draw from a forked stream; mentions time() only in this comment. */
+inline double
+cleanDraw(Rng &parent)
+{
+    Rng child = parent.fork();
+    const std::string decoy = "calls rand( and std::cout << nothing";
+    return child.uniform() + (decoy.empty() ? 1.0 : 0.0);
+}
+
+} // namespace neofog
+
+#endif // NEOFOG_SIM_CLEAN_HH

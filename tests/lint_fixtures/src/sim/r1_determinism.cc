@@ -1,0 +1,25 @@
+// Fixture: every line below trips R1.determinism.  Linted under the
+// logical path src/sim/r1_determinism.cc (never compiled).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+#include "sim/rng.hh"
+
+namespace neofog {
+
+double
+ambientEntropy()
+{
+    std::random_device dev;                       // R1: random_device
+    const auto wall = std::time(nullptr);         // R1: time()
+    const auto now =
+        std::chrono::system_clock::now();         // R1: system_clock
+    const int legacy = std::rand();               // R1: rand()
+    Rng rogue(0xBADull);                          // R1: stray seeding
+    (void)now;
+    return static_cast<double>(dev() + wall + legacy) + rogue.uniform();
+}
+
+} // namespace neofog

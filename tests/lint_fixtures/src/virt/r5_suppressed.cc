@@ -1,0 +1,16 @@
+// Fixture: a real R1 hit carrying a well-formed allow() trailer with
+// a justification — the linter must accept the file (exit 0) and
+// count exactly one suppression.  Logical path
+// src/virt/r5_suppressed.cc (never compiled).
+#include "sim/rng.hh"
+
+namespace neofog {
+
+double
+replayNoise()
+{
+    Rng replay(0x5EEDULL); // neofog-lint: allow(determinism): fixture exercising the suppression path with a fixed literal seed
+    return replay.uniform();
+}
+
+} // namespace neofog

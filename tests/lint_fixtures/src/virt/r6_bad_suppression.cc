@@ -1,0 +1,17 @@
+// Fixture: malformed and unused trailers.  A suppression without a
+// justification must itself be flagged, and so must one that
+// suppresses nothing.  Logical path src/virt/r6_bad_suppression.cc
+// (never compiled).
+#include "sim/rng.hh"
+
+namespace neofog {
+
+double
+sloppySuppressions()
+{
+    Rng r(7); // neofog-lint: allow(determinism)
+    double x = r.uniform(); // neofog-lint: allow(observability): nothing here writes to a stream
+    return x;
+}
+
+} // namespace neofog

@@ -1,0 +1,255 @@
+/**
+ * @file
+ * neofog_lint engine tests: every fixture under tests/lint_fixtures/
+ * must be classified with the right rule ids and exit code, the
+ * suppression-trailer grammar must be enforced (justification
+ * required, unused trailers flagged), and the token passes must
+ * ignore comments and string literals.
+ *
+ * Fixtures are linted under their path *relative to the fixture
+ * root*, so a file stored at lint_fixtures/src/sim/foo.cc is judged
+ * exactly as src/sim/foo.cc would be; the fixtures are never
+ * compiled.
+ */
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "lint.hh"
+
+using neofog::lint::Finding;
+using neofog::lint::Result;
+using neofog::lint::Rule;
+
+namespace {
+
+/** Lint one fixture file under its logical repo-relative path. */
+Result
+lintFixture(const std::string &rel_path)
+{
+    const std::string full =
+        std::string(NEOFOG_LINT_FIXTURE_DIR) + "/" + rel_path;
+    std::ifstream is(full);
+    EXPECT_TRUE(is.good()) << "missing fixture " << full;
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    Result result;
+    neofog::lint::lintFile(rel_path, ss.str(), result);
+    return result;
+}
+
+int
+countRule(const Result &r, Rule rule)
+{
+    return static_cast<int>(std::count_if(
+        r.findings.begin(), r.findings.end(),
+        [rule](const Finding &f) { return f.rule == rule; }));
+}
+
+bool
+hasFindingAtLine(const Result &r, Rule rule, int line)
+{
+    return std::any_of(r.findings.begin(), r.findings.end(),
+                       [rule, line](const Finding &f) {
+                           return f.rule == rule && f.line == line;
+                       });
+}
+
+} // namespace
+
+TEST(LintRules, IdsAndNamesRoundTrip)
+{
+    EXPECT_STREQ(ruleId(Rule::Determinism), "R1.determinism");
+    EXPECT_STREQ(ruleId(Rule::Layering), "R2.layering");
+    EXPECT_STREQ(ruleId(Rule::Observability), "R3.observability");
+    EXPECT_STREQ(ruleId(Rule::Hygiene), "R4.hygiene");
+    for (Rule rule : {Rule::Determinism, Rule::Layering,
+                      Rule::Observability, Rule::Hygiene}) {
+        Rule parsed = Rule::Hygiene;
+        EXPECT_TRUE(
+            neofog::lint::ruleFromName(ruleName(rule), parsed));
+        EXPECT_EQ(parsed, rule);
+    }
+    Rule dummy;
+    EXPECT_FALSE(neofog::lint::ruleFromName("notarule", dummy));
+}
+
+TEST(LintRules, LintableFileExtensions)
+{
+    EXPECT_TRUE(neofog::lint::lintableFile("src/sim/rng.cc"));
+    EXPECT_TRUE(neofog::lint::lintableFile("bench/scale_test.cpp"));
+    EXPECT_TRUE(neofog::lint::lintableFile("src/sim/rng.hh"));
+    EXPECT_FALSE(neofog::lint::lintableFile("README.md"));
+    EXPECT_FALSE(neofog::lint::lintableFile("src/CMakeLists.txt"));
+}
+
+TEST(LintFixtures, R1DeterminismFlagsEveryAmbientSource)
+{
+    const Result r = lintFixture("src/sim/r1_determinism.cc");
+    EXPECT_EQ(neofog::lint::exitCode(r), 1);
+    // random_device, time(), system_clock, rand(), stray Rng seeding.
+    EXPECT_GE(countRule(r, Rule::Determinism), 5);
+    EXPECT_EQ(countRule(r, Rule::Layering), 0);
+    EXPECT_EQ(countRule(r, Rule::Observability), 0);
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Determinism, 15));
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Determinism, 16));
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Determinism, 18));
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Determinism, 19));
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Determinism, 20));
+}
+
+TEST(LintFixtures, R2LayeringFlagsUpwardIncludesOnly)
+{
+    const Result r = lintFixture("src/energy/r2_layering.cc");
+    EXPECT_EQ(neofog::lint::exitCode(r), 1);
+    EXPECT_EQ(countRule(r, Rule::Layering), 2);
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Layering, 4)); // fog/
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Layering, 5)); // node/
+    // Own-layer and sim/ includes stay clean.
+    EXPECT_FALSE(hasFindingAtLine(r, Rule::Layering, 3));
+    EXPECT_FALSE(hasFindingAtLine(r, Rule::Layering, 6));
+}
+
+TEST(LintFixtures, R3ObservabilityFlagsDirectStreams)
+{
+    const Result r = lintFixture("src/node/r3_observability.cc");
+    EXPECT_EQ(neofog::lint::exitCode(r), 1);
+    EXPECT_EQ(countRule(r, Rule::Observability), 3);
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Observability, 11));
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Observability, 12));
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Observability, 13));
+}
+
+TEST(LintFixtures, R4HygieneFlagsGuardAndNamespaceLeak)
+{
+    const Result r = lintFixture("src/net/r4_hygiene.hh");
+    EXPECT_EQ(neofog::lint::exitCode(r), 1);
+    EXPECT_EQ(countRule(r, Rule::Hygiene), 2);
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Hygiene, 1)); // no guard
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Hygiene, 6)); // using ns
+}
+
+TEST(LintFixtures, ValidSuppressionIsHonoredAndCounted)
+{
+    const Result r = lintFixture("src/virt/r5_suppressed.cc");
+    EXPECT_EQ(neofog::lint::exitCode(r), 0);
+    EXPECT_TRUE(r.findings.empty());
+    ASSERT_EQ(r.suppressions.size(), 1u);
+    EXPECT_EQ(r.suppressions[0].rule, Rule::Determinism);
+    EXPECT_EQ(r.suppressions[0].line, 12);
+    EXPECT_FALSE(r.suppressions[0].justification.empty());
+}
+
+TEST(LintFixtures, MalformedAndUnusedTrailersAreViolations)
+{
+    const Result r = lintFixture("src/virt/r6_bad_suppression.cc");
+    EXPECT_EQ(neofog::lint::exitCode(r), 1);
+    // Justification-less trailer: the R1 hit survives AND the trailer
+    // itself is a hygiene violation.
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Determinism, 12));
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Hygiene, 12));
+    // Well-formed trailer with nothing to suppress: flagged unused.
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Hygiene, 13));
+    EXPECT_TRUE(r.suppressions.empty());
+}
+
+TEST(LintFixtures, CleanHeaderPassesAndDecoysAreIgnored)
+{
+    const Result r = lintFixture("src/sim/clean.hh");
+    EXPECT_EQ(neofog::lint::exitCode(r), 0)
+        << (r.findings.empty() ? "" : r.findings[0].message);
+    EXPECT_TRUE(r.findings.empty());
+    EXPECT_TRUE(r.suppressions.empty());
+}
+
+TEST(LintScopes, ExamplesMayPrintButHeadersStayGuarded)
+{
+    Result r;
+    neofog::lint::lintFile("examples/demo.cpp",
+                           "#include <cstdio>\n"
+                           "int main() { std::printf(\"hi\\n\"); }\n",
+                           r);
+    EXPECT_TRUE(r.findings.empty()); // R3 does not apply to examples
+    Result h;
+    neofog::lint::lintFile("examples/demo_util.hh",
+                           "using namespace std;\n", h);
+    EXPECT_EQ(countRule(h, Rule::Hygiene), 2); // guard + namespace
+}
+
+TEST(LintScopes, BenchIsDeterminismAndObservabilityChecked)
+{
+    Result r;
+    neofog::lint::lintFile(
+        "bench/fake_bench.cpp",
+        "#include <cstdio>\n"
+        "int main() { std::printf(\"%d\\n\", std::rand()); }\n", r);
+    EXPECT_EQ(countRule(r, Rule::Determinism), 1);
+    EXPECT_EQ(countRule(r, Rule::Observability), 1);
+    // steady_clock is the sanctioned way to time a bench.
+    Result ok;
+    neofog::lint::lintFile(
+        "bench/timer.cpp",
+        "auto t = std::chrono::steady_clock::now();\n", ok);
+    EXPECT_TRUE(ok.findings.empty());
+}
+
+TEST(LintScopes, SinkFilesAreExemptFromObservability)
+{
+    Result r;
+    neofog::lint::lintFile("src/sim/logging.cc",
+                           "void f() { std::fprintf(stderr, "
+                           "\"[warn]\\n\"); }\n",
+                           r);
+    EXPECT_EQ(countRule(r, Rule::Observability), 0);
+    Result b;
+    neofog::lint::lintFile("bench/bench_util.hh",
+                           "#ifndef NEOFOG_BENCH_BENCH_UTIL_HH\n"
+                           "#define NEOFOG_BENCH_BENCH_UTIL_HH\n"
+                           "inline void out() { std::vfprintf(stdout,"
+                           " 0, 0); }\n"
+                           "#endif\n",
+                           b);
+    EXPECT_TRUE(b.findings.empty());
+}
+
+TEST(LintScopes, SanctionedSeedPointsMaySeed)
+{
+    Result r;
+    neofog::lint::lintFile("src/fog/fog_system.cc",
+                           "Rng root(cfg.seed ^ 0xF06F06ULL);\n", r);
+    EXPECT_EQ(countRule(r, Rule::Determinism), 0);
+    Result bad;
+    neofog::lint::lintFile("src/fog/chain_engine.cc",
+                           "Rng root(cfg.seed ^ 0xF06F06ULL);\n",
+                           bad);
+    EXPECT_EQ(countRule(bad, Rule::Determinism), 1);
+}
+
+TEST(LintRules, GuardMustFollowNeofogConvention)
+{
+    Result r;
+    neofog::lint::lintFile("src/net/odd_guard.hh",
+                           "#ifndef SOME_OTHER_GUARD_H\n"
+                           "#define SOME_OTHER_GUARD_H\n"
+                           "#endif\n",
+                           r);
+    EXPECT_EQ(countRule(r, Rule::Hygiene), 1);
+    Result p;
+    neofog::lint::lintFile("src/net/pragma.hh", "#pragma once\n", p);
+    EXPECT_TRUE(p.findings.empty());
+}
+
+TEST(LintScan, DigitSeparatorsDoNotSwallowCode)
+{
+    // A single separator must not open a char literal that hides the
+    // rest of the line from the token passes.
+    Result r;
+    neofog::lint::lintFile("src/sim/sep.cc",
+                           "void f() { g(1'000, time(nullptr)); }\n",
+                           r);
+    EXPECT_EQ(countRule(r, Rule::Determinism), 1);
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * neofog_lint core: a token/include-level static-analysis pass that
+ * enforces the repository's determinism, layering, observability, and
+ * header-hygiene invariants (DESIGN.md, "Static analysis & enforced
+ * invariants").
+ *
+ * The engine is deliberately libclang-free: every rule is decidable
+ * from a comment/string-stripped token stream plus the file's
+ * repository-relative path, which keeps the tool a single standalone
+ * C++17 translation unit that builds in milliseconds and runs over
+ * the whole tree as a ctest (`ctest -L lint`).
+ *
+ * Rules (each suppressible per line via a trailing
+ * `// neofog-lint: allow(<rule>): <justification>` comment):
+ *
+ *  - R1 `determinism`   — no ambient entropy (rand/random_device/
+ *    time()/wall clocks/thread ids) and no RNG seeding outside the
+ *    sanctioned per-chain fork points.
+ *  - R2 `layering`      — `#include` edges between `src/` subsystems
+ *    must follow the layer DAG.
+ *  - R3 `observability` — no direct stdout/stderr writes in library
+ *    (`src/`) or harness (`bench/`) code; all output goes through
+ *    `report_io`/`metrics`/`logging` (or `bench_util`'s sink).
+ *  - R4 `hygiene`       — headers carry a NEOFOG_* include guard (or
+ *    `#pragma once`) and never say `using namespace`.
+ */
+
+#ifndef NEOFOG_TOOLS_LINT_HH
+#define NEOFOG_TOOLS_LINT_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace neofog::lint {
+
+/** The four enforced rule families. */
+enum class Rule {
+    Determinism,   ///< R1: no ambient entropy / stray RNG seeding
+    Layering,      ///< R2: includes follow the layer DAG
+    Observability, ///< R3: output only via sanctioned sinks
+    Hygiene,       ///< R4: header guards, no `using namespace`
+};
+
+/** Stable rule id used in diagnostics, e.g. "R1.determinism". */
+const char *ruleId(Rule rule);
+
+/** Short rule name as written in allow(...) trailers. */
+const char *ruleName(Rule rule);
+
+/** Parse a trailer rule name; returns false if unknown. */
+bool ruleFromName(const std::string &name, Rule &out);
+
+/** One diagnostic: a violation (or a malformed/unused suppression). */
+struct Finding {
+    std::string file;    ///< repository-relative path
+    int line = 0;        ///< 1-based line number
+    Rule rule = Rule::Hygiene;
+    std::string message; ///< human-readable explanation
+};
+
+/** One honored `neofog-lint: allow(...)` trailer. */
+struct Suppression {
+    std::string file;
+    int line = 0;
+    Rule rule = Rule::Hygiene;
+    std::string justification;
+};
+
+/** Accumulated result of linting one or more files. */
+struct Result {
+    std::vector<Finding> findings;        ///< unsuppressed violations
+    std::vector<Suppression> suppressions; ///< honored allow() trailers
+    int filesScanned = 0;
+};
+
+/**
+ * Lint one file.  @p rel_path is the repository-relative path (it
+ * determines which rules and which layer table apply); @p content is
+ * the full file text.  Appends to @p result.
+ */
+void lintFile(const std::string &rel_path, const std::string &content,
+              Result &result);
+
+/** True if @p rel_path is a file the linter knows how to scan. */
+bool lintableFile(const std::string &rel_path);
+
+/** Print findings (file:line: [id] message), suppressions, summary. */
+void printReport(const Result &result, std::ostream &os);
+
+/** Exit code for a result: 0 clean, 1 violations. */
+int exitCode(const Result &result);
+
+/** Print the rule table (for --list-rules). */
+void printRules(std::ostream &os);
+
+} // namespace neofog::lint
+
+#endif // NEOFOG_TOOLS_LINT_HH
