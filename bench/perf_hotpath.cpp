@@ -1,0 +1,322 @@
+/**
+ * @file
+ * Hot-path microbenchmarks for the prefix-sum energy-trace cache and
+ * the intermittent-execution fast-forward, plus an end-to-end
+ * headline-shaped run with the cache on vs off.
+ *
+ * Three sections:
+ *  - integrate: slot-shaped windows/sec for {cached, reference} x
+ *    {constant, piecewise, interpolated, rain composite};
+ *  - fast-forward: IntermittentExecution analytic vs stepped, same
+ *    results asserted, wall-clock speedup reported;
+ *  - end-to-end: the headline low-power (fig 13) scenario with the
+ *    shared energy cache enabled vs the per-node reference path,
+ *    slots/sec and speedup, and a 1/2/4-thread bit-identity check.
+ *
+ * Options:
+ *   --hours X   end-to-end horizon override (default 1.0)
+ *   --smoke     tiny run for CI: 0.25 h horizon, scaled-down window
+ *               counts, and schema validation of the emitted JSON
+ */
+
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "energy/power_trace.hh"
+#include "energy/trace_cache.hh"
+#include "fog/fog_system.hh"
+#include "fog/presets.hh"
+#include "hw/processor.hh"
+#include "node/intermittent.hh"
+#include "sim/logging.hh"
+#include "sim/report_io.hh"
+#include "sim/rng.hh"
+
+using namespace neofog;
+using namespace neofog::bench;
+using namespace neofog::literals;
+
+namespace {
+
+double
+seconds(const std::chrono::steady_clock::time_point &start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/** The four integration subjects of the micro section. */
+struct MicroTrace
+{
+    const char *label;
+    std::shared_ptr<const PowerTrace> trace;
+};
+
+std::vector<MicroTrace>
+microTraces(Tick span)
+{
+    std::vector<MicroTrace> set;
+    set.push_back({"constant", std::make_shared<ConstantTrace>(2.6_mW)});
+    Rng rng(17);
+    std::vector<PiecewiseTrace::Segment> segs;
+    Tick at = 0;
+    while (at < span + kMin) {
+        segs.push_back({at, Power::fromMilliwatts(rng.uniform(0.0, 8.0))});
+        at += ticksFromSeconds(rng.uniform(3.0, 90.0));
+    }
+    set.push_back({"piecewise", std::make_shared<PiecewiseTrace>(segs)});
+    std::vector<InterpolatedTrace::Knot> knots;
+    at = 0;
+    while (at < span + kMin) {
+        knots.push_back({at, Power::fromMilliwatts(rng.uniform(0.0, 5.0))});
+        at += ticksFromSeconds(rng.uniform(20.0, 120.0));
+    }
+    set.push_back(
+        {"interpolated", std::make_shared<InterpolatedTrace>(knots)});
+    // The headline composite: rain-spell schedule x diurnal envelope.
+    set.push_back({"rain composite",
+                   std::shared_ptr<const PowerTrace>(
+                       traces::makeRainUnitStream(7, span + kMin))});
+    return set;
+}
+
+/**
+ * Integrate @p windows slot-shaped (12 s aligned) windows sweeping the
+ * span, via either the cache or the stepped reference.
+ * @return wall-clock seconds.
+ */
+double
+timeWindows(const PowerTrace &trace, Tick span, long windows,
+            bool stepped, double &checksum)
+{
+    const Tick slot = 12 * kSec;
+    const Tick wrap = (span / slot) * slot;
+    double acc = 0.0;
+    const auto start = std::chrono::steady_clock::now();
+    Tick from = 0;
+    for (long i = 0; i < windows; ++i) {
+        const Tick to = from + slot;
+        acc += stepped ? trace.integrateStepped(from, to).joules()
+                       : trace.integrate(from, to).joules();
+        from = to < wrap ? to : 0;
+    }
+    const double secs = seconds(start);
+    checksum += acc; // defeat dead-code elimination
+    return secs;
+}
+
+double
+runFogTimed(ScenarioConfig cfg, double hours, bool cache_on,
+            SystemReport &report)
+{
+    cfg.horizon = ticksFromSeconds(hours * 3600.0);
+    cfg.energyCache.enabled = cache_on;
+    const auto start = std::chrono::steady_clock::now();
+    FogSystem sys(cfg);
+    report = sys.run();
+    return seconds(start);
+}
+
+/** Re-read the emitted JSON and check it against the schema. */
+int
+validateSink(const ResultSink &sink)
+{
+    std::ifstream in(sink.path());
+    if (!in) {
+        err("perf_hotpath: cannot re-read %s\n", sink.path().c_str());
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        const auto doc = report_io::parseJson(text.str());
+        const std::string schema_err = report_io::validateBenchJson(doc);
+        if (!schema_err.empty()) {
+            err("perf_hotpath: schema violation: %s\n",
+                schema_err.c_str());
+            return 1;
+        }
+    } catch (const FatalError &e) {
+        err("perf_hotpath: emitted invalid JSON: %s\n", e.what());
+        return 1;
+    }
+    out("perf_hotpath: %s validates against neofog-bench-v1\n",
+        sink.path().c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    double hours = 1.0;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+            hours = 0.25;
+        } else if (std::strcmp(argv[i], "--hours") == 0 && i + 1 < argc) {
+            hours = std::atof(argv[++i]);
+        } else {
+            err("usage: %s [--hours X] [--smoke]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    ResultSink sink("perf_hotpath");
+    double checksum = 0.0;
+
+    // ---- Section 1: slot-window integration micro ------------------
+    header("Energy integration: prefix-sum cache vs stepped reference");
+    const Tick span = 2 * kHour;
+    const long windows = smoke ? 20'000 : 200'000;
+    Table t1({16, 16, 16, 12});
+    t1.row({"Trace", "Ref win/s", "Cached win/s", "Speedup"});
+    t1.separator();
+    for (const auto &[label, trace] : microTraces(span)) {
+        const auto build = std::chrono::steady_clock::now();
+        const CumulativeTrace cache(trace, span);
+        const double build_secs = seconds(build);
+        const double ref_secs =
+            timeWindows(*trace, span, windows, true, checksum);
+        const double cache_secs =
+            timeWindows(cache, span, windows, false, checksum);
+        const double ref_rate = windows / ref_secs;
+        const double cache_rate = windows / cache_secs;
+        t1.row({label, fmt(ref_rate / 1e6, 2) + "M",
+                fmt(cache_rate / 1e6, 2) + "M",
+                fmt(ref_secs / cache_secs, 1) + "x"});
+        const std::string key = keyify(label);
+        sink.add(key + "_ref_windows_per_sec", ref_rate);
+        sink.add(key + "_cached_windows_per_sec", cache_rate);
+        sink.add(key + "_integrate_speedup", ref_secs / cache_secs);
+        sink.add(key + "_cache_build_secs", build_secs);
+    }
+
+    // ---- Section 2: intermittent fast-forward ----------------------
+    header("Intermittent execution: analytic fast-forward vs 1 ms steps");
+    const Tick ff_horizon = smoke ? 15 * kMin : 2 * kHour;
+    const NvProcessor nvp{NvProcessor::fiosConfig()};
+    IntermittentExecution::Config ff_cfg;
+    ff_cfg.frontend = FrontEnd::makeFios().config();
+    Table t2({16, 14, 14, 12});
+    t2.row({"Trace", "Stepped s", "Fast s", "Speedup"});
+    t2.separator();
+    for (const auto &[label, trace] : microTraces(ff_horizon)) {
+        IntermittentExecution::Config stepped_cfg = ff_cfg;
+        stepped_cfg.fastForward = false;
+        // Mote-level income: the unit-mean composite is ~1 W.
+        const ScaledTrace scaled(0.0026, trace);
+        auto start = std::chrono::steady_clock::now();
+        const auto stepped = IntermittentExecution::run(
+            nvp, scaled, ff_horizon, stepped_cfg);
+        const double stepped_secs = seconds(start);
+        start = std::chrono::steady_clock::now();
+        const auto fast =
+            IntermittentExecution::run(nvp, scaled, ff_horizon, ff_cfg);
+        const double fast_secs = seconds(start);
+        if (fast.powerCycles != stepped.powerCycles ||
+            fast.instructionsCompleted != stepped.instructionsCompleted ||
+            fast.activeTime != stepped.activeTime ||
+            fast.overheadTime != stepped.overheadTime) {
+            err("perf_hotpath: fast-forward diverged on %s\n", label);
+            return 1;
+        }
+        t2.row({label, fmt(stepped_secs, 3), fmt(fast_secs, 3),
+                fmt(stepped_secs / std::max(fast_secs, 1e-9), 1) + "x"});
+        const std::string key = keyify(label);
+        sink.add(key + "_ffwd_stepped_secs", stepped_secs);
+        sink.add(key + "_ffwd_fast_secs", fast_secs);
+        sink.add(key + "_ffwd_speedup",
+                 stepped_secs / std::max(fast_secs, 1e-9));
+    }
+
+    // ---- Section 3: end-to-end headline scenario -------------------
+    header("End to end: headline low-power scenario, cache on vs off");
+    Table t3({24, 8, 14, 14, 12});
+    t3.row({"Configuration", "Mux", "Ref slots/s", "Cached slots/s",
+            "Speedup"});
+    t3.separator();
+    double on_total = 0.0;
+    double off_total = 0.0;
+    for (const int mux : {1, 3}) {
+        ScenarioConfig cfg =
+            presets::fig13(presets::fiosNeofog(), mux);
+        cfg.chains = smoke ? 10 : 40;
+        const double slots =
+            static_cast<double>(cfg.chains) *
+            (hours * 3600.0 /
+             secondsFromTicks(cfg.slotInterval));
+        SystemReport with_cache;
+        SystemReport reference;
+        const double on_secs =
+            runFogTimed(cfg, hours, true, with_cache);
+        const double off_secs =
+            runFogTimed(cfg, hours, false, reference);
+        on_total += on_secs;
+        off_total += off_secs;
+        // The cache only reassociates the same trapezoid sums, so the
+        // processed totals must agree closely (DESIGN.md documents the
+        // <= 1e-12 relative window delta).
+        const double delta = std::abs(
+            static_cast<double>(with_cache.totalProcessed()) -
+            static_cast<double>(reference.totalProcessed()));
+        const auto key =
+            "e2e_mux" + std::to_string(mux);
+        t3.row({"FIOS + distributed LB", std::to_string(mux),
+                fmt(slots / off_secs, 0), fmt(slots / on_secs, 0),
+                fmt(off_secs / on_secs, 2) + "x"});
+        sink.add(key + "_ref_secs", off_secs);
+        sink.add(key + "_cached_secs", on_secs);
+        sink.add(key + "_ref_slots_per_sec", slots / off_secs);
+        sink.add(key + "_cached_slots_per_sec", slots / on_secs);
+        sink.add(key + "_speedup", off_secs / on_secs);
+        sink.add(key + "_processed_delta", delta);
+    }
+    const double e2e_speedup = off_total / on_total;
+    out("\nend-to-end speedup (cache+fast-forward vs reference): "
+        "%.2fx\n",
+        e2e_speedup);
+    sink.add("e2e_speedup", e2e_speedup);
+
+    // ---- Section 4: thread bit-identity with the shared cache ------
+    {
+        ScenarioConfig cfg = presets::fig13(presets::fiosNeofog(), 3);
+        cfg.chains = smoke ? 10 : 40;
+        SystemReport serial;
+        bool consistent = true;
+        for (unsigned threads : {1u, 2u, 4u}) {
+            cfg.threads = threads;
+            SystemReport r;
+            runFogTimed(cfg, hours, true, r);
+            if (threads == 1)
+                serial = r;
+            else if (!(r == serial))
+                consistent = false;
+        }
+        out("shared-cache reports bit-identical at 1/2/4 threads: "
+            "%s\n",
+            consistent ? "yes" : "NO");
+        sink.add("reports_consistent", consistent ? 1.0 : 0.0);
+        if (!consistent) {
+            err("perf_hotpath: thread sweep diverged with the shared "
+                "energy cache\n");
+            return 1;
+        }
+    }
+
+    sink.add("checksum", checksum);
+    if (smoke)
+        sink.note("mode", "smoke");
+    if (!sink.write())
+        return 1;
+    return smoke ? validateSink(sink) : 0;
+}

@@ -46,6 +46,11 @@ sweepThreads(Table &t, ResultSink &sink, const char *label,
     bool consistent = true;
     SystemReport serial;
     double serial_secs = 0.0;
+    // Wall-clock slot throughput: every chain executes one slot per
+    // slotInterval of horizon.
+    const double total_slots =
+        static_cast<double>(cfg.chains) *
+        static_cast<double>(cfg.horizon / cfg.slotInterval);
     for (unsigned threads : {1u, 2u, 4u}) {
         cfg.threads = threads;
         SystemReport r;
@@ -65,6 +70,7 @@ sweepThreads(Table &t, ResultSink &sink, const char *label,
                                 std::to_string(threads);
         sink.add(key + "_secs", secs);
         sink.add(key + "_speedup", serial_secs / secs);
+        sink.add(key + "_slots_per_sec", total_slots / secs);
     }
     return consistent;
 }

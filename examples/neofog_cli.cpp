@@ -68,6 +68,12 @@ usage(const char *argv0)
         "depletion)\n"
         "  --probe-cap N             probe ring capacity "
         "(default 4096)\n"
+        "  --no-energy-cache         disable the shared prefix-sum "
+        "energy\n"
+        "                            cache (per-node reference "
+        "integration)\n"
+        "  --cache-grid-s N          energy-cache grid seconds "
+        "(default 1)\n"
         "  --dump-energy I           export node I's stored-energy "
         "series\n"
         "  --help\n",
@@ -217,6 +223,11 @@ main(int argc, char **argv)
         } else if (arg == "--probe-cap") {
             cfg.probes.capacity =
                 static_cast<std::size_t>(std::atoll(next().c_str()));
+        } else if (arg == "--no-energy-cache") {
+            cfg.energyCache.enabled = false;
+        } else if (arg == "--cache-grid-s") {
+            cfg.energyCache.grid =
+                ticksFromSeconds(std::atof(next().c_str()));
         } else if (arg == "--dump-energy") {
             dump_energy = std::atoi(next().c_str());
         } else {

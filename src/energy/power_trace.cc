@@ -12,21 +12,40 @@ namespace neofog {
 Energy
 PowerTrace::integrate(Tick from, Tick to) const
 {
-    NEOFOG_ASSERT(to >= from, "integrate bounds reversed");
-    if (to == from)
-        return Energy::zero();
-    // Trapezoidal integration with ~1 s substeps, at least 4 samples.
-    const Tick span = to - from;
-    const Tick step = std::max<Tick>(std::min<Tick>(kSec, span / 4), 1);
+    return integrateStepped(from, to);
+}
+
+Energy
+PowerTrace::integrateStepped(Tick from, Tick to, Tick grid) const
+{
+    TraceCursor cursor(*this, from, grid);
+    return cursor.advance(to);
+}
+
+TraceCursor::TraceCursor(const PowerTrace &trace, Tick start, Tick grid)
+    : _trace(&trace), _grid(grid), _at(start), _sample(trace.at(start))
+{
+    NEOFOG_ASSERT(grid > 0, "trace cursor grid must be positive");
+    NEOFOG_ASSERT(start >= 0, "trace cursor starts before time zero");
+}
+
+Energy
+TraceCursor::advance(Tick to)
+{
+    NEOFOG_ASSERT(to >= _at, "trace cursor cannot move backwards");
+    // Trapezoids between absolute grid boundaries (multiples of
+    // _grid), with partial cells at unaligned window edges.  Anchoring
+    // the substeps to the absolute grid — instead of to `from` — makes
+    // every call over the same span sum the same cells, which is what
+    // lets CumulativeTrace replace this loop with a prefix difference.
     Energy total = Energy::zero();
-    Tick t = from;
-    Power prev = at(t);
-    while (t < to) {
-        const Tick next = std::min<Tick>(t + step, to);
-        const Power cur = at(next);
-        total += 0.5 * (prev + cur) * (next - t);
-        prev = cur;
-        t = next;
+    while (_at < to) {
+        const Tick next =
+            std::min<Tick>((_at / _grid + 1) * _grid, to);
+        const Power cur = _trace->at(next);
+        total += 0.5 * (_sample + cur) * (next - _at);
+        _sample = cur;
+        _at = next;
     }
     return total;
 }
@@ -100,6 +119,17 @@ PiecewiseTrace::integrate(Tick from, Tick to) const
     return total;
 }
 
+Tick
+PiecewiseTrace::constantLevelUntil(Tick t) const
+{
+    const std::size_t idx = segmentIndex(t);
+    if (idx == static_cast<std::size_t>(-1))
+        return _segments.empty() ? kTickNever : _segments.front().start;
+    if (idx + 1 < _segments.size())
+        return _segments[idx + 1].start;
+    return kTickNever;
+}
+
 std::string
 PiecewiseTrace::describe() const
 {
@@ -162,6 +192,23 @@ InterpolatedTrace::integrate(Tick from, Tick to) const
     return total;
 }
 
+Tick
+InterpolatedTrace::constantLevelUntil(Tick t) const
+{
+    // Flat only on the boundary extensions and between equal-level
+    // knots; sloped spans hold no constancy guarantee.
+    if (t < _knots.front().at)
+        return _knots.front().at;
+    if (t >= _knots.back().at)
+        return kTickNever;
+    auto it = std::upper_bound(
+        _knots.begin(), _knots.end(), t,
+        [](Tick v, const Knot &k) { return v < k.at; });
+    const Knot &hi = *it;
+    const Knot &lo = *(it - 1);
+    return lo.level.watts() == hi.level.watts() ? hi.at : t;
+}
+
 std::string
 InterpolatedTrace::describe() const
 {
@@ -188,6 +235,22 @@ DiurnalSolarTrace::describe() const
     std::ostringstream oss;
     oss << "diurnal(peak=" << _cfg.peak.milliwatts()
         << " mW, atten=" << _cfg.attenuation << ")";
+    return oss.str();
+}
+
+ScaledTrace::ScaledTrace(double scale,
+                         std::shared_ptr<const PowerTrace> base)
+    : _scale(scale), _base(std::move(base))
+{
+    if (!_base)
+        fatal("scaled trace needs a base trace");
+}
+
+std::string
+ScaledTrace::describe() const
+{
+    std::ostringstream oss;
+    oss << "scaled(x" << _scale << ", " << _base->describe() << ")";
     return oss.str();
 }
 
@@ -339,8 +402,7 @@ makeBridgeTrace(int profile_index, Rng &rng, Tick horizon,
 }
 
 std::unique_ptr<PowerTrace>
-makeRainTrace(std::uint64_t shared_seed, Rng &node_rng, Tick horizon,
-              Power mean_level)
+makeRainUnitStream(std::uint64_t shared_seed, Tick horizon)
 {
     DiurnalSolarTrace::Config env;
     env.dayLength = 12 * kHour;
@@ -348,10 +410,9 @@ makeRainTrace(std::uint64_t shared_seed, Rng &node_rng, Tick horizon,
     env.attenuation = 1.0; // scale folded into peak below
     env.peak = Power::fromWatts(1.0);
     const double env_mean = envelopeMean(env, horizon);
-    const double node_gain =
-        std::max(0.2, 1.0 + 0.2 * node_rng.normal());
-    env.peak = Power::fromWatts(mean_level.watts() * node_gain /
-                                env_mean);
+    // Normalize so the stream's time-mean over the horizon is ~1 W;
+    // ScaledTrace supplies the node's physical mean and gain.
+    env.peak = Power::fromWatts(1.0 / env_mean);
 
     // The rain-spell schedule is *shared*: the same seed yields the
     // same bright/dark pattern for every node of a deployment.  Long
@@ -365,6 +426,23 @@ makeRainTrace(std::uint64_t shared_seed, Rng &node_rng, Tick horizon,
     auto fast = randomMultiplierTrace(shared, horizon, 20 * kMin, draw);
     return std::make_unique<EnvelopedTrace>(std::move(fast), env,
                                             "rain-low-power-dependent");
+}
+
+double
+rainNodeGain(Rng &node_rng)
+{
+    return std::max(0.2, 1.0 + 0.2 * node_rng.normal());
+}
+
+std::unique_ptr<PowerTrace>
+makeRainTrace(std::uint64_t shared_seed, Rng &node_rng, Tick horizon,
+              Power mean_level)
+{
+    const double node_gain = rainNodeGain(node_rng);
+    std::shared_ptr<const PowerTrace> unit =
+        makeRainUnitStream(shared_seed, horizon);
+    return std::make_unique<ScaledTrace>(
+        mean_level.watts() * node_gain, std::move(unit));
 }
 
 std::unique_ptr<PowerTrace>

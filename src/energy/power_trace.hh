@@ -37,13 +37,64 @@ class PowerTrace
     virtual Power at(Tick t) const = 0;
 
     /**
-     * Energy delivered over [from, to).  The default integrates at()
-     * with fixed substeps; analytic traces override this.
+     * Energy delivered over [from, to).  The default evaluates the
+     * canonical stepped integrator (integrateStepped); analytic traces
+     * override this.
      */
     virtual Energy integrate(Tick from, Tick to) const;
 
+    /**
+     * The canonical reference integrator: trapezoids over the fixed
+     * absolute grid (boundaries at whole multiples of @p grid,
+     * partial trapezoids at unaligned window edges), accumulated left
+     * to right.  CumulativeTrace prefix tables and the property tests
+     * are defined against exactly this scheme.
+     */
+    Energy integrateStepped(Tick from, Tick to, Tick grid = kSec) const;
+
+    /**
+     * Whether integrate() is analytic/O(1) rather than sampled — such
+     * traces gain nothing from a prefix-sum cache and callers can skip
+     * streaming-cursor bookkeeping for them.
+     */
+    virtual bool hasFastIntegrate() const { return false; }
+
+    /**
+     * End (exclusive) of the maximal interval starting at @p t on
+     * which at() is constant, or kTickNever if constant forever.
+     * Traces with no constancy guarantee return @p t itself; the
+     * intermittent-execution fast-forward uses this to decide how far
+     * it may jump in closed form.
+     */
+    virtual Tick constantLevelUntil(Tick t) const { return t; }
+
     /** Human-readable description for logs and reports. */
     virtual std::string describe() const = 0;
+};
+
+/**
+ * Streaming evaluator of the canonical stepped integrator: advancing
+ * over adjacent windows reuses the boundary sample the previous window
+ * already computed, so a slot sequence samples each grid point exactly
+ * once (instead of twice at every window boundary).  Produces values
+ * bit-identical to integrateStepped() on the same windows.
+ */
+class TraceCursor
+{
+  public:
+    explicit TraceCursor(const PowerTrace &trace, Tick start,
+                         Tick grid = kSec);
+
+    /** Integrate [position(), to) and move the cursor to @p to. */
+    Energy advance(Tick to);
+
+    Tick position() const { return _at; }
+
+  private:
+    const PowerTrace *_trace;
+    Tick _grid;
+    Tick _at;
+    Power _sample; ///< trace->at(_at), carried between windows
 };
 
 /** Constant power income. */
@@ -54,6 +105,8 @@ class ConstantTrace : public PowerTrace
 
     Power at(Tick) const override { return _level; }
     Energy integrate(Tick from, Tick to) const override;
+    bool hasFastIntegrate() const override { return true; }
+    Tick constantLevelUntil(Tick) const override { return kTickNever; }
     std::string describe() const override;
 
   private:
@@ -78,6 +131,8 @@ class PiecewiseTrace : public PowerTrace
 
     Power at(Tick t) const override;
     Energy integrate(Tick from, Tick to) const override;
+    bool hasFastIntegrate() const override { return true; }
+    Tick constantLevelUntil(Tick t) const override;
     std::string describe() const override;
 
     const std::vector<Segment> &segments() const { return _segments; }
@@ -110,6 +165,8 @@ class InterpolatedTrace : public PowerTrace
 
     Power at(Tick t) const override;
     Energy integrate(Tick from, Tick to) const override;
+    bool hasFastIntegrate() const override { return true; }
+    Tick constantLevelUntil(Tick t) const override;
     std::string describe() const override;
 
     const std::vector<Knot> &knots() const { return _knots; }
@@ -144,6 +201,35 @@ class DiurnalSolarTrace : public PowerTrace
 
   private:
     Config _cfg;
+};
+
+/**
+ * A shared base trace multiplied by a per-node scalar gain.  The base
+ * is held by shared_ptr and never mutated, so one expensive stream
+ * (e.g. the deployment-wide rain front, possibly wrapped in a
+ * CumulativeTrace prefix table) can back every node of a scenario
+ * while each node keeps its own gain.
+ */
+class ScaledTrace : public PowerTrace
+{
+  public:
+    ScaledTrace(double scale, std::shared_ptr<const PowerTrace> base);
+
+    Power at(Tick t) const override { return _base->at(t) * _scale; }
+    Energy integrate(Tick from, Tick to) const override
+    { return _base->integrate(from, to) * _scale; }
+    bool hasFastIntegrate() const override
+    { return _base->hasFastIntegrate(); }
+    Tick constantLevelUntil(Tick t) const override
+    { return _base->constantLevelUntil(t); }
+    std::string describe() const override;
+
+    double scale() const { return _scale; }
+    const PowerTrace &base() const { return *_base; }
+
+  private:
+    double _scale;
+    std::shared_ptr<const PowerTrace> _base;
 };
 
 /**
@@ -196,6 +282,22 @@ std::unique_ptr<PowerTrace> makeBridgeTrace(int profile_index, Rng &rng,
 std::unique_ptr<PowerTrace> makeRainTrace(std::uint64_t shared_seed,
                                           Rng &node_rng, Tick horizon,
                                           Power mean_level);
+
+/**
+ * The deployment-wide rain stream makeRainTrace() scales per node:
+ * the shared spell schedule times the day envelope, normalized so its
+ * time-mean over the horizon is 1 W.  Build it once per scenario and
+ * wrap each node's trace as ScaledTrace(mean_w * node_gain, stream) —
+ * all nodes then share one stream (and one prefix table when cached).
+ */
+std::unique_ptr<PowerTrace> makeRainUnitStream(std::uint64_t shared_seed,
+                                               Tick horizon);
+
+/**
+ * The per-node gain factor of the rain deployment (consumes exactly
+ * one draw from @p node_rng, like makeRainTrace does).
+ */
+double rainNodeGain(Rng &node_rng);
 
 /**
  * High-variance sunny mountain trace (Fig 12): aerially dispersed nodes;

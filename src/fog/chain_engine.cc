@@ -9,9 +9,11 @@ namespace neofog {
 
 ChainEngine::ChainEngine(const ScenarioConfig &cfg,
                          std::size_t chain_index,
-                         std::uint32_t first_node_id, Rng rng)
+                         std::uint32_t first_node_id, Rng rng,
+                         std::shared_ptr<const PowerTrace> shared_trace)
     : _cfg(cfg), _chainIndex(chain_index), _rng(rng), _loss(cfg.loss),
-      _balancer(makeBalancer(cfg.balancerPolicy))
+      _balancer(makeBalancer(cfg.balancerPolicy)),
+      _sharedTrace(std::move(shared_trace))
 {
     const auto mux = static_cast<std::size_t>(_cfg.multiplexing);
     std::uint32_t next_id = first_node_id;
@@ -30,6 +32,16 @@ ChainEngine::ChainEngine(const ScenarioConfig &cfg,
         _groups.emplace_back(l, std::move(members));
     }
     _aliveLastSlot.assign(_cfg.nodesPerChain, true);
+    _scheduled.reserve(_groups.size());
+    _balancerIsNoop = _balancer->name() == "none";
+
+    // Each logical slot schedules exactly one clone, so a physical
+    // node records ~horizon/slotInterval/mux energy points; pre-size
+    // the series so the hot loop never grows it.
+    const std::size_t slots = static_cast<std::size_t>(
+        _cfg.slotInterval > 0 ? _cfg.horizon / _cfg.slotInterval : 0);
+    for (auto &n : _nodes)
+        n->stats().storedEnergyMj.reserve(slots / mux + 2);
 
     if (_cfg.probes.enabled) {
         _probe.storedEnergyMj.reset(_cfg.probes.capacity);
@@ -53,6 +65,13 @@ ChainEngine::makeTrace()
         return traces::makeMountainTrace(_rng, span, _cfg.meanIncome);
       case TraceKind::RainLow:
         // Dependent: all nodes share the deployment's spell schedule.
+        // With the energy cache on, FogSystem built (and prefix-
+        // summed) that stream once; each node only adds its gain.
+        if (_sharedTrace) {
+            return std::make_unique<ScaledTrace>(
+                _cfg.meanIncome.watts() * traces::rainNodeGain(_rng),
+                _sharedTrace);
+        }
         return traces::makeRainTrace(_cfg.seed * 131 + 7, _rng, span,
                                      _cfg.meanIncome);
       case TraceKind::Constant:
@@ -97,8 +116,10 @@ ChainEngine::runSlot(std::int64_t slot_index)
     updateMembership(slot_index);
 
     // One physical clone of every logical node is scheduled this slot.
-    std::vector<Node *> scheduled;
-    scheduled.reserve(_groups.size());
+    // _scheduled is engine-owned scratch: reusing its capacity keeps
+    // the per-slot loop allocation-free.
+    std::vector<Node *> &scheduled = _scheduled;
+    scheduled.clear();
     for (const CloneGroup &g : _groups)
         scheduled.push_back(_nodes[g.memberForSlot(slot_index)].get());
 
@@ -298,10 +319,12 @@ void
 ChainEngine::balance(std::vector<Node *> &scheduled)
 {
     // The no-op policy costs nothing and moves nothing.
-    if (_balancer->name() == "none")
+    if (_balancerIsNoop)
         return;
 
-    std::vector<LbNodeState> states(scheduled.size());
+    // Engine-owned scratch: reuse the capacity, reset the values.
+    std::vector<LbNodeState> &states = _lbStates;
+    states.assign(scheduled.size(), LbNodeState{});
     for (std::size_t i = 0; i < scheduled.size(); ++i) {
         Node *n = scheduled[i];
         LbNodeState &s = states[i];

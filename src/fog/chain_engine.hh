@@ -66,7 +66,8 @@ class ChainEngine
      *        which chain.
      */
     ChainEngine(const ScenarioConfig &cfg, std::size_t chain_index,
-                std::uint32_t first_node_id, Rng rng);
+                std::uint32_t first_node_id, Rng rng,
+                std::shared_ptr<const PowerTrace> shared_trace = nullptr);
 
     ChainEngine(const ChainEngine &) = delete;
     ChainEngine &operator=(const ChainEngine &) = delete;
@@ -131,6 +132,14 @@ class ChainEngine
     Rng _rng;
     LossModel _loss;
     std::unique_ptr<LoadBalancer> _balancer;
+    /** Cached `_balancer->name() == "none"` (checked every slot). */
+    bool _balancerIsNoop = false;
+
+    /**
+     * Scenario-wide shared stream (see FogSystem::_sharedTrace); node
+     * traces wrap it in a per-node ScaledTrace when set.  Read-only.
+     */
+    std::shared_ptr<const PowerTrace> _sharedTrace;
 
     /** Physical nodes of this chain, in id order. */
     std::vector<std::unique_ptr<Node>> _nodes;
@@ -138,6 +147,14 @@ class ChainEngine
     std::vector<CloneGroup> _groups;
     /** Whether each logical position was alive last slot. */
     std::vector<bool> _aliveLastSlot;
+
+    /**
+     * Per-slot scratch, kept as members so the hot loop reuses their
+     * capacity instead of reallocating every slot.  Valid only within
+     * one runSlot/balance invocation.
+     */
+    std::vector<Node *> _scheduled;
+    std::vector<LbNodeState> _lbStates;
 
     SystemReport _shard;
     ChainProbe _probe;

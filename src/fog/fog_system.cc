@@ -1,5 +1,6 @@
 #include "fog/fog_system.hh"
 
+#include "energy/trace_cache.hh"
 #include "sim/logging.hh"
 
 namespace neofog {
@@ -14,6 +15,18 @@ FogSystem::FogSystem(const ScenarioConfig &cfg)
     if (_cfg.slotInterval <= 0 || _cfg.horizon < _cfg.slotInterval)
         fatal("bad slot interval / horizon");
 
+    // With the energy cache enabled, deployment-wide streams are
+    // built once here and shared read-only by every chain: the rain
+    // front is the same for all nodes up to a scalar gain, so one
+    // prefix table answers every node's slot-window integrals.
+    if (_cfg.energyCache.enabled &&
+        _cfg.traceKind == TraceKind::RainLow) {
+        const Tick span = _cfg.horizon + 2 * _cfg.slotInterval;
+        _sharedTrace = std::make_shared<CumulativeTrace>(
+            traces::makeRainUnitStream(_cfg.seed * 131 + 7, span),
+            span, _cfg.energyCache.grid);
+    }
+
     // Fork the per-chain streams up front, in chain order, from a
     // root derived only from the seed.  Every stochastic draw a chain
     // makes afterwards comes from its own stream, so neither the
@@ -26,7 +39,7 @@ FogSystem::FogSystem(const ScenarioConfig &cfg)
         const auto first_id =
             static_cast<std::uint32_t>(c * _cfg.nodesPerChain * mux);
         _engines.push_back(std::make_unique<ChainEngine>(
-            _cfg, c, first_id, root.fork()));
+            _cfg, c, first_id, root.fork(), _sharedTrace));
     }
 
     const unsigned threads = _cfg.threads == 0

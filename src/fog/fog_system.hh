@@ -88,6 +88,14 @@ class FogSystem
     ScenarioConfig _cfg;
     Simulator _sim;
 
+    /**
+     * Scenario-wide shared power stream (rain front), prefix-summed
+     * when the energy cache is enabled.  Immutable after the
+     * constructor, so chains read it concurrently without
+     * synchronization.  Null for per-node trace kinds.
+     */
+    std::shared_ptr<const PowerTrace> _sharedTrace;
+
     /** One engine per chain; no two share mutable state. */
     std::vector<std::unique_ptr<ChainEngine>> _engines;
 

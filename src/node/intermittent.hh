@@ -61,6 +61,19 @@ class IntermittentExecution
         std::uint64_t taskSegmentInstructions = 20'000;
         /** Simulation step. */
         Tick step = 1 * kMs;
+        /**
+         * Analytic fast-forward: inside constant-income trace
+         * segments, jump provably-steady step spans (dead charging,
+         * whole-step overhead service, uninterrupted execution) in
+         * closed form on the step-quantized grid instead of ticking
+         * every step; threshold crossings, wake-ups, brown-outs, and
+         * segment boundaries always run the exact per-step update.
+         * All step counts (power cycles, instructions, active and
+         * overhead time) match the stepped reference exactly; the
+         * energy tallies agree to summation-rounding (see DESIGN.md).
+         * Disable to force the stepped reference path.
+         */
+        bool fastForward = true;
     };
 
     /** Outcome of running one processor over the horizon. */

@@ -93,6 +93,13 @@ makeFrontEnd(OperatingMode mode)
 
 } // namespace
 
+namespace {
+
+/** Instructions of "control & basic computing" at every wake (Fig 1). */
+constexpr std::uint64_t kControlInstructions = 1000;
+
+} // namespace
+
 Node::Node(const Config &cfg, std::unique_ptr<PowerTrace> trace, Rng rng)
     : _cfg(cfg), _trace(std::move(trace)), _rng(rng),
       _frontend(makeFrontEnd(cfg.mode)), _cap(cfg.cap), _rtc(cfg.rtc),
@@ -103,6 +110,32 @@ Node::Node(const Config &cfg, std::unique_ptr<PowerTrace> trace, Rng rng)
         fatal("node ", cfg.id, " needs a power trace");
     if (_cfg.rawPackageBytes == 0 || _cfg.samplesPerPackage == 0)
         fatal("package shape must be nonzero");
+
+    _traceFast = _trace->hasFastIntegrate();
+    _wakeCostConst = _cpu->wakeEnergy() +
+                     _cpu->computeEnergy(kControlInstructions);
+    const double samples = static_cast<double>(_cfg.samplesPerPackage);
+    _sampleCostConst = _sensor.spec().initEnergy() +
+                       _sensor.spec().sampleEnergy() * samples +
+                       _buffer.writeEnergy(_cfg.rawPackageBytes);
+    const std::size_t payload = _cfg.mode == OperatingMode::NosVp
+        ? _cfg.rawPackageBytes
+        : _cfg.compressedPackageBytes;
+    _txPackageEnergy =
+        _rf->txCost(payload + kFrameOverheadBytes).energy;
+    _txCompressedDuration =
+        _rf->txCost(_cfg.compressedPackageBytes + kFrameOverheadBytes)
+            .duration;
+}
+
+Energy
+Node::accrueIncome(Tick from, Tick to)
+{
+    if (_traceFast)
+        return _trace->integrate(from, to);
+    if (!_cursor || _cursor->position() != from)
+        _cursor.emplace(*_trace, from);
+    return _cursor->advance(to);
 }
 
 void
@@ -126,7 +159,7 @@ Node::beginSlot(Tick slot_start, Tick slot_length)
     // Income over any gap (multiplexed nodes sleep through slots).
     if (slot_start > _lastAccrual) {
         const Energy gap_ambient =
-            _trace->integrate(_lastAccrual, slot_start);
+            accrueIncome(_lastAccrual, slot_start);
         _stats.harvestedTotal += gap_ambient;
         const Energy rtc_share =
             gap_ambient * _rtc.config().chargePriority;
@@ -138,7 +171,7 @@ Node::beginSlot(Tick slot_start, Tick slot_length)
 
     // Income arriving during this slot window.
     const Tick slot_end = slot_start + slot_length;
-    const Energy slot_ambient = _trace->integrate(slot_start, slot_end);
+    const Energy slot_ambient = accrueIncome(slot_start, slot_end);
     _stats.harvestedTotal += slot_ambient;
     const Energy rtc_share =
         slot_ambient * _rtc.config().chargePriority;
@@ -156,6 +189,7 @@ Node::beginSlot(Tick slot_start, Tick slot_length)
 
     _lastIncome = Power::fromWatts(slot_ambient.joules() /
                                    secondsFromTicks(slot_length));
+    _slotCostsValid = false; // income changed; cost memos are stale
     _lastAccrual = slot_end;
     _slotStart = slot_start;
     _slotLength = slot_length;
@@ -189,18 +223,10 @@ Node::beginSlot(Tick slot_start, Tick slot_length)
     _rf->onPowerFailure();
 }
 
-namespace {
-
-/** Instructions of "control & basic computing" at every wake (Fig 1). */
-constexpr std::uint64_t kControlInstructions = 1000;
-
-} // namespace
-
 Energy
 Node::wakeCost() const
 {
-    return _cpu->wakeEnergy() +
-           _cpu->computeEnergy(kControlInstructions);
+    return _wakeCostConst;
 }
 
 Energy
@@ -219,47 +245,52 @@ Node::activationCost() const
 Energy
 Node::sampleCost() const
 {
-    const double n = static_cast<double>(_cfg.samplesPerPackage);
-    Energy e = _sensor.spec().initEnergy() +
-               _sensor.spec().sampleEnergy() * n +
-               _buffer.writeEnergy(_cfg.rawPackageBytes);
-    return e;
+    return _sampleCostConst;
+}
+
+void
+Node::refreshSlotCosts() const
+{
+    if (_slotCostsValid)
+        return;
+    if (_cfg.mode == OperatingMode::NosVp) {
+        _slotTaskCost =
+            _cpu->computeEnergy(_cfg.naiveInstructionsPerPackage);
+        _slotTaskTime =
+            _cpu->computeTime(_cfg.naiveInstructionsPerPackage);
+    } else {
+        const auto *nvp = static_cast<const NvProcessor *>(_cpu.get());
+        _slotTaskCost = nvp->effectiveComputeEnergy(
+            _cfg.fogInstructionsPerPackage, _lastIncome);
+        Tick t = _cpu->computeTime(_cfg.fogInstructionsPerPackage);
+        if (_cfg.enableFrequencyScaling) {
+            const double scale =
+                nvp->spendthrift().frequencyScale(_lastIncome);
+            t = static_cast<Tick>(static_cast<double>(t) / scale);
+        }
+        _slotTaskTime = t;
+    }
+    _slotCostsValid = true;
 }
 
 Energy
 Node::taskCost() const
 {
-    if (_cfg.mode == OperatingMode::NosVp)
-        return _cpu->computeEnergy(_cfg.naiveInstructionsPerPackage);
-    const auto *nvp = static_cast<const NvProcessor *>(_cpu.get());
-    return nvp->effectiveComputeEnergy(_cfg.fogInstructionsPerPackage,
-                                       _lastIncome);
+    refreshSlotCosts();
+    return _slotTaskCost;
 }
 
 Tick
 Node::taskComputeTime() const
 {
-    const std::uint64_t inst = _cfg.mode == OperatingMode::NosVp
-        ? _cfg.naiveInstructionsPerPackage
-        : _cfg.fogInstructionsPerPackage;
-    Tick t = _cpu->computeTime(inst);
-    if (_cfg.enableFrequencyScaling &&
-        _cfg.mode != OperatingMode::NosVp) {
-        const auto *nvp = static_cast<const NvProcessor *>(_cpu.get());
-        const double scale =
-            nvp->spendthrift().frequencyScale(_lastIncome);
-        t = static_cast<Tick>(static_cast<double>(t) / scale);
-    }
-    return t;
+    refreshSlotCosts();
+    return _slotTaskTime;
 }
 
 Energy
 Node::packageTxCost() const
 {
-    const std::size_t payload = _cfg.mode == OperatingMode::NosVp
-        ? _cfg.rawPackageBytes
-        : _cfg.compressedPackageBytes;
-    Energy e = _rf->txCost(payload + kFrameOverheadBytes).energy;
+    Energy e = _txPackageEnergy;
     if (!_rfInitializedThisSlot)
         e += _rf->initCost().energy;
     return e;
@@ -282,9 +313,7 @@ Node::canCompleteOnePackage() const
         _frontend.capCostForLoad((task - direct_used) + tx);
     if (_cap.stored() < cap_needed)
         return false;
-    const Tick need_time = taskComputeTime() +
-                           _rf->txCost(_cfg.compressedPackageBytes +
-                                       kFrameOverheadBytes).duration +
+    const Tick need_time = taskComputeTime() + _txCompressedDuration +
                            (_rfInitializedThisSlot
                                 ? 0 : _rf->initCost().duration);
     return _slotTimeUsed + need_time <= _slotLength;

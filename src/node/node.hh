@@ -34,6 +34,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -406,8 +407,26 @@ class Node
     /** Remaining compute time in this slot. */
     Tick remainingSlotTime() const;
 
+    /**
+     * Recompute the per-slot cost memos (_slotTaskCost,
+     * _slotTaskTime) if stale.  The memoized expressions are pure
+     * functions of _lastIncome and fixed configuration, so caching
+     * them per slot returns bit-identical values while the classify/
+     * balance/execute paths query them many times per slot.
+     */
+    void refreshSlotCosts() const;
+
+    /**
+     * Trace income over [from, to).  Analytic/cached traces answer
+     * integrate() directly; sampled traces stream through _cursor so
+     * adjacent windows (gap + slot, slot after slot) sample each grid
+     * point once instead of re-evaluating every shared boundary.
+     */
+    Energy accrueIncome(Tick from, Tick to);
+
     Config _cfg;
     std::unique_ptr<PowerTrace> _trace;
+    std::optional<TraceCursor> _cursor;
     Rng _rng;
 
     FrontEnd _frontend;
@@ -426,6 +445,21 @@ class Node
     Power _lastIncome;
     bool _awake = false;
     bool _rfInitializedThisSlot = false;
+
+    // Construction-time cost constants: pure functions of the fixed
+    // node configuration (the RF transmit cost, the sensor/buffer
+    // sampling cost, the processor wake cost carry no mutable state).
+    bool _traceFast = false;        ///< _trace->hasFastIntegrate()
+    Energy _wakeCostConst;          ///< wakeCost()
+    Energy _sampleCostConst;        ///< sampleCost()
+    Energy _txPackageEnergy;        ///< mode-payload tx energy
+    Tick _txCompressedDuration = 0; ///< result-package tx airtime
+
+    // Per-slot cost memos: valid until the next beginSlot changes
+    // _lastIncome (see refreshSlotCosts).
+    mutable bool _slotCostsValid = false;
+    mutable Energy _slotTaskCost;
+    mutable Tick _slotTaskTime = 0;
     int _pendingPackages = 0;
     /** Pending package counts by age in slots (index 0 = this slot). */
     std::vector<int> _pendingByAge;

@@ -105,6 +105,8 @@ class TimeSeries
     };
 
     void record(Tick when, double value) { _points.push_back({when, value}); }
+    /** Pre-size for a known point count (one allocation, no growth). */
+    void reserve(std::size_t n) { _points.reserve(n); }
     const std::vector<Point> &points() const { return _points; }
     bool empty() const { return _points.empty(); }
     std::size_t size() const { return _points.size(); }
