@@ -20,6 +20,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "fog/fog_system.hh"
@@ -76,8 +77,38 @@ usage(const char *argv0)
         "(default 1)\n"
         "  --dump-energy I           export node I's stored-energy "
         "series\n"
+        "  --snapshot-every N        checkpoint every N slots "
+        "(default off)\n"
+        "  --snapshot-dir D          checkpoint directory "
+        "(default .)\n"
+        "  --resume PATH             resume from a snapshot file, or "
+        "from the\n"
+        "                            newest valid snapshot in a "
+        "directory\n"
+        "                            (scenario flags are ignored: the "
+        "snapshot\n"
+        "                            carries its own config)\n"
+        "  --version                 print version and schema tags\n"
         "  --help\n",
         argv0);
+}
+
+#ifndef NEOFOG_VERSION
+#define NEOFOG_VERSION "0.0.0"
+#endif
+
+void
+printVersion()
+{
+    std::printf("neofog_cli %s\n"
+                "schemas:\n"
+                "  neofog-report-v1\n"
+                "  neofog-aggregate-v1\n"
+                "  neofog-run-v1\n"
+                "  neofog-series-v1\n"
+                "  neofog-bench-v1\n"
+                "  neofog-snapshot-v1\n",
+                NEOFOG_VERSION);
 }
 
 bool
@@ -151,6 +182,7 @@ main(int argc, char **argv)
     int dump_energy = -1;
     report_io::Format format = report_io::Format::Text;
     std::string out_path;
+    std::string resume_path;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -164,6 +196,9 @@ main(int argc, char **argv)
         };
         if (arg == "--help" || arg == "-h") {
             usage(argv[0]);
+            return 0;
+        } else if (arg == "--version") {
+            printVersion();
             return 0;
         } else if (arg == "--mode") {
             if (!parseMode(next(), cfg.mode)) {
@@ -230,6 +265,12 @@ main(int argc, char **argv)
                 ticksFromSeconds(std::atof(next().c_str()));
         } else if (arg == "--dump-energy") {
             dump_energy = std::atoi(next().c_str());
+        } else if (arg == "--snapshot-every") {
+            cfg.snapshot.everySlots = std::atoll(next().c_str());
+        } else if (arg == "--snapshot-dir") {
+            cfg.snapshot.dir = next();
+        } else if (arg == "--resume") {
+            resume_path = next();
         } else {
             std::fprintf(stderr, "unknown option %s\n", arg.c_str());
             usage(argv[0]);
@@ -238,20 +279,27 @@ main(int argc, char **argv)
     }
 
     try {
-        FogSystem system(cfg);
-        const SystemReport report = system.run();
+        // A resumed run rebuilds its scenario from the snapshot's own
+        // config section; only the host-local knobs (threads, the
+        // checkpoint schedule) carry over from the command line.
+        std::unique_ptr<FogSystem> system = resume_path.empty()
+            ? std::make_unique<FogSystem>(cfg)
+            : FogSystem::resume(resume_path, cfg.threads,
+                                cfg.snapshot);
+        cfg = system->config();
+        const SystemReport report = system->run();
 
         // Collect every requested time-series stream; they all leave
         // through the same exporter as the report.
         std::vector<report_io::LabeledSeries> series =
-            system.probeSeries();
+            system->probeSeries();
         if (dump_energy >= 0) {
             const auto idx = static_cast<std::size_t>(dump_energy);
-            if (idx >= system.physicalPerChain()) {
+            if (idx >= system->physicalPerChain()) {
                 std::fprintf(stderr, "node index out of range\n");
                 return 2;
             }
-            series.push_back(system.nodeEnergySeries(0, idx));
+            series.push_back(system->nodeEnergySeries(0, idx));
         }
 
         std::ofstream file;

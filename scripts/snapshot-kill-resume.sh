@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Crash-resume contract check for the snapshot subsystem.
+#
+# Runs a fig-13-style scenario three ways:
+#   1. uninterrupted reference run               -> reference.json
+#   2. snapshotting run, SIGKILLed mid-flight
+#   3. resume from the newest valid snapshot     -> resumed.json
+# and requires reference.json and resumed.json to be byte-identical
+# (md5).  If the snapshotting run finishes before the kill lands (fast
+# machine), the test still validates resume-from-latest against the
+# reference, which is the actual contract.
+#
+# usage: snapshot-kill-resume.sh <neofog_cli> [threads]
+set -euo pipefail
+
+cli=$1
+threads=${2:-1}
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+scenario=(--trace rain --mode fios --balancer distributed
+          --nodes 10 --chains 4 --hours 2 --income-mw 0.9 --seed 13
+          --threads "$threads" --format json)
+
+# 1. Uninterrupted reference.
+"$cli" "${scenario[@]}" --out "$workdir/reference.json"
+
+# 2. Snapshotting run; kill it once the first checkpoint is on disk.
+"$cli" "${scenario[@]}" --snapshot-every 40 \
+       --snapshot-dir "$workdir/snaps" \
+       --out "$workdir/interrupted.json" &
+victim=$!
+
+for _ in $(seq 200); do
+    if compgen -G "$workdir/snaps/snap-*.nfsnap" > /dev/null; then
+        break
+    fi
+    if ! kill -0 "$victim" 2> /dev/null; then
+        break
+    fi
+    sleep 0.05
+done
+
+kill -9 "$victim" 2> /dev/null || true
+wait "$victim" 2> /dev/null || true
+
+if ! compgen -G "$workdir/snaps/snap-*.nfsnap" > /dev/null; then
+    echo "FAIL: no snapshot was written before the kill" >&2
+    exit 1
+fi
+
+# 3. Resume from the newest valid snapshot in the directory.
+"$cli" --resume "$workdir/snaps" --threads "$threads" --format json \
+       --out "$workdir/resumed.json"
+
+ref_md5=$(md5sum "$workdir/reference.json" | cut -d' ' -f1)
+res_md5=$(md5sum "$workdir/resumed.json" | cut -d' ' -f1)
+
+if [ "$ref_md5" != "$res_md5" ]; then
+    echo "FAIL: resumed report differs from the reference" >&2
+    echo "  reference: $ref_md5" >&2
+    echo "  resumed:   $res_md5" >&2
+    diff "$workdir/reference.json" "$workdir/resumed.json" >&2 || true
+    exit 1
+fi
+
+echo "OK: resumed report identical to reference ($ref_md5)"

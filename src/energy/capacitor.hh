@@ -32,6 +32,16 @@ class SuperCapacitor
         Energy initial = Energy::zero();
         /** Constant self-discharge power. */
         Power leakage = Power::fromMicrowatts(15.0);
+
+        /** Snapshot support (see src/snapshot/). */
+        template <class Archive>
+        void
+        serialize(Archive &ar)
+        {
+            ar.io("capacity", capacity);
+            ar.io("initial", initial);
+            ar.io("leakage", leakage);
+        }
     };
 
     explicit SuperCapacitor(const Config &cfg);
@@ -85,6 +95,18 @@ class SuperCapacitor
 
     /** Cumulative energy removed by discharge/drain. */
     Energy dischargedTotal() const { return _dischargedTotal; }
+
+    /** Snapshot support: stored level plus lifetime accounting. */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("stored", _stored);
+        ar.io("overflow_total", _overflowTotal);
+        ar.io("leaked_total", _leakedTotal);
+        ar.io("charged_total", _chargedTotal);
+        ar.io("discharged_total", _dischargedTotal);
+    }
 
   private:
     Config _cfg;

@@ -46,6 +46,17 @@ struct ChainProbe
     RingSeries depletionFailures;  ///< cumulative failed wakes
 
     bool operator==(const ChainProbe &other) const = default;
+
+    /** Snapshot support (see src/snapshot/). */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("stored_energy_mj", storedEnergyMj);
+        ar.io("yield_frac", yieldFrac);
+        ar.io("balanced_tasks", balancedTasks);
+        ar.io("depletion_failures", depletionFailures);
+    }
 };
 
 /**
@@ -91,6 +102,27 @@ class ChainEngine
     { return _nodes; }
 
     const Node &node(std::size_t physical_idx) const;
+
+    /**
+     * Snapshot support (see src/snapshot/): archives every field that
+     * mutates after construction.  The config reference, the balancer
+     * (stateless policy object), the shared trace, and the per-slot
+     * scratch vectors are reconstruction-derived and not archived.
+     */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("rng", _rng);
+        ar.io("loss", _loss);
+        ar.io("alive_last_slot", _aliveLastSlot);
+        for (std::size_t i = 0; i < _groups.size(); ++i)
+            ar.io("group" + std::to_string(i), _groups[i]);
+        ar.io("shard", _shard);
+        ar.io("probe", _probe);
+        for (std::size_t i = 0; i < _nodes.size(); ++i)
+            ar.io("node" + std::to_string(i), *_nodes[i]);
+    }
 
   private:
     /** Build the trace for one physical node. */

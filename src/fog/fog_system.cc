@@ -1,7 +1,10 @@
 #include "fog/fog_system.hh"
 
 #include "energy/trace_cache.hh"
+#include "fog/snapshot_io.hh"
 #include "sim/logging.hh"
+#include "snapshot/archive.hh"
+#include "snapshot/snapshot.hh"
 
 namespace neofog {
 
@@ -57,9 +60,17 @@ FogSystem::slotTick(std::int64_t slot_index)
         _engines[c]->runSlot(slot_index);
     });
 
+    // Checkpoint at the upcoming boundary: the state right now is
+    // "after slots [0, next)", exactly what a resume starting at
+    // `next` needs.  Writing is read-only with respect to simulation
+    // state, so it can never perturb results.
+    const std::int64_t next = slot_index + 1;
+    if (_cfg.snapshot.everySlots > 0 && next < _cfg.slotCount() &&
+        next % _cfg.snapshot.everySlots == 0)
+        saveSnapshot(next);
+
     // Self-rescheduling slot event: keeps the event queue O(1) in the
     // horizon instead of pre-allocating every slot up front.
-    const std::int64_t next = slot_index + 1;
     if (next < _cfg.slotCount()) {
         _sim.schedule(next * _cfg.slotInterval,
                       [this, next] { slotTick(next); });
@@ -74,8 +85,14 @@ FogSystem::run()
     _report = SystemReport{};
     _report.idealPackages = _cfg.idealPackages();
 
-    if (_cfg.slotCount() > 0)
-        _sim.schedule(0, [this] { slotTick(0); });
+    // The only event alive at a slot boundary is the self-rescheduling
+    // slot tick, so a resumed run re-materializes the queue by
+    // scheduling the first outstanding slot (0 for a fresh system).
+    if (_resumeSlot < _cfg.slotCount()) {
+        const std::int64_t first = _resumeSlot;
+        _sim.schedule(first * _cfg.slotInterval,
+                      [this, first] { slotTick(first); });
+    }
     _sim.runAll();
 
     // Merge the shards serially in chain order: uint64 sums commute,
@@ -86,6 +103,106 @@ FogSystem::run()
         _report.merge(engine->shard());
     }
     return _report;
+}
+
+void
+FogSystem::saveSnapshot(std::int64_t slot)
+{
+    snapshot::Snapshot snap;
+    snap.slot = slot;
+    snap.seed = _cfg.seed;
+    snap.chains = _cfg.chains;
+
+    snapshot::Section config;
+    config.name = "config";
+    config.data = serializeScenarioBlob(_cfg);
+    snap.configHash = snapshot::fnv1a(config.data);
+
+    snapshot::Section system;
+    system.name = "system";
+    {
+        snapshot::OutArchive ar;
+        std::int64_t s = slot;
+        ar.io("slot", s);
+        system.data = ar.take();
+    }
+
+    // Chain shards serialize concurrently — each walk touches only its
+    // own engine's state, draws nothing from any RNG, and writes into
+    // its own buffer — then land in the snapshot in chain order, so
+    // the byte stream is identical for any thread count.
+    std::vector<snapshot::Section> chain_sections(_engines.size());
+    parallelFor(_pool.get(), _engines.size(), [&](std::size_t c) {
+        const std::string name = "chain" + std::to_string(c);
+        snapshot::OutArchive ar;
+        ar.pushScope(name);
+        _engines[c]->serialize(ar);
+        ar.popScope();
+        chain_sections[c].name = name;
+        chain_sections[c].data = ar.take();
+    });
+
+    snap.sections.reserve(2 + chain_sections.size());
+    snap.sections.push_back(std::move(config));
+    snap.sections.push_back(std::move(system));
+    for (auto &s : chain_sections)
+        snap.sections.push_back(std::move(s));
+
+    const std::string &dir = _cfg.snapshot.dir;
+    const std::string path = (dir.empty() ? std::string(".") : dir) +
+                             "/" + snapshot::snapshotFileName(slot);
+    snapshot::writeSnapshot(path, snap);
+}
+
+std::unique_ptr<FogSystem>
+FogSystem::resume(const std::string &path, unsigned threads,
+                  ScenarioConfig::SnapshotConfig snap_cfg)
+{
+    const std::string file = snapshot::resolveSnapshotPath(path);
+    const snapshot::Snapshot snap = snapshot::readSnapshot(file);
+
+    const snapshot::Section *config = snap.find("config");
+    if (config == nullptr)
+        fatal("snapshot ", file, " has no config section");
+    ScenarioConfig cfg = deserializeScenarioBlob(config->data);
+    cfg.threads = threads;
+    cfg.snapshot = std::move(snap_cfg);
+
+    if (snap.chains != cfg.chains)
+        fatal("snapshot ", file, " header claims ", snap.chains,
+              " chains but its config section has ", cfg.chains);
+    if (snap.slot < 0 || snap.slot > cfg.slotCount())
+        fatal("snapshot ", file, " slot ", snap.slot,
+              " lies outside the scenario horizon of ",
+              cfg.slotCount(), " slots");
+    if (snap.seed != cfg.seed)
+        fatal("snapshot ", file, " header seed ", snap.seed,
+              " does not match its config section seed ", cfg.seed);
+
+    // Reconstruct-then-overwrite: the constructor deterministically
+    // rebuilds traces, engines, and nodes exactly as the original run
+    // did (same seed, same fork order), and the archived state then
+    // replaces every mutable field.  Restoring is chain-parallel for
+    // the same reason serializing is; a corrupt section throws out of
+    // parallelFor and the half-built system is discarded whole.
+    auto system = std::make_unique<FogSystem>(cfg);
+    parallelFor(system->_pool.get(), system->_engines.size(),
+                [&](std::size_t c) {
+        const std::string name = "chain" + std::to_string(c);
+        const snapshot::Section *sec = snap.find(name);
+        if (sec == nullptr)
+            fatal("snapshot ", file, " is missing section '", name,
+                  "'");
+        snapshot::InArchive ar(sec->data);
+        ar.pushScope(name);
+        system->_engines[c]->serialize(ar);
+        ar.popScope();
+        if (!ar.atEnd())
+            fatal("snapshot ", file, " section '", name,
+                  "' has trailing records (format/version skew?)");
+    });
+    system->_resumeSlot = snap.slot;
+    return system;
 }
 
 void

@@ -41,6 +41,33 @@ class FogSystem
   public:
     explicit FogSystem(const ScenarioConfig &cfg);
 
+    /**
+     * Reconstruct a system from a snapshot (see src/snapshot/): @p path
+     * names either a snapshot file or a directory, which resolves to
+     * its newest fully valid snapshot.  The scenario is rebuilt from
+     * the snapshot's own config section; @p threads and @p snap replace
+     * the host-local knobs (neither influences results).  run() on the
+     * returned system continues at the snapshot's slot and produces a
+     * report bit-identical to the uninterrupted run.  Fatal on any
+     * corruption or config mismatch — a resume applies completely or
+     * not at all.
+     */
+    static std::unique_ptr<FogSystem>
+    resume(const std::string &path, unsigned threads = 1,
+           ScenarioConfig::SnapshotConfig snap = {});
+
+    /**
+     * Write a full-state checkpoint into the configured snapshot
+     * directory.  @p slot is the first slot a resume will execute, so
+     * the archived state is "after slots [0, slot)".  Chain shards
+     * serialize in parallel (read-only, no RNG draws) and land in the
+     * file in chain order, so the bytes are thread-count independent.
+     */
+    void saveSnapshot(std::int64_t slot);
+
+    /** First slot run() will execute (0 unless resumed). */
+    std::int64_t resumeSlot() const { return _resumeSlot; }
+
     /** Run the full horizon and return aggregated results. */
     SystemReport run();
 
@@ -104,6 +131,8 @@ class FogSystem
 
     SystemReport _report;
     bool _ran = false;
+    /** First slot run() executes; nonzero after resume(). */
+    std::int64_t _resumeSlot = 0;
 };
 
 } // namespace neofog

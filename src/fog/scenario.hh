@@ -113,10 +113,33 @@ struct ScenarioConfig
         bool enabled = true;
         /** Canonical grid cell width; slot-aligned at the default. */
         Tick grid = kSec;
+
+        /** Snapshot support (see src/snapshot/). */
+        template <class Archive>
+        void
+        serialize(Archive &ar)
+        {
+            ar.io("enabled", enabled);
+            ar.io("grid", grid);
+        }
     };
     EnergyCacheConfig energyCache{};
 
     std::uint64_t seed = 1;
+
+    /**
+     * Checkpointing (see src/snapshot/): write a full-state snapshot
+     * every N slots into `dir`.  0 disables.  Like `threads`, this is
+     * host-local operational configuration: it is excluded from the
+     * scenario fingerprint, may be changed on resume, and writing
+     * snapshots never perturbs simulation results.
+     */
+    struct SnapshotConfig
+    {
+        std::int64_t everySlots = 0;
+        std::string dir = ".";
+    };
+    SnapshotConfig snapshot{};
 
     /**
      * Worker threads for the per-slot chain loop: chains of a slot run

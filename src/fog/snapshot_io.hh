@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Scenario <-> snapshot glue: the archive walk over ScenarioConfig.
+ *
+ * The serialized scenario blob doubles as the snapshot's *fingerprint*:
+ * a resume rebuilds the ScenarioConfig from the snapshot's own config
+ * section, and the container layer (snapshot/snapshot.hh) hashes that
+ * section so a header/config mismatch is rejected loudly.  Host-local
+ * operational knobs — worker threads and the snapshot cadence itself —
+ * are deliberately NOT part of the walk: they never influence results
+ * (see DESIGN.md, "Threading and determinism model"), so a run may be
+ * resumed under a different thread count or checkpoint schedule and
+ * still reproduce the uninterrupted run bit for bit.
+ */
+
+#ifndef NEOFOG_FOG_SNAPSHOT_IO_HH
+#define NEOFOG_FOG_SNAPSHOT_IO_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fog/scenario.hh"
+#include "snapshot/archive.hh"
+
+namespace neofog {
+
+/**
+ * Archive every result-relevant Node::Config field.  Enums travel as
+ * their integer values; size_t fields widen to u64 on the wire.
+ */
+template <class Archive>
+void
+serializeNodeConfig(Archive &ar, Node::Config &n)
+{
+    ar.io("id", n.id);
+    int mode = static_cast<int>(n.mode);
+    ar.io("mode", mode);
+    if constexpr (Archive::isLoading)
+        n.mode = static_cast<OperatingMode>(mode);
+    ar.io("cap", n.cap);
+    ar.io("rtc", n.rtc);
+    ar.io("sensor", n.sensor);
+    ar.io("processor_mhz", n.processorMhz);
+    std::uint64_t raw = n.rawPackageBytes;
+    std::uint64_t compressed = n.compressedPackageBytes;
+    std::uint64_t samples = n.samplesPerPackage;
+    ar.io("raw_package_bytes", raw);
+    ar.io("compressed_package_bytes", compressed);
+    ar.io("samples_per_package", samples);
+    if constexpr (Archive::isLoading) {
+        n.rawPackageBytes = static_cast<std::size_t>(raw);
+        n.compressedPackageBytes = static_cast<std::size_t>(compressed);
+        n.samplesPerPackage = static_cast<std::size_t>(samples);
+    }
+    ar.io("fog_instructions_per_package", n.fogInstructionsPerPackage);
+    ar.io("naive_instructions_per_package",
+          n.naiveInstructionsPerPackage);
+    ar.io("package_deadline_slots", n.packageDeadlineSlots);
+    ar.io("enable_incidental_computing", n.enableIncidentalComputing);
+    ar.io("incidental_fraction", n.incidentalFraction);
+    ar.io("enable_frequency_scaling", n.enableFrequencyScaling);
+    ar.io("buffer", n.buffer);
+}
+
+/**
+ * Archive every result-relevant ScenarioConfig field (everything
+ * except the host-local `threads` and `snapshot` knobs).
+ */
+template <class Archive>
+void
+serializeScenario(Archive &ar, ScenarioConfig &cfg)
+{
+    std::uint64_t nodes = cfg.nodesPerChain;
+    std::uint64_t chains = cfg.chains;
+    ar.io("nodes_per_chain", nodes);
+    ar.io("chains", chains);
+    if constexpr (Archive::isLoading) {
+        cfg.nodesPerChain = static_cast<std::size_t>(nodes);
+        cfg.chains = static_cast<std::size_t>(chains);
+    }
+    ar.io("multiplexing", cfg.multiplexing);
+    ar.io("horizon", cfg.horizon);
+    ar.io("slot_interval", cfg.slotInterval);
+    int trace = static_cast<int>(cfg.traceKind);
+    ar.io("trace_kind", trace);
+    if constexpr (Archive::isLoading)
+        cfg.traceKind = static_cast<TraceKind>(trace);
+    ar.io("profile_index", cfg.profileIndex);
+    ar.io("mean_income", cfg.meanIncome);
+    int mode = static_cast<int>(cfg.mode);
+    ar.io("mode", mode);
+    if constexpr (Archive::isLoading)
+        cfg.mode = static_cast<OperatingMode>(mode);
+    ar.io("balancer_policy", cfg.balancerPolicy);
+    ar.io("loss", cfg.loss);
+    ar.pushScope("node_template");
+    serializeNodeConfig(ar, cfg.nodeTemplate);
+    ar.popScope();
+    ar.io("membership_update_interval", cfg.membershipUpdateInterval);
+    ar.io("real_time_request_chance", cfg.realTimeRequestChance);
+    ar.io("hop_by_hop_relay", cfg.hopByHopRelay);
+    ar.io("probes", cfg.probes);
+    ar.io("energy_cache", cfg.energyCache);
+    ar.io("seed", cfg.seed);
+}
+
+/** The scenario's canonical wire encoding (the fingerprint input). */
+std::string serializeScenarioBlob(const ScenarioConfig &cfg);
+
+/**
+ * Rebuild a ScenarioConfig from a config-section blob.  Fatal when the
+ * blob does not decode as exactly one scenario (version skew,
+ * corruption).  The host-local knobs come back at their defaults.
+ */
+ScenarioConfig deserializeScenarioBlob(std::string_view blob);
+
+/** FNV-1a hash of the canonical encoding (the config fingerprint). */
+std::uint64_t scenarioFingerprint(const ScenarioConfig &cfg);
+
+} // namespace neofog
+
+#endif // NEOFOG_FOG_SNAPSHOT_IO_HH

@@ -141,6 +141,24 @@ struct SystemReport
 
     /** Rebuild from the two CSV lines toCsv wrote. */
     static SystemReport fromCsv(std::istream &is);
+
+    /**
+     * Snapshot support (see src/snapshot/): walks the registry, so a
+     * new field is snapshotted the moment it gains its MetricDef.
+     */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        for (const auto &d : metrics().metrics()) {
+            if (d.derived())
+                continue;
+            if (d.u64)
+                ar.io(d.name, this->*d.u64);
+            else
+                ar.io(d.name, this->*d.f64);
+        }
+    }
 };
 
 } // namespace neofog

@@ -38,6 +38,20 @@ class NvBuffer
         Energy writeEnergyPerByte = Energy::fromNanojoules(1.1);
         /** Energy per byte read. */
         Energy readEnergyPerByte = Energy::fromNanojoules(0.3);
+
+        /** Snapshot support (see src/snapshot/). */
+        template <class Archive>
+        void
+        serialize(Archive &ar)
+        {
+            std::uint64_t capacity = capacityBytes;
+            ar.io("capacity_bytes", capacity);
+            if constexpr (Archive::isLoading)
+                capacityBytes = static_cast<std::size_t>(capacity);
+            ar.io("interrupt_threshold", interruptThreshold);
+            ar.io("write_energy_per_byte", writeEnergyPerByte);
+            ar.io("read_energy_per_byte", readEnergyPerByte);
+        }
     };
 
     explicit NvBuffer(const Config &cfg);
@@ -79,6 +93,19 @@ class NvBuffer
     std::uint64_t droppedTotal() const { return _dropped; }
 
     const Config &config() const { return _cfg; }
+
+    /** Snapshot support: occupancy and loss accounting. */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        std::uint64_t size = _size;
+        ar.io("size", size);
+        if constexpr (Archive::isLoading)
+            _size = static_cast<std::size_t>(size);
+        ar.io("accepted", _accepted);
+        ar.io("dropped", _dropped);
+    }
 
   private:
     Config _cfg;

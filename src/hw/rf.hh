@@ -62,6 +62,19 @@ struct RfState
     int wakeIntervalMultiplier = 1;
 
     bool operator==(const RfState &) const = default;
+
+    /** Snapshot support: every field the NVRF retains. */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("channel", channel);
+        ar.io("pan_id", panId);
+        ar.io("route_version", routeVersion);
+        ar.io("associated_dev_list", associatedDevList);
+        ar.io("slot_phase", slotPhase);
+        ar.io("wake_interval_multiplier", wakeIntervalMultiplier);
+    }
 };
 
 /**
@@ -212,6 +225,15 @@ class NvRfController : public RfModule
     void onPowerFailure() override;
 
     const NvConfig &nvConfig() const { return _nv; }
+
+    /** Snapshot support: the one-time-configuration latch (the
+     *  network state itself lives in RfState::serialize). */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("configured", _configured);
+    }
 
   private:
     NvConfig _nv;

@@ -48,6 +48,19 @@ class Rtc
         Tick resyncListen = ticksFromMs(500.0);
         /** Energy to resynchronize (RX listening, handshake). */
         Energy resyncEnergy = Energy::fromMillijoules(36.0);
+
+        /** Snapshot support (see src/snapshot/). */
+        template <class Archive>
+        void
+        serialize(Archive &ar)
+        {
+            ar.io("interval", interval);
+            ar.io("draw", draw);
+            ar.io("cap", cap);
+            ar.io("charge_priority", chargePriority);
+            ar.io("resync_listen", resyncListen);
+            ar.io("resync_energy", resyncEnergy);
+        }
     };
 
     explicit Rtc(const Config &cfg);
@@ -84,6 +97,16 @@ class Rtc
     std::uint64_t desyncCount() const { return _desyncs; }
 
     const Config &config() const { return _cfg; }
+
+    /** Snapshot support: the dedicated cap and sync bookkeeping. */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("cap", _cap);
+        ar.io("synchronized", _synchronized);
+        ar.io("desyncs", _desyncs);
+    }
 
   private:
     Config _cfg;

@@ -32,6 +32,22 @@ struct SensorSpec
     Power samplePower = Power::fromMilliwatts(0.30);
     std::size_t bytesPerSample = 2;
 
+    /** Snapshot support (see src/snapshot/). */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("part_name", partName);
+        ar.io("init_latency", initLatency);
+        ar.io("init_power", initPower);
+        ar.io("sample_latency", sampleLatency);
+        ar.io("sample_power", samplePower);
+        std::uint64_t bytes = bytesPerSample;
+        ar.io("bytes_per_sample", bytes);
+        if constexpr (Archive::isLoading)
+            bytesPerSample = static_cast<std::size_t>(bytes);
+    }
+
     /** Energy of one initialization. */
     Energy initEnergy() const { return initPower * initLatency; }
     /** Energy of one sample. */
@@ -92,6 +108,14 @@ class Sensor
 
     /** Power failure: configuration registers are lost. */
     void onPowerFailure() { _initialized = false; }
+
+    /** Snapshot support: the volatile configuration latch. */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("initialized", _initialized);
+    }
 
   private:
     SensorSpec _spec;

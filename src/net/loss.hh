@@ -34,6 +34,16 @@ class LossModel
          *  paper models end-to-end success at 99.25% with no retry,
          *  so the default is 0. */
         int maxRetries = 0;
+
+        /** Snapshot support (see src/snapshot/). */
+        template <class Archive>
+        void
+        serialize(Archive &ar)
+        {
+            ar.io("success_rate", successRate);
+            ar.io("weather_factor", weatherFactor);
+            ar.io("max_retries", maxRetries);
+        }
     };
 
     LossModel();
@@ -56,6 +66,15 @@ class LossModel
     std::uint64_t lossesTotal() const { return _losses; }
 
     const Config &config() const { return _cfg; }
+
+    /** Snapshot support: the accounting (config is rebuilt). */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("attempts", _attempts);
+        ar.io("losses", _losses);
+    }
 
   private:
     Config _cfg;

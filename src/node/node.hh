@@ -133,6 +133,32 @@ struct NodeStats
     Energy spentRx;
     Energy spentSample;
     Energy spentWake;
+
+    /** Snapshot support (see src/snapshot/): every field above. */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("wakeups", wakeups);
+        ar.io("depletion_failures", depletionFailures);
+        ar.io("packages_sampled", packagesSampled);
+        ar.io("packages_to_cloud", packagesToCloud);
+        ar.io("packages_in_fog", packagesInFog);
+        ar.io("tasks_executed", tasksExecuted);
+        ar.io("incidental_tasks", incidentalTasks);
+        ar.io("tasks_received", tasksReceived);
+        ar.io("tasks_shipped", tasksShipped);
+        ar.io("tx_failures", txFailures);
+        ar.io("samples_discarded", samplesDiscarded);
+        ar.io("rtc_resyncs", rtcResyncs);
+        ar.io("stored_energy_mj", storedEnergyMj);
+        ar.io("harvested_total", harvestedTotal);
+        ar.io("spent_compute", spentCompute);
+        ar.io("spent_tx", spentTx);
+        ar.io("spent_rx", spentRx);
+        ar.io("spent_sample", spentSample);
+        ar.io("spent_wake", spentWake);
+    }
 };
 
 /**
@@ -382,6 +408,45 @@ class Node
 
     /** The main super-capacitor (overflow/leakage accounting). */
     const SuperCapacitor &capacitor() const { return _cap; }
+
+    /**
+     * Snapshot support (see src/snapshot/): archives every field that
+     * mutates after construction.  Constructor-derived members (config,
+     * trace, cost constants, processor, front end, observer) are
+     * rebuilt deterministically by a resume's reconstruction.  The
+     * trace cursor is a pure cache of (_trace, window start) that
+     * accrueIncome() re-materializes bit-identically, so loading just
+     * drops it.
+     */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("rng", _rng);
+        ar.io("cap", _cap);
+        ar.io("rtc", _rtc);
+        ar.io("sensor", _sensor);
+        ar.io("buffer", _buffer);
+        ar.io("rf_state", _rf->state());
+        if (_rf->retainsState())
+            ar.io("nvrf", static_cast<NvRfController &>(*_rf));
+        ar.io("last_accrual", _lastAccrual);
+        ar.io("slot_start", _slotStart);
+        ar.io("slot_length", _slotLength);
+        ar.io("slot_time_used", _slotTimeUsed);
+        ar.io("direct_budget", _directBudget);
+        ar.io("last_income", _lastIncome);
+        ar.io("awake", _awake);
+        ar.io("rf_initialized_this_slot", _rfInitializedThisSlot);
+        ar.io("slot_costs_valid", _slotCostsValid);
+        ar.io("slot_task_cost", _slotTaskCost);
+        ar.io("slot_task_time", _slotTaskTime);
+        ar.io("pending_packages", _pendingPackages);
+        ar.io("pending_by_age", _pendingByAge);
+        ar.io("stats", _stats);
+        if constexpr (Archive::isLoading)
+            _cursor.reset();
+    }
 
   private:
     /** Report a completed phase to the attached observer, if any. */

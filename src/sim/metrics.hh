@@ -259,6 +259,23 @@ class RingSeries
     /** Exact equality of history (determinism checks). */
     bool operator==(const RingSeries &other) const;
 
+    /** Snapshot support (see src/snapshot/). */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("buf", _buf);
+        std::uint64_t capacity = _capacity;
+        std::uint64_t head = _head;
+        ar.io("capacity", capacity);
+        ar.io("head", head);
+        ar.io("pushed", _pushed);
+        if constexpr (Archive::isLoading) {
+            _capacity = static_cast<std::size_t>(capacity);
+            _head = static_cast<std::size_t>(head);
+        }
+    }
+
   private:
     std::vector<TimeSeries::Point> _buf;
     std::size_t _capacity = 0;
@@ -279,6 +296,19 @@ struct ProbeConfig
     std::size_t capacity = 4096;
     /** Sample every Nth slot (decimation; min 1). */
     std::int64_t everySlots = 1;
+
+    /** Snapshot support (see src/snapshot/). */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("enabled", enabled);
+        std::uint64_t cap = capacity;
+        ar.io("capacity", cap);
+        if constexpr (Archive::isLoading)
+            capacity = static_cast<std::size_t>(cap);
+        ar.io("every_slots", everySlots);
+    }
 };
 
 } // namespace neofog

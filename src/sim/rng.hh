@@ -55,6 +55,22 @@ class Rng
      */
     Rng fork();
 
+    /**
+     * Snapshot support (see src/snapshot/): the stream position is the
+     * whole state, plus the cached Box-Muller spare.
+     */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("s0", _state[0]);
+        ar.io("s1", _state[1]);
+        ar.io("s2", _state[2]);
+        ar.io("s3", _state[3]);
+        ar.io("have_spare_normal", _haveSpareNormal);
+        ar.io("spare_normal", _spareNormal);
+    }
+
   private:
     std::array<std::uint64_t, 4> _state{};
     bool _haveSpareNormal = false;

@@ -28,6 +28,14 @@ class Counter
     std::uint64_t value() const { return _value; }
     void reset() { _value = 0; }
 
+    /** Snapshot support (see src/snapshot/). */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("value", _value);
+    }
+
   private:
     std::uint64_t _value = 0;
 };
@@ -121,6 +129,14 @@ class TimeSeries
      * (always keeps the final point).  Used when printing figures.
      */
     std::vector<Point> downsampled(std::size_t max_points) const;
+
+    /** Snapshot support (see src/snapshot/). */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("points", _points);
+    }
 
   private:
     std::vector<Point> _points;

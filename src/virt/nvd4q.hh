@@ -60,6 +60,17 @@ class CloneGroup
      */
     void rotateMembership();
 
+    /**
+     * Snapshot support: only the rotation phase mutates after group
+     * formation (members and ids are construction-derived).
+     */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("rotation", _rotation);
+    }
+
   private:
     std::size_t _logicalId;
     std::vector<std::size_t> _members;

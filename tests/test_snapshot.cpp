@@ -1,0 +1,670 @@
+/**
+ * @file
+ * Snapshot subsystem tests: archive round-trips, container
+ * validation, corruption rejection, replay diffing, and the resume
+ * bit-identity contract (`ctest -L snapshot`).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "fog/chain_engine.hh"
+#include "fog/fog_system.hh"
+#include "fog/presets.hh"
+#include "fog/scenario.hh"
+#include "fog/snapshot_io.hh"
+#include "fog/system_report.hh"
+#include "net/loss.hh"
+#include "sim/logging.hh"
+#include "sim/metrics.hh"
+#include "sim/rng.hh"
+#include "snapshot/archive.hh"
+#include "snapshot/replay.hh"
+#include "snapshot/snapshot.hh"
+#include "virt/nvd4q.hh"
+
+namespace neofog {
+namespace {
+
+namespace fs = std::filesystem;
+using snapshot::DiffResult;
+using snapshot::InArchive;
+using snapshot::OutArchive;
+using snapshot::Record;
+using snapshot::RecordReader;
+using snapshot::Snapshot;
+
+/** Self-deleting scratch directory for file-format tests. */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &tag)
+        : _path(fs::temp_directory_path() /
+                ("neofog_snapshot_test_" + tag))
+    {
+        fs::remove_all(_path);
+        fs::create_directories(_path);
+    }
+    ~ScratchDir() { fs::remove_all(_path); }
+
+    std::string file(const std::string &name) const
+    {
+        return (_path / name).string();
+    }
+    std::string path() const { return _path.string(); }
+
+  private:
+    fs::path _path;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    EXPECT_TRUE(static_cast<bool>(is)) << path;
+    return {std::istreambuf_iterator<char>(is),
+            std::istreambuf_iterator<char>()};
+}
+
+void
+spit(const std::string &path, const std::string &bytes)
+{
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size()));
+}
+
+// ---------------------------------------------------------------------
+// Archive encoding
+// ---------------------------------------------------------------------
+
+struct Inner
+{
+    std::int64_t ticks = 0;
+    double level = 0.0;
+
+    template <class Archive>
+    void serialize(Archive &ar)
+    {
+        ar.io("ticks", ticks);
+        ar.io("level", level);
+    }
+};
+
+struct Outer
+{
+    bool flag = false;
+    std::uint32_t count = 0;
+    std::string label;
+    std::vector<double> samples;
+    Inner inner;
+
+    template <class Archive>
+    void serialize(Archive &ar)
+    {
+        ar.io("flag", flag);
+        ar.io("count", count);
+        ar.io("label", label);
+        ar.io("samples", samples);
+        ar.io("inner", inner);
+    }
+};
+
+TEST(Archive, ScalarRoundTripIsExact)
+{
+    bool b = true;
+    std::int32_t i32 = -123456;
+    std::uint16_t u16 = 65535;
+    std::uint32_t u32 = 0xDEADBEEFU;
+    std::int64_t i64 = -(1LL << 60);
+    std::uint64_t u64 = ~0ULL;
+    double nan = std::nan("0x42");
+    double negzero = -0.0;
+    std::string str = "with\0byte and \n newline";
+
+    OutArchive out;
+    out.io("b", b);
+    out.io("i32", i32);
+    out.io("u16", u16);
+    out.io("u32", u32);
+    out.io("i64", i64);
+    out.io("u64", u64);
+    out.io("nan", nan);
+    out.io("negzero", negzero);
+    out.io("str", str);
+    const std::string blob = out.take();
+
+    bool b2 = false;
+    std::int32_t i32_2 = 0;
+    std::uint16_t u16_2 = 0;
+    std::uint32_t u32_2 = 0;
+    std::int64_t i64_2 = 0;
+    std::uint64_t u64_2 = 0;
+    double nan2 = 0, negzero2 = 0;
+    std::string str2;
+
+    InArchive in{std::string_view(blob)};
+    in.io("b", b2);
+    in.io("i32", i32_2);
+    in.io("u16", u16_2);
+    in.io("u32", u32_2);
+    in.io("i64", i64_2);
+    in.io("u64", u64_2);
+    in.io("nan", nan2);
+    in.io("negzero", negzero2);
+    in.io("str", str2);
+    EXPECT_TRUE(in.atEnd());
+
+    EXPECT_EQ(b2, b);
+    EXPECT_EQ(i32_2, i32);
+    EXPECT_EQ(u16_2, u16);
+    EXPECT_EQ(u32_2, u32);
+    EXPECT_EQ(i64_2, i64);
+    EXPECT_EQ(u64_2, u64);
+    EXPECT_EQ(str2, str);
+    // Doubles travel as bit patterns: NaN payload and the sign of
+    // zero survive (resume bit-identity depends on this).
+    EXPECT_EQ(snapshot::doubleBits(nan2), snapshot::doubleBits(nan));
+    EXPECT_TRUE(std::signbit(negzero2));
+}
+
+TEST(Archive, NestedComponentRoundTrip)
+{
+    Outer a;
+    a.flag = true;
+    a.count = 9;
+    a.label = "chain0";
+    a.samples = {1.5, -2.25, 0.0};
+    a.inner = {42, 0.125};
+
+    OutArchive out;
+    out.io("outer", a);
+    const std::string blob = out.take();
+
+    Outer b;
+    InArchive in{std::string_view(blob)};
+    in.io("outer", b);
+    EXPECT_TRUE(in.atEnd());
+
+    EXPECT_EQ(b.flag, a.flag);
+    EXPECT_EQ(b.count, a.count);
+    EXPECT_EQ(b.label, a.label);
+    EXPECT_EQ(b.samples, a.samples);
+    EXPECT_EQ(b.inner.ticks, a.inner.ticks);
+    EXPECT_EQ(b.inner.level, a.inner.level);
+}
+
+TEST(Archive, RecordPathsAreFullyQualified)
+{
+    Outer a;
+    OutArchive out;
+    out.io("outer", a);
+    const std::string blob = out.take();
+
+    std::vector<std::string> paths;
+    RecordReader reader{std::string_view(blob)};
+    Record rec;
+    while (reader.next(rec))
+        paths.emplace_back(rec.path);
+    const std::vector<std::string> expect = {
+        "outer.flag", "outer.count", "outer.label", "outer.samples",
+        "outer.inner.ticks", "outer.inner.level"};
+    EXPECT_EQ(paths, expect);
+}
+
+TEST(Archive, LoadRejectsPathAndTypeMismatch)
+{
+    OutArchive out;
+    std::int32_t v = 7;
+    out.io("alpha", v);
+    const std::string blob = out.take();
+
+    {
+        // Wrong field name.
+        InArchive in{std::string_view(blob)};
+        std::int32_t got = 0;
+        EXPECT_THROW(in.io("beta", got), FatalError);
+    }
+    {
+        // Right name, wrong wire type.
+        InArchive in{std::string_view(blob)};
+        double got = 0;
+        EXPECT_THROW(in.io("alpha", got), FatalError);
+    }
+    {
+        // Reading past the end of the stream.
+        InArchive in{std::string_view(blob)};
+        std::int32_t got = 0;
+        in.io("alpha", got);
+        EXPECT_THROW(in.io("alpha", got), FatalError);
+    }
+    {
+        // Truncated record payload.
+        const std::string cut = blob.substr(0, blob.size() - 2);
+        InArchive in{std::string_view(cut)};
+        std::int32_t got = 0;
+        EXPECT_THROW(in.io("alpha", got), FatalError);
+    }
+}
+
+TEST(Archive, RngStreamPositionRoundTrips)
+{
+    Rng rng(1234);
+    for (int i = 0; i < 17; ++i)
+        rng.normal(); // leaves a Box-Muller spare half the time
+
+    OutArchive out;
+    out.io("rng", rng);
+    const std::string blob = out.take();
+
+    Rng restored(999); // deliberately different seed
+    InArchive in{std::string_view(blob)};
+    in.io("rng", restored);
+
+    for (int i = 0; i < 64; ++i) {
+        EXPECT_EQ(restored.next(), rng.next());
+        EXPECT_EQ(restored.normal(), rng.normal());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Serialized-footprint pins (the sizeof(SystemReport) trick): adding
+// a data member to a snapshotted struct without extending serialize()
+// would silently corrupt resumes; these pins make it fail here
+// instead.  If one trips, update the struct's serialize() AND the pin.
+// ---------------------------------------------------------------------
+
+TEST(SnapshotFootprint, PinsEverySnapshottedStruct)
+{
+    EXPECT_EQ(sizeof(Rng), 48u);
+    EXPECT_EQ(sizeof(Counter), 8u);
+    EXPECT_EQ(sizeof(TimeSeries), 24u);
+    EXPECT_EQ(sizeof(RingSeries), 48u);
+    EXPECT_EQ(sizeof(ProbeConfig), 24u);
+    EXPECT_EQ(sizeof(SuperCapacitor), 64u);
+    EXPECT_EQ(sizeof(Rtc), 144u);
+    EXPECT_EQ(sizeof(NvBuffer), 56u);
+    EXPECT_EQ(sizeof(Sensor), 80u);
+    EXPECT_EQ(sizeof(SensorSpec), 72u);
+    EXPECT_EQ(sizeof(RfState), 48u);
+    EXPECT_EQ(sizeof(LossModel), 40u);
+    EXPECT_EQ(sizeof(CloneGroup), 40u);
+    EXPECT_EQ(sizeof(ChainProbe), 192u);
+    EXPECT_EQ(sizeof(NodeStats), 168u);
+    EXPECT_EQ(sizeof(Node), 1088u);
+    EXPECT_EQ(sizeof(SystemReport), 216u);
+    EXPECT_EQ(sizeof(Node::Config), 272u);
+    EXPECT_EQ(sizeof(ScenarioConfig), 512u);
+}
+
+// ---------------------------------------------------------------------
+// Container format
+// ---------------------------------------------------------------------
+
+Snapshot
+sampleSnapshot()
+{
+    Snapshot snap;
+    snap.slot = 42;
+    snap.seed = 7;
+    snap.chains = 2;
+    snap.sections.push_back({"config", "fingerprint-bytes"});
+    snap.sections.push_back({"chain0", "alpha"});
+    snap.sections.push_back({"chain1", "beta"});
+    return snap;
+}
+
+TEST(SnapshotFile, WriteReadRoundTrip)
+{
+    const ScratchDir dir("roundtrip");
+    const std::string path =
+        dir.file(snapshot::snapshotFileName(42));
+    EXPECT_EQ(path.substr(path.size() - 22), "snap-0000000042.nfsnap");
+
+    snapshot::writeSnapshot(path, sampleSnapshot());
+    const Snapshot back = snapshot::readSnapshot(path);
+
+    EXPECT_EQ(back.slot, 42);
+    EXPECT_EQ(back.seed, 7u);
+    EXPECT_EQ(back.chains, 2u);
+    ASSERT_EQ(back.sections.size(), 3u);
+    EXPECT_EQ(back.sections[1].name, "chain0");
+    EXPECT_EQ(back.sections[1].data, "alpha");
+    ASSERT_NE(back.find("config"), nullptr);
+    EXPECT_EQ(back.configHash,
+              snapshot::fnv1a(back.find("config")->data));
+    EXPECT_EQ(back.find("nope"), nullptr);
+    // No .tmp residue after the atomic publish.
+    EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(SnapshotFile, LatestSkipsCorruptAndResolvesDirectories)
+{
+    const ScratchDir dir("latest");
+    const std::string older =
+        dir.file(snapshot::snapshotFileName(10));
+    const std::string newer =
+        dir.file(snapshot::snapshotFileName(20));
+    Snapshot snap = sampleSnapshot();
+    snap.slot = 10;
+    snapshot::writeSnapshot(older, snap);
+    snap.slot = 20;
+    snapshot::writeSnapshot(newer, snap);
+
+    EXPECT_EQ(snapshot::latestSnapshot(dir.path()), newer);
+    EXPECT_EQ(snapshot::resolveSnapshotPath(dir.path()), newer);
+    // A file path passes through untouched.
+    EXPECT_EQ(snapshot::resolveSnapshotPath(older), older);
+
+    // Corrupt the newest: resume-from-latest must fall back to the
+    // newest VALID checkpoint, exactly the crash-mid-write case.
+    std::string bytes = slurp(newer);
+    bytes[bytes.size() - 1] ^= 0x01;
+    spit(newer, bytes);
+    EXPECT_EQ(snapshot::latestSnapshot(dir.path()), older);
+
+    const ScratchDir empty("empty");
+    EXPECT_THROW(snapshot::resolveSnapshotPath(empty.path()),
+                 FatalError);
+}
+
+TEST(SnapshotFile, CorruptionIsRejectedLoudly)
+{
+    const ScratchDir dir("corrupt");
+    const std::string good = dir.file("good.nfsnap");
+    snapshot::writeSnapshot(good, sampleSnapshot());
+    const std::string pristine = slurp(good);
+
+    const auto rejects = [&](const std::string &bytes,
+                             const std::string &needle) {
+        const std::string path = dir.file("mutant.nfsnap");
+        spit(path, bytes);
+        try {
+            snapshot::readSnapshot(path);
+            FAIL() << "expected rejection containing '" << needle
+                   << "'";
+        } catch (const FatalError &err) {
+            EXPECT_NE(std::string(err.what()).find(needle),
+                      std::string::npos)
+                << err.what();
+        }
+    };
+
+    // Truncations: below the fixed preamble, inside the header, and
+    // inside a section body.
+    rejects(pristine.substr(0, 10), "truncated");
+    rejects(pristine.substr(0, 20), "truncated");
+    rejects(pristine.substr(0, pristine.size() - 3),
+            "outside the file");
+
+    // Flipped magic byte.
+    std::string bad = pristine;
+    bad[3] ^= 0xFF;
+    rejects(bad, "bad magic");
+
+    // Byte-swapped endianness marker: a big-endian writer's output.
+    bad = pristine;
+    std::swap(bad[8], bad[11]);
+    std::swap(bad[9], bad[10]);
+    rejects(bad, "big-endian");
+
+    // Garbage endianness marker.
+    bad = pristine;
+    bad[8] ^= 0x55;
+    rejects(bad, "endianness marker");
+
+    // Flipped byte inside a section payload: checksum failure.
+    bad = pristine;
+    bad[bad.size() - 2] ^= 0x10;
+    rejects(bad, "checksum");
+
+    // Header/config-hash mismatch: flip one hex digit of the header's
+    // config_hash while every section checksum stays valid.
+    bad = pristine;
+    const std::string tag = "\"config_hash\":\"";
+    const std::size_t key = bad.find(tag);
+    ASSERT_NE(key, std::string::npos);
+    char &digit = bad[key + tag.size()];
+    digit = (digit == '0') ? '1' : '0';
+    rejects(bad, "header/config mismatch");
+}
+
+// ---------------------------------------------------------------------
+// Scenario fingerprint
+// ---------------------------------------------------------------------
+
+TEST(ScenarioFingerprint, BlobRoundTripsAndHostKnobsAreExcluded)
+{
+    ScenarioConfig cfg = presets::fig13(presets::fiosNeofog(), 3);
+    cfg.chains = 2;
+    const std::string blob = serializeScenarioBlob(cfg);
+    const ScenarioConfig back = deserializeScenarioBlob(blob);
+    EXPECT_EQ(serializeScenarioBlob(back), blob);
+    EXPECT_EQ(scenarioFingerprint(back), scenarioFingerprint(cfg));
+
+    // Host-local knobs never enter the fingerprint: a resume may
+    // change thread count or checkpoint cadence freely.
+    ScenarioConfig tweaked = cfg;
+    tweaked.threads = 8;
+    tweaked.snapshot.everySlots = 5;
+    tweaked.snapshot.dir = "/elsewhere";
+    EXPECT_EQ(scenarioFingerprint(tweaked), scenarioFingerprint(cfg));
+
+    // Result-relevant fields do.
+    ScenarioConfig reseeded = cfg;
+    reseeded.seed = cfg.seed + 1;
+    EXPECT_NE(scenarioFingerprint(reseeded), scenarioFingerprint(cfg));
+    ScenarioConfig remoded = cfg;
+    remoded.mode = OperatingMode::NosVp;
+    EXPECT_NE(scenarioFingerprint(remoded), scenarioFingerprint(cfg));
+}
+
+// ---------------------------------------------------------------------
+// Replay diffing
+// ---------------------------------------------------------------------
+
+TEST(Replay, ReportsFirstDivergingField)
+{
+    Outer a;
+    a.count = 3;
+    a.samples = {1.0, 2.0, 3.0};
+    Outer b = a;
+
+    const auto encode = [](Outer &o) {
+        OutArchive out;
+        out.io("outer", o);
+        return out.take();
+    };
+
+    // Identical streams do not diverge.
+    DiffResult same =
+        snapshot::diffSections("chain0", encode(a), encode(b));
+    EXPECT_FALSE(same.diverged);
+
+    // A scalar difference names the full field path and both values.
+    b.count = 4;
+    DiffResult scalar =
+        snapshot::diffSections("chain0", encode(a), encode(b));
+    EXPECT_TRUE(scalar.diverged);
+    EXPECT_EQ(scalar.where, "chain0");
+    EXPECT_EQ(scalar.path, "outer.count");
+    EXPECT_NE(scalar.detail.find("3"), std::string::npos);
+    EXPECT_NE(scalar.detail.find("4"), std::string::npos);
+
+    // A vector difference names the first differing element.
+    b = a;
+    b.samples[1] = 2.5;
+    DiffResult vec =
+        snapshot::diffSections("chain0", encode(a), encode(b));
+    EXPECT_TRUE(vec.diverged);
+    EXPECT_EQ(vec.path, "outer.samples");
+    EXPECT_NE(vec.detail.find("element 1"), std::string::npos)
+        << vec.detail;
+
+    // Only the FIRST divergence is reported.
+    b = a;
+    b.flag = true;
+    b.count = 9;
+    DiffResult first =
+        snapshot::diffSections("chain0", encode(a), encode(b));
+    EXPECT_EQ(first.path, "outer.flag");
+}
+
+TEST(Replay, HeaderAndSectionDivergence)
+{
+    // Sections must hold real record streams for a full-snapshot diff.
+    const auto makeSnapshot = [](std::uint32_t count) {
+        Outer payload;
+        payload.count = count;
+        OutArchive out;
+        out.io("outer", payload);
+        Snapshot snap;
+        snap.slot = 42;
+        snap.seed = 7;
+        snap.chains = 1;
+        snap.sections.push_back({"chain0", out.take()});
+        return snap;
+    };
+
+    Snapshot a = makeSnapshot(3);
+    Snapshot b = makeSnapshot(3);
+    EXPECT_FALSE(snapshot::diffSnapshots(a, b).diverged);
+
+    b.slot = 43;
+    DiffResult slot = snapshot::diffSnapshots(a, b);
+    EXPECT_TRUE(slot.diverged);
+    EXPECT_EQ(slot.where, "header");
+
+    b = makeSnapshot(4);
+    DiffResult body = snapshot::diffSnapshots(a, b);
+    EXPECT_TRUE(body.diverged);
+    EXPECT_EQ(body.where, "chain0");
+    EXPECT_EQ(body.path, "outer.count");
+
+    b = makeSnapshot(3);
+    b.sections.pop_back();
+    EXPECT_TRUE(snapshot::diffSnapshots(a, b).diverged);
+}
+
+// ---------------------------------------------------------------------
+// Resume
+// ---------------------------------------------------------------------
+
+ScenarioConfig
+resumeScenario(unsigned threads)
+{
+    // A shrunk fig-13 (rain trace, fios + distributed balancing,
+    // multiplexing 3) so one run stays test-sized while still
+    // exercising clone rotation, loss, and balancing.
+    ScenarioConfig cfg = presets::fig13(presets::fiosNeofog(), 3);
+    cfg.chains = 3;
+    cfg.horizon = kHour;
+    cfg.seed = 77;
+    cfg.threads = threads;
+    return cfg;
+}
+
+TEST(Resume, RejectsCorruptOrMissingSnapshots)
+{
+    const ScratchDir dir("resume_reject");
+    EXPECT_THROW(FogSystem::resume(dir.path()), FatalError);
+
+    const std::string bogus = dir.file("bogus.nfsnap");
+    spit(bogus, "NOT A SNAPSHOT AT ALL........");
+    EXPECT_THROW(FogSystem::resume(bogus), FatalError);
+
+    // A snapshot without a config section cannot seed a resume.
+    Snapshot snap;
+    snap.slot = 1;
+    snap.sections.push_back({"chain0", "x"});
+    const std::string configless = dir.file("configless.nfsnap");
+    snapshot::writeSnapshot(configless, snap);
+    EXPECT_THROW(FogSystem::resume(configless), FatalError);
+}
+
+// The tentpole contract, enforced here rather than by convention:
+// for random split slots s and any thread count, run(0..H) and
+// run(0..s); resume; run(s..H) produce operator==-equal reports.
+TEST(Resume, BitIdentityAcrossSplitSlotsAndThreadCounts)
+{
+    const ScratchDir dir("resume_identity");
+
+    const SystemReport reference =
+        FogSystem(resumeScenario(1)).run();
+
+    // A snapshotting run (under a different thread count, even) must
+    // not perturb a single report bit.
+    constexpr std::int64_t kEvery = 7;
+    ScenarioConfig snapping = resumeScenario(2);
+    snapping.snapshot.everySlots = kEvery;
+    snapping.snapshot.dir = dir.path();
+    EXPECT_EQ(FogSystem(snapping).run(), reference);
+
+    const std::int64_t slots = snapping.slotCount();
+    ASSERT_EQ(slots, 300);
+
+    // >= 3 random split slots from the checkpoint grid.
+    std::minstd_rand pick(20260806);
+    std::vector<std::int64_t> splits;
+    while (splits.size() < 3) {
+        const std::int64_t s =
+            (1 + static_cast<std::int64_t>(pick() %
+                                           ((slots - 1) / kEvery))) *
+            kEvery;
+        if (std::find(splits.begin(), splits.end(), s) ==
+            splits.end())
+            splits.push_back(s);
+    }
+
+    for (const std::int64_t split : splits) {
+        const std::string path =
+            dir.file(snapshot::snapshotFileName(split));
+        ASSERT_TRUE(fs::exists(path)) << path;
+        for (const unsigned threads : {1u, 2u, 4u}) {
+            auto resumed = FogSystem::resume(path, threads);
+            EXPECT_EQ(resumed->resumeSlot(), split);
+            EXPECT_EQ(resumed->config().seed, snapping.seed);
+            EXPECT_EQ(resumed->run(), reference)
+                << "split " << split << ", threads " << threads;
+        }
+    }
+}
+
+// Resuming may itself snapshot; a second-generation resume must
+// still land on the reference bits (crash during the resumed run).
+TEST(Resume, ChainedResumeStaysBitIdentical)
+{
+    const ScratchDir first("resume_chain_a");
+    const ScratchDir second("resume_chain_b");
+
+    const SystemReport reference =
+        FogSystem(resumeScenario(2)).run();
+
+    ScenarioConfig snapping = resumeScenario(1);
+    snapping.snapshot.everySlots = 60;
+    snapping.snapshot.dir = first.path();
+    FogSystem(snapping).run();
+
+    ScenarioConfig::SnapshotConfig resnap;
+    resnap.everySlots = 90;
+    resnap.dir = second.path();
+    auto once = FogSystem::resume(
+        first.file(snapshot::snapshotFileName(60)), 4, resnap);
+    EXPECT_EQ(once->run(), reference);
+
+    // The resumed run checkpointed at slots 90/180/270; resume again
+    // from its latest shard set, as the CI kill lane does.
+    auto twice = FogSystem::resume(second.path(), 2);
+    EXPECT_EQ(twice->resumeSlot(), 270);
+    EXPECT_EQ(twice->run(), reference);
+}
+
+} // namespace
+} // namespace neofog

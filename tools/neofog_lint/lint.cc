@@ -38,6 +38,12 @@ const char *kRuleNames[] = {"determinism", "layering", "observability",
  * (hw -> energy, workload -> kernels) are listed explicitly so the
  * whole relation stays an acyclic allowlist rather than a tier
  * heuristic.
+ *
+ * `snapshot` sits beside fog: it may include from every subsystem it
+ * serializes, but only fog (and the out-of-tree tools/ and examples/)
+ * may include snapshot — component headers keep their serialize()
+ * members as archive-type templates precisely so they never need the
+ * snapshot headers themselves.
  */
 const std::map<std::string, std::set<std::string>> &
 layerTable()
@@ -52,9 +58,12 @@ layerTable()
         {"balance", {"sim"}},
         {"node", {"sim", "energy", "hw", "net"}},
         {"virt", {"sim", "hw", "net"}},
-        {"fog",
+        {"snapshot",
          {"sim", "kernels", "energy", "hw", "workload", "net",
           "balance", "node", "virt"}},
+        {"fog",
+         {"sim", "kernels", "energy", "hw", "workload", "net",
+          "balance", "node", "virt", "snapshot"}},
     };
     return table;
 }
@@ -695,8 +704,10 @@ printRules(std::ostream &os)
        << "  R2.layering      src/ includes must follow the layer "
           "DAG: sim -> {hw, energy,\n"
        << "                   workload} -> {node, net, balance} -> "
-          "{fog, virt} (refined per-dir\n"
-       << "                   allowlist; see DESIGN.md)\n"
+          "{fog, virt}; snapshot may\n"
+       << "                   include everything below fog, only fog "
+          "includes snapshot (refined\n"
+       << "                   per-dir allowlist; see DESIGN.md)\n"
        << "  R3.observability no direct stdout/stderr writes in src/ "
           "or bench/; route through\n"
        << "                   report_io/metrics/logging or "

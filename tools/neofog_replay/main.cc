@@ -1,0 +1,149 @@
+/**
+ * @file
+ * neofog_replay — diff two snapshot files or two snapshot streams.
+ *
+ * Modes:
+ *
+ *     neofog_replay A.nfsnap B.nfsnap     compare two snapshot files
+ *     neofog_replay DIR_A DIR_B           compare two snapshot streams
+ *                                         slot-by-slot (paired by the
+ *                                         slot encoded in the name)
+ *
+ * Output names the first diverging slot and field ("chain0.node3.
+ * cap.stored: 1.25 vs 1.5"); later differences are suppressed because
+ * they are almost always cascade effects of the first.  This turns
+ * "two runs disagree" into a bisection: checkpoint both runs on the
+ * same slot grid and the first diverging record pinpoints the
+ * subsystem that went off-script.
+ *
+ * Exit codes: 0 identical, 1 diverged, 2 usage or I/O error.
+ */
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "sim/logging.hh"
+#include "snapshot/replay.hh"
+#include "snapshot/snapshot.hh"
+
+namespace {
+
+using neofog::snapshot::DiffResult;
+using neofog::snapshot::Snapshot;
+
+void printDivergence(const std::string &label, const DiffResult &diff)
+{
+    std::printf("DIVERGED %s [%s]", label.c_str(), diff.where.c_str());
+    if (!diff.path.empty())
+        std::printf(" %s", diff.path.c_str());
+    std::printf(": %s\n", diff.detail.c_str());
+}
+
+/** Compare two snapshot files; returns the process exit code. */
+int diffFiles(const std::string &pathA, const std::string &pathB,
+              const std::string &label)
+{
+    const Snapshot a = neofog::snapshot::readSnapshot(pathA);
+    const Snapshot b = neofog::snapshot::readSnapshot(pathB);
+    const DiffResult diff = neofog::snapshot::diffSnapshots(a, b);
+    if (!diff.diverged) {
+        std::printf("identical %s (slot %" PRId64 ", %zu sections)\n",
+                    label.c_str(), a.slot, a.sections.size());
+        return 0;
+    }
+    printDivergence(label, diff);
+    return 1;
+}
+
+/** Slot -> file map of the snap-*.nfsnap files in a directory. */
+std::map<std::int64_t, std::string> snapshotsIn(const std::string &dir)
+{
+    std::map<std::int64_t, std::string> found;
+    for (const auto &entry : std::filesystem::directory_iterator(dir)) {
+        if (!entry.is_regular_file())
+            continue;
+        const std::string name = entry.path().filename().string();
+        long long slot = 0;
+        if (std::sscanf(name.c_str(), "snap-%lld.nfsnap", &slot) != 1)
+            continue;
+        if (name != neofog::snapshot::snapshotFileName(slot))
+            continue;
+        found[slot] = entry.path().string();
+    }
+    return found;
+}
+
+/** Compare two snapshot directories slot-by-slot, ascending. */
+int diffStreams(const std::string &dirA, const std::string &dirB)
+{
+    const auto snapsA = snapshotsIn(dirA);
+    const auto snapsB = snapshotsIn(dirB);
+    if (snapsA.empty() || snapsB.empty()) {
+        std::fprintf(stderr, "error: no snap-*.nfsnap files in %s\n",
+                     (snapsA.empty() ? dirA : dirB).c_str());
+        return 2;
+    }
+
+    bool unpaired = false;
+    for (const auto &[slot, path] : snapsA) {
+        const auto other = snapsB.find(slot);
+        if (other == snapsB.end()) {
+            std::printf("slot %" PRId64 ": only in %s\n", slot,
+                        dirA.c_str());
+            unpaired = true;
+            continue;
+        }
+        const std::string label = "slot " + std::to_string(slot);
+        const int rc = diffFiles(path, other->second, label);
+        if (rc != 0)
+            return rc; // first diverging slot ends the bisection
+    }
+    for (const auto &[slot, path] : snapsB)
+        if (!snapsA.count(slot)) {
+            std::printf("slot %" PRId64 ": only in %s\n", slot,
+                        dirB.c_str());
+            unpaired = true;
+        }
+    return unpaired ? 1 : 0;
+}
+
+void usage(const char *argv0)
+{
+    std::fprintf(stderr,
+                 "usage: %s <A.nfsnap> <B.nfsnap>\n"
+                 "       %s <snapshot-dir-A> <snapshot-dir-B>\n",
+                 argv0, argv0);
+}
+
+} // namespace
+
+int main(int argc, char **argv)
+{
+    if (argc != 3) {
+        usage(argv[0]);
+        return 2;
+    }
+    const std::string a = argv[1];
+    const std::string b = argv[2];
+    try {
+        const bool dirA = std::filesystem::is_directory(a);
+        const bool dirB = std::filesystem::is_directory(b);
+        if (dirA != dirB) {
+            std::fprintf(stderr,
+                         "error: cannot mix a file and a directory\n");
+            return 2;
+        }
+        return dirA ? diffStreams(a, b) : diffFiles(a, b, "snapshot");
+    } catch (const neofog::FatalError &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 2;
+    } catch (const std::filesystem::filesystem_error &err) {
+        std::fprintf(stderr, "error: %s\n", err.what());
+        return 2;
+    }
+}
