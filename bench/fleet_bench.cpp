@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Fleet-scale throughput harness: the SoA chain shards + batched slot
+ * kernel running city-sized deployments (100k+ chains, 1M+ total
+ * nodes) — the scale the object-per-node layout could not stream.
+ *
+ * Four sections:
+ *  - fleet throughput: build and run the full fleet, reporting
+ *    slots_per_sec (chain-slots executed per wall-clock second) and
+ *    bytes_per_node (resident SoA shard bytes / total nodes), with the
+ *    batched slot kernel on vs off and the reports asserted identical;
+ *  - thread sweep: the same fleet at --threads 1/2/4 must produce
+ *    bit-identical reports (chain-order shard merge discipline);
+ *  - snapshot resume: a mid-horizon checkpoint must resume onto the
+ *    uninterrupted run's exact report on the SoA layout;
+ *  - batched StepMachine: IntermittentExecution::runBatch over scaled
+ *    views of one shared stream vs per-trace run(), results asserted
+ *    identical, wall-clock compared.
+ *
+ * Options:
+ *   --chains N   fleet width override (default 100000; smoke 2000)
+ *   --nodes M    nodes per chain (default 10)
+ *   --slots S    horizon in slots (default 10)
+ *   --smoke      small run for CI plus schema validation of the JSON
+ */
+
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hh"
+#include "energy/power_trace.hh"
+#include "energy/trace_cache.hh"
+#include "fog/fog_system.hh"
+#include "hw/processor.hh"
+#include "node/intermittent.hh"
+#include "sim/logging.hh"
+#include "sim/report_io.hh"
+#include "sim/rng.hh"
+#include "snapshot/snapshot.hh"
+
+using namespace neofog;
+using namespace neofog::bench;
+
+namespace {
+
+double
+seconds(const std::chrono::steady_clock::time_point &start)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+/**
+ * The fleet scenario: the fig-13 deployment shape (dependent rainy-day
+ * income — every node a scaled view of one shared stream, the case the
+ * batched slot kernel hoists) at city width.
+ */
+ScenarioConfig
+fleetScenario(std::size_t chains, std::size_t nodes_per_chain,
+              std::int64_t slots)
+{
+    ScenarioConfig cfg;
+    cfg.chains = chains;
+    cfg.nodesPerChain = nodes_per_chain;
+    cfg.multiplexing = 1;
+    cfg.mode = OperatingMode::FiosNvMote;
+    cfg.traceKind = TraceKind::RainLow;
+    cfg.meanIncome = Power::fromMilliwatts(2.2);
+    cfg.balancerPolicy = "distributed";
+    cfg.slotInterval = 12 * kSec;
+    cfg.horizon = slots * cfg.slotInterval;
+    cfg.seed = 20260808;
+    return cfg;
+}
+
+/** Total resident SoA bytes across every chain shard. */
+std::size_t
+fleetShardBytes(const FogSystem &sys)
+{
+    std::size_t bytes = 0;
+    for (const auto &engine : sys.chains())
+        bytes += engine->soa().residentBytes();
+    return bytes;
+}
+
+struct TimedRun
+{
+    double buildSecs = 0.0; ///< FogSystem construction (trace + nodes)
+    double runSecs = 0.0;   ///< slot execution (the throughput metric)
+};
+
+TimedRun
+runTimed(const ScenarioConfig &cfg, SystemReport &report,
+         std::size_t *shard_bytes = nullptr)
+{
+    TimedRun timed;
+    auto start = std::chrono::steady_clock::now();
+    FogSystem sys(cfg);
+    timed.buildSecs = seconds(start);
+    start = std::chrono::steady_clock::now();
+    report = sys.run();
+    timed.runSecs = seconds(start);
+    if (shard_bytes != nullptr)
+        *shard_bytes = fleetShardBytes(sys);
+    return timed;
+}
+
+/** Re-read the emitted JSON and check it against the schema. */
+int
+validateSink(const ResultSink &sink)
+{
+    std::ifstream in(sink.path());
+    if (!in) {
+        err("fleet_bench: cannot re-read %s\n", sink.path().c_str());
+        return 1;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    try {
+        const auto doc = report_io::parseJson(text.str());
+        const std::string schema_err = report_io::validateBenchJson(doc);
+        if (!schema_err.empty()) {
+            err("fleet_bench: schema violation: %s\n",
+                schema_err.c_str());
+            return 1;
+        }
+    } catch (const FatalError &e) {
+        err("fleet_bench: emitted invalid JSON: %s\n", e.what());
+        return 1;
+    }
+    out("fleet_bench: %s validates against neofog-bench-v1\n",
+        sink.path().c_str());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::size_t chains = 100'000;
+    std::size_t nodes_per_chain = 10;
+    std::int64_t slots = 10;
+    bool smoke = false;
+    bool chains_set = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        } else if (std::strcmp(argv[i], "--chains") == 0 &&
+                   i + 1 < argc) {
+            chains = static_cast<std::size_t>(std::atoll(argv[++i]));
+            chains_set = true;
+        } else if (std::strcmp(argv[i], "--nodes") == 0 &&
+                   i + 1 < argc) {
+            nodes_per_chain =
+                static_cast<std::size_t>(std::atoll(argv[++i]));
+        } else if (std::strcmp(argv[i], "--slots") == 0 &&
+                   i + 1 < argc) {
+            slots = std::atoll(argv[++i]);
+        } else {
+            err("usage: %s [--chains N] [--nodes M] [--slots S] "
+                "[--smoke]\n",
+                argv[0]);
+            return 2;
+        }
+    }
+    if (smoke && !chains_set)
+        chains = 2'000;
+    if (chains == 0 || nodes_per_chain == 0 || slots <= 0) {
+        err("fleet_bench: fleet shape must be nonzero\n");
+        return 2;
+    }
+
+    const std::size_t total_nodes = chains * nodes_per_chain;
+    const double chain_slots =
+        static_cast<double>(chains) * static_cast<double>(slots);
+    ResultSink sink("fleet_bench");
+    sink.add("chains", static_cast<double>(chains));
+    sink.add("nodes_per_chain", static_cast<double>(nodes_per_chain));
+    sink.add("total_nodes", static_cast<double>(total_nodes));
+    sink.add("slots", static_cast<double>(slots));
+
+    // ---- Section 1: fleet throughput, batch kernel on vs off -------
+    header("Fleet throughput: " + std::to_string(chains) + " chains x " +
+           std::to_string(nodes_per_chain) + " nodes, " +
+           std::to_string(slots) + " slots");
+    ScenarioConfig cfg = fleetScenario(chains, nodes_per_chain, slots);
+
+    SystemReport scalar;
+    ScenarioConfig scalar_cfg = cfg;
+    scalar_cfg.batchSlotKernel = false;
+    const TimedRun scalar_t = runTimed(scalar_cfg, scalar);
+
+    SystemReport batched;
+    std::size_t shard_bytes = 0;
+    const TimedRun batched_t = runTimed(cfg, batched, &shard_bytes);
+
+    if (!(batched == scalar)) {
+        err("fleet_bench: batched slot kernel diverged from the "
+            "per-node path\n");
+        return 1;
+    }
+
+    const double slots_per_sec = chain_slots / batched_t.runSecs;
+    const double bytes_per_node =
+        static_cast<double>(shard_bytes) /
+        static_cast<double>(total_nodes);
+    Table t1({24, 12, 12, 14, 10});
+    t1.row({"Configuration", "Build s", "Run s", "Slots/s", "Speedup"});
+    t1.separator();
+    t1.row({"per-node beginSlot", fmt(scalar_t.buildSecs, 2),
+            fmt(scalar_t.runSecs, 2),
+            fmt(chain_slots / scalar_t.runSecs, 0), "1.00x"});
+    t1.row({"batched slot kernel", fmt(batched_t.buildSecs, 2),
+            fmt(batched_t.runSecs, 2), fmt(slots_per_sec, 0),
+            fmt(scalar_t.runSecs / batched_t.runSecs, 2) + "x"});
+    out("\nresident shard bytes/node: %.1f (%zu nodes, %.1f MiB "
+        "total)\n",
+        bytes_per_node, total_nodes,
+        static_cast<double>(shard_bytes) / (1024.0 * 1024.0));
+    sink.add("slots_per_sec", slots_per_sec);
+    sink.add("scalar_slots_per_sec", chain_slots / scalar_t.runSecs);
+    sink.add("batch_kernel_speedup",
+             scalar_t.runSecs / batched_t.runSecs);
+    sink.add("build_secs", batched_t.buildSecs);
+    sink.add("bytes_per_node", bytes_per_node);
+    sink.add("reports_match_scalar", 1.0);
+
+    // ---- Section 2: thread-sweep bit-identity ----------------------
+    header("Thread sweep: chain-order shard merge bit-identity");
+    {
+        bool consistent = true;
+        double best_secs = batched_t.runSecs;
+        for (unsigned threads : {2u, 4u}) {
+            ScenarioConfig swept = cfg;
+            swept.threads = threads;
+            SystemReport r;
+            const TimedRun t_t = runTimed(swept, r);
+            best_secs = std::min(best_secs, t_t.runSecs);
+            if (!(r == batched))
+                consistent = false;
+            out("  --threads %u: %.2f s, bit-identical: %s\n", threads,
+                t_t.runSecs, r == batched ? "yes" : "NO");
+        }
+        sink.add("reports_consistent", consistent ? 1.0 : 0.0);
+        sink.add("best_threaded_slots_per_sec", chain_slots / best_secs);
+        if (!consistent) {
+            err("fleet_bench: thread sweep diverged on the SoA "
+                "layout\n");
+            return 1;
+        }
+    }
+
+    // ---- Section 3: snapshot resume on the SoA layout --------------
+    header("Snapshot resume: mid-horizon checkpoint, exact report");
+    {
+        namespace fs = std::filesystem;
+        const char *bench_dir = std::getenv("NEOFOG_BENCH_DIR");
+        const fs::path snap_dir =
+            fs::path(bench_dir ? bench_dir : ".") /
+            "fleet_bench_snapshots";
+        std::error_code ec;
+        fs::remove_all(snap_dir, ec);
+        fs::create_directories(snap_dir, ec);
+        if (ec) {
+            err("fleet_bench: cannot create %s\n",
+                snap_dir.string().c_str());
+            return 1;
+        }
+
+        // Snapshot a small slice of the fleet (resume reconstructs and
+        // re-runs it; the bit-identity claim is per-chain, so a slice
+        // proves the layout without doubling the fleet run).
+        ScenarioConfig snap_cfg = fleetScenario(
+            std::min<std::size_t>(chains, smoke ? 200 : 1'000),
+            nodes_per_chain, slots);
+        SystemReport uninterrupted;
+        runTimed(snap_cfg, uninterrupted);
+
+        const std::int64_t split = std::max<std::int64_t>(1, slots / 2);
+        snap_cfg.snapshot.everySlots = split;
+        snap_cfg.snapshot.dir = snap_dir.string();
+        SystemReport snapping;
+        runTimed(snap_cfg, snapping);
+        bool resume_ok = snapping == uninterrupted;
+
+        const std::string snap_path =
+            (snap_dir / snapshot::snapshotFileName(split)).string();
+        if (resume_ok && fs::exists(snap_path)) {
+            auto resumed = FogSystem::resume(snap_path);
+            resume_ok = resumed->resumeSlot() == split &&
+                        resumed->run() == uninterrupted;
+        } else {
+            resume_ok = false;
+        }
+        fs::remove_all(snap_dir, ec);
+        out("  resume at slot %lld bit-identical: %s\n",
+            static_cast<long long>(split), resume_ok ? "yes" : "NO");
+        sink.add("resume_bit_identical", resume_ok ? 1.0 : 0.0);
+        if (!resume_ok) {
+            err("fleet_bench: snapshot resume diverged on the SoA "
+                "layout\n");
+            return 1;
+        }
+    }
+
+    // ---- Section 4: batched StepMachine ----------------------------
+    header("Batched StepMachine: runBatch vs per-trace run");
+    {
+        const Tick horizon = smoke ? 10 * kMin : kHour;
+        const std::size_t machines = smoke ? 64 : 256;
+        // The production fleet shape: one shared rain stream behind a
+        // prefix table (see FogSystem), scaled per node.
+        const auto base = std::make_shared<CumulativeTrace>(
+            traces::makeRainUnitStream(7, horizon + kMin),
+            horizon + kMin);
+        Rng rng(99);
+        std::vector<std::unique_ptr<ScaledTrace>> owned;
+        std::vector<const PowerTrace *> traces;
+        owned.reserve(machines);
+        traces.reserve(machines);
+        for (std::size_t i = 0; i < machines; ++i) {
+            owned.push_back(std::make_unique<ScaledTrace>(
+                0.0026 * rng.uniform(0.5, 1.5), base));
+            traces.push_back(owned.back().get());
+        }
+
+        const NvProcessor nvp{NvProcessor::fiosConfig()};
+        IntermittentExecution::Config ff_cfg;
+        ff_cfg.frontend = FrontEnd::makeFios().config();
+
+        auto start = std::chrono::steady_clock::now();
+        std::vector<IntermittentExecution::Result> loop_results;
+        loop_results.reserve(machines);
+        for (const PowerTrace *trace : traces)
+            loop_results.push_back(
+                IntermittentExecution::run(nvp, *trace, horizon, ff_cfg));
+        const double loop_secs = seconds(start);
+
+        start = std::chrono::steady_clock::now();
+        const auto batch_results = IntermittentExecution::runBatch(
+            nvp, traces, horizon, ff_cfg);
+        const double batch_secs = seconds(start);
+
+        bool identical = batch_results.size() == loop_results.size();
+        for (std::size_t i = 0; identical && i < machines; ++i) {
+            const auto &a = loop_results[i];
+            const auto &b = batch_results[i];
+            identical = a.instructionsCompleted ==
+                            b.instructionsCompleted &&
+                        a.instructionsWasted == b.instructionsWasted &&
+                        a.powerCycles == b.powerCycles &&
+                        a.activeTime == b.activeTime &&
+                        a.overheadTime == b.overheadTime &&
+                        a.harvested == b.harvested &&
+                        a.spent == b.spent;
+        }
+        out("  %zu machines, %s horizon: loop %.3f s, batch %.3f s "
+            "(%.2fx), identical: %s\n",
+            machines, smoke ? "10 min" : "1 h", loop_secs, batch_secs,
+            loop_secs / std::max(batch_secs, 1e-9),
+            identical ? "yes" : "NO");
+        sink.add("runbatch_loop_secs", loop_secs);
+        sink.add("runbatch_batch_secs", batch_secs);
+        sink.add("runbatch_speedup",
+                 loop_secs / std::max(batch_secs, 1e-9));
+        sink.add("runbatch_identical", identical ? 1.0 : 0.0);
+        if (!identical) {
+            err("fleet_bench: runBatch diverged from per-trace run\n");
+            return 1;
+        }
+    }
+
+    if (smoke)
+        sink.note("mode", "smoke");
+    if (!sink.write())
+        return 1;
+    return smoke ? validateSink(sink) : 0;
+}

@@ -43,7 +43,8 @@ usage(const char *argv0)
         "(default forest)\n"
         "  --income-mw X             mean ambient income (default 2.6)\n"
         "  --nodes N                 logical nodes per chain "
-        "(default 10)\n"
+        "(default 10;\n"
+        "                            --nodes-per-chain is an alias)\n"
         "  --chains N                independent chains (default 1)\n"
         "  --hours X                 horizon (default 5)\n"
         "  --slot-s X                slot interval seconds "
@@ -75,6 +76,11 @@ usage(const char *argv0)
         "integration)\n"
         "  --cache-grid-s N          energy-cache grid seconds "
         "(default 1)\n"
+        "  --no-batch-kernel         per-node slot stepping instead "
+        "of the\n"
+        "                            batched SoA slot kernel (results "
+        "are\n"
+        "                            identical either way)\n"
         "  --dump-energy I           export node I's stored-energy "
         "series\n"
         "  --snapshot-every N        checkpoint every N slots "
@@ -215,7 +221,7 @@ main(int argc, char **argv)
         } else if (arg == "--income-mw") {
             cfg.meanIncome =
                 Power::fromMilliwatts(std::atof(next().c_str()));
-        } else if (arg == "--nodes") {
+        } else if (arg == "--nodes" || arg == "--nodes-per-chain") {
             cfg.nodesPerChain =
                 static_cast<std::size_t>(std::atoll(next().c_str()));
         } else if (arg == "--chains") {
@@ -260,6 +266,8 @@ main(int argc, char **argv)
                 static_cast<std::size_t>(std::atoll(next().c_str()));
         } else if (arg == "--no-energy-cache") {
             cfg.energyCache.enabled = false;
+        } else if (arg == "--no-batch-kernel") {
+            cfg.batchSlotKernel = false;
         } else if (arg == "--cache-grid-s") {
             cfg.energyCache.grid =
                 ticksFromSeconds(std::atof(next().c_str()));

@@ -8,6 +8,14 @@
 
 namespace neofog {
 
+void
+LbOutcome::reset()
+{
+    moves.clear();
+    messagesExchanged = 0;
+    failedRegions = 0;
+}
+
 std::vector<int>
 LbOutcome::apply(const std::vector<int> &pending) const
 {
@@ -24,12 +32,13 @@ LbOutcome::apply(const std::vector<int> &pending) const
     return out;
 }
 
-LbOutcome
-NoBalancer::balance(const std::vector<LbNodeState> &nodes, Rng &rng)
+void
+NoBalancer::balanceInto(const std::vector<LbNodeState> &nodes, Rng &rng,
+                        LbOutcome &out)
 {
     (void)nodes;
     (void)rng;
-    return {};
+    out.reset();
 }
 
 TreeBalancer::TreeBalancer()
@@ -101,16 +110,16 @@ TreeBalancer::balanceRegion(const std::vector<LbNodeState> &nodes,
     balanceRegion(nodes, load, mid, hi, out);
 }
 
-LbOutcome
-TreeBalancer::balance(const std::vector<LbNodeState> &nodes, Rng &rng)
+void
+TreeBalancer::balanceInto(const std::vector<LbNodeState> &nodes,
+                          Rng &rng, LbOutcome &out)
 {
     (void)rng;
-    LbOutcome out;
+    out.reset();
     std::vector<double> load(nodes.size());
     for (std::size_t i = 0; i < nodes.size(); ++i)
         load[i] = nodes[i].pendingTasks;
     balanceRegion(nodes, load, 0, nodes.size(), out);
-    return out;
 }
 
 DistributedBalancer::DistributedBalancer()
@@ -127,11 +136,11 @@ DistributedBalancer::DistributedBalancer(const Config &cfg)
         fatal("quantaPerUnit must be positive");
 }
 
-LbOutcome
-DistributedBalancer::balance(const std::vector<LbNodeState> &nodes,
-                             Rng &rng)
+void
+DistributedBalancer::balanceInto(const std::vector<LbNodeState> &nodes,
+                                 Rng &rng, LbOutcome &out)
 {
-    LbOutcome out;
+    out.reset();
     const std::size_t n = nodes.size();
     std::vector<double> load(n);
     std::vector<double> spare(n);
@@ -236,7 +245,6 @@ DistributedBalancer::balance(const std::vector<LbNodeState> &nodes,
         if (!moved_any)
             break;
     }
-    return out;
 }
 
 ClusterBalancer::ClusterBalancer()
@@ -251,12 +259,12 @@ ClusterBalancer::ClusterBalancer(const Config &cfg)
         fatal("cluster size must be >= 2");
 }
 
-LbOutcome
-ClusterBalancer::balance(const std::vector<LbNodeState> &nodes,
-                         Rng &rng)
+void
+ClusterBalancer::balanceInto(const std::vector<LbNodeState> &nodes,
+                             Rng &rng, LbOutcome &out)
 {
     (void)rng;
-    LbOutcome out;
+    out.reset();
     const std::size_t n = nodes.size();
     std::vector<double> load(n);
     for (std::size_t i = 0; i < n; ++i)
@@ -304,7 +312,6 @@ ClusterBalancer::balance(const std::vector<LbNodeState> &nodes,
             }
         }
     }
-    return out;
 }
 
 std::unique_ptr<LoadBalancer>

@@ -65,6 +65,9 @@ struct LbOutcome
     /** Regions that failed to balance (coordinator dead, interrupt). */
     int failedRegions = 0;
 
+    /** Clear counters and moves, keeping the moves' capacity. */
+    void reset();
+
     /** Apply the moves to a pending-task vector. */
     std::vector<int> apply(const std::vector<int> &pending) const;
 };
@@ -78,12 +81,25 @@ class LoadBalancer
     virtual ~LoadBalancer() = default;
 
     /**
-     * Decide task moves for one round.
+     * Decide task moves for one round, writing into caller-owned
+     * storage: @p out is reset() first, so a per-slot caller reuses
+     * its moves capacity instead of allocating a fresh outcome every
+     * round (the fleet-scale hot path).
      * @param nodes Per-node shared state, in chain order.
      * @param rng Stream for stochastic behaviours (interrupts).
+     * @param out Receives the round's outcome.
      */
-    virtual LbOutcome balance(const std::vector<LbNodeState> &nodes,
-                              Rng &rng) = 0;
+    virtual void balanceInto(const std::vector<LbNodeState> &nodes,
+                             Rng &rng, LbOutcome &out) = 0;
+
+    /** Convenience wrapper returning a fresh outcome. */
+    LbOutcome
+    balance(const std::vector<LbNodeState> &nodes, Rng &rng)
+    {
+        LbOutcome out;
+        balanceInto(nodes, rng, out);
+        return out;
+    }
 
     virtual std::string name() const = 0;
 };
@@ -92,8 +108,8 @@ class LoadBalancer
 class NoBalancer : public LoadBalancer
 {
   public:
-    LbOutcome balance(const std::vector<LbNodeState> &nodes,
-                      Rng &rng) override;
+    void balanceInto(const std::vector<LbNodeState> &nodes, Rng &rng,
+                     LbOutcome &out) override;
     std::string name() const override { return "none"; }
 };
 
@@ -118,8 +134,8 @@ class TreeBalancer : public LoadBalancer
     TreeBalancer();
     explicit TreeBalancer(const Config &cfg);
 
-    LbOutcome balance(const std::vector<LbNodeState> &nodes,
-                      Rng &rng) override;
+    void balanceInto(const std::vector<LbNodeState> &nodes, Rng &rng,
+                     LbOutcome &out) override;
     std::string name() const override { return "baseline-tree"; }
 
   private:
@@ -161,8 +177,8 @@ class DistributedBalancer : public LoadBalancer
     DistributedBalancer();
     explicit DistributedBalancer(const Config &cfg);
 
-    LbOutcome balance(const std::vector<LbNodeState> &nodes,
-                      Rng &rng) override;
+    void balanceInto(const std::vector<LbNodeState> &nodes, Rng &rng,
+                     LbOutcome &out) override;
     std::string name() const override { return "neofog-distributed"; }
 
     const Config &config() const { return _cfg; }
@@ -195,8 +211,8 @@ class ClusterBalancer : public LoadBalancer
     ClusterBalancer();
     explicit ClusterBalancer(const Config &cfg);
 
-    LbOutcome balance(const std::vector<LbNodeState> &nodes,
-                      Rng &rng) override;
+    void balanceInto(const std::vector<LbNodeState> &nodes, Rng &rng,
+                     LbOutcome &out) override;
     std::string name() const override { return "cluster-head"; }
 
   private:

@@ -1,5 +1,7 @@
 #include "fog/chain_engine.hh"
 
+#include <algorithm>
+
 #include "energy/power_trace.hh"
 #include "net/mac.hh"
 #include "net/packet.hh"
@@ -18,6 +20,12 @@ ChainEngine::ChainEngine(const ScenarioConfig &cfg,
     const auto mux = static_cast<std::size_t>(_cfg.multiplexing);
     std::uint32_t next_id = first_node_id;
     _nodes.reserve(_cfg.nodesPerChain * mux);
+    // All mutable node state lives in the chain's shard; size it for
+    // the whole chain up front so node construction never reallocates
+    // (the facades keep raw row pointers into these arrays).
+    _soa.reserveRows(_cfg.nodesPerChain * mux,
+                     static_cast<std::size_t>(std::max(
+                         1, _cfg.nodeTemplate.packageDeadlineSlots)));
     for (std::size_t l = 0; l < _cfg.nodesPerChain; ++l) {
         std::vector<std::size_t> members;
         for (std::size_t m = 0; m < mux; ++m) {
@@ -27,13 +35,23 @@ ChainEngine::ChainEngine(const ScenarioConfig &cfg,
             ncfg.rtc.interval = _cfg.slotInterval;
             members.push_back(_nodes.size());
             _nodes.push_back(std::make_unique<Node>(
-                ncfg, makeTrace(), _rng.fork()));
+                ncfg, makeTrace(), _rng.fork(), _soa));
         }
         _groups.emplace_back(l, std::move(members));
     }
     _aliveLastSlot.assign(_cfg.nodesPerChain, true);
     _scheduled.reserve(_groups.size());
+    _lbStates.reserve(_groups.size());
+    _lbOutcome.moves.reserve(_groups.size());
+    _windowMemo.reserve(4);
     _balancerIsNoop = _balancer->name() == "none";
+
+    // What the batched slot kernel can hoist: identical constant
+    // levels, or per-node scalings of the scenario's shared stream.
+    if (_cfg.traceKind == TraceKind::Constant)
+        _hoist = IncomeHoist::Constant;
+    else if (_cfg.traceKind == TraceKind::RainLow && _sharedTrace)
+        _hoist = IncomeHoist::SharedScaled;
 
     // Each logical slot schedules exactly one clone, so a physical
     // node records ~horizon/slotInterval/mux energy points; pre-size
@@ -123,8 +141,13 @@ ChainEngine::runSlot(std::int64_t slot_index)
     for (const CloneGroup &g : _groups)
         scheduled.push_back(_nodes[g.memberForSlot(slot_index)].get());
 
+    if (_cfg.batchSlotKernel && _hoist != IncomeHoist::None) {
+        beginSlotBatch(scheduled, t);
+    } else {
+        for (Node *n : scheduled)
+            n->beginSlot(t, _cfg.slotInterval);
+    }
     for (Node *n : scheduled) {
-        n->beginSlot(t, _cfg.slotInterval);
         n->recordEnergyPoint(t);
         // A volatile node loses buffered-but-unprocessed data at
         // power-off; NV buffers persist.
@@ -161,6 +184,49 @@ ChainEngine::runSlot(std::int64_t slot_index)
 
     if (_cfg.probes.enabled)
         sampleProbe(slot_index, t);
+}
+
+void
+ChainEngine::beginSlotBatch(const std::vector<Node *> &scheduled, Tick t)
+{
+    const Tick slot_end = t + _cfg.slotInterval;
+    _windowMemo.clear();
+
+    // Integral of the shared unit stream (SharedScaled) or of the one
+    // constant level every node sees (Constant) over a window.  A slot
+    // produces only a handful of distinct windows — the slot itself
+    // plus the accrual gaps of multiplexed clones — so a linear scan
+    // of the memo beats any hashing.
+    const auto unitIntegral = [&](Tick from, Tick to) -> Energy {
+        for (const IncomeWindow &w : _windowMemo)
+            if (w.from == from && w.to == to)
+                return w.unit;
+        const Energy u = _hoist == IncomeHoist::SharedScaled
+            ? _sharedTrace->integrate(from, to)
+            : scheduled.front()->trace().integrate(from, to);
+        _windowMemo.push_back({from, to, u});
+        return u;
+    };
+    // Exactly what the node's own trace would integrate: ConstantTrace
+    // integration is a pure function of the shared level, and
+    // ScaledTrace::integrate is base-integral * scale by definition.
+    const auto nodeIncome = [&](const Node &n, Tick from,
+                                Tick to) -> Energy {
+        const Energy u = unitIntegral(from, to);
+        if (_hoist == IncomeHoist::SharedScaled)
+            return u * static_cast<const ScaledTrace &>(n.trace())
+                           .scale();
+        return u;
+    };
+
+    for (Node *n : scheduled) {
+        Energy gap = Energy::zero();
+        const Tick last = n->lastAccrualTime();
+        if (t > last)
+            gap = nodeIncome(*n, last, t);
+        n->beginSlotWithIncome(t, _cfg.slotInterval, gap,
+                               nodeIncome(*n, t, slot_end));
+    }
 }
 
 void
@@ -356,7 +422,10 @@ ChainEngine::balance(std::vector<Node *> &scheduled)
     }
 
     Rng lb_rng = _rng.fork();
-    const LbOutcome outcome = _balancer->balance(states, lb_rng);
+    // Engine-owned scratch outcome: balanceInto reuses the moves
+    // capacity across slots instead of allocating a fresh vector.
+    _balancer->balanceInto(states, lb_rng, _lbOutcome);
+    const LbOutcome &outcome = _lbOutcome;
     _shard.lbMessages +=
         static_cast<std::uint64_t>(outcome.messagesExchanged);
     _shard.lbFailedRegions +=

@@ -101,6 +101,9 @@ class ChainEngine
     const std::vector<std::unique_ptr<Node>> &nodes() const
     { return _nodes; }
 
+    /** The chain's SoA state arrays (memory accounting, diagnostics). */
+    const NodeShard &soa() const { return _soa; }
+
     const Node &node(std::size_t physical_idx) const;
 
     /**
@@ -127,6 +130,30 @@ class ChainEngine
   private:
     /** Build the trace for one physical node. */
     std::unique_ptr<PowerTrace> makeTrace();
+
+    /**
+     * What the batched slot kernel can hoist out of the per-node
+     * beginSlot loop, decided once at construction from the trace
+     * shape (see beginSlotBatch).
+     */
+    enum class IncomeHoist
+    {
+        None,         ///< per-node traces are unrelated: no hoist
+        Constant,     ///< every node sees one identical constant level
+        SharedScaled, ///< per-node ScaledTrace views of one shared base
+    };
+
+    /**
+     * Batched beginSlot over the scheduled nodes: integrate each
+     * distinct accrual window once (per chain, per slot) and feed
+     * every node the shared integral through beginSlotWithIncome.
+     * Bit-identical to calling node->beginSlot(t, slotInterval) per
+     * node — Constant hoisting reuses the same pure integral every
+     * node would compute, SharedScaled multiplies the shared base
+     * integral by the node's scale exactly as ScaledTrace::integrate
+     * does.  Only called when _hoist != None and cfg.batchSlotKernel.
+     */
+    void beginSlotBatch(const std::vector<Node *> &scheduled, Tick t);
 
     /** Rotate NVD4Q clone groups at the configured frequency. */
     void updateMembership(std::int64_t slot_index);
@@ -173,6 +200,16 @@ class ChainEngine
      */
     std::shared_ptr<const PowerTrace> _sharedTrace;
 
+    /** Hoist the batched slot kernel can apply (set at construction). */
+    IncomeHoist _hoist = IncomeHoist::None;
+
+    /**
+     * SoA state of every node in this chain (see node_soa.hh).  Must
+     * be declared before _nodes: the Node facades point into these
+     * arrays and must be destroyed first.
+     */
+    NodeShard _soa;
+
     /** Physical nodes of this chain, in id order. */
     std::vector<std::unique_ptr<Node>> _nodes;
     /** Clone groups (size nodesPerChain). */
@@ -187,6 +224,17 @@ class ChainEngine
      */
     std::vector<Node *> _scheduled;
     std::vector<LbNodeState> _lbStates;
+    LbOutcome _lbOutcome;
+
+    /** One accrual window the batched slot kernel integrated. */
+    struct IncomeWindow
+    {
+        Tick from;
+        Tick to;
+        Energy unit; ///< shared-trace (or constant-level) integral
+    };
+    /** Windows integrated this slot (scratch for beginSlotBatch). */
+    std::vector<IncomeWindow> _windowMemo;
 
     SystemReport _shard;
     ChainProbe _probe;

@@ -150,6 +150,19 @@ struct ScenarioConfig
      */
     unsigned threads = 1;
 
+    /**
+     * Batched slot kernel: when a chain's node traces share structure
+     * (one constant level, or per-node scalings of one shared stream),
+     * ChainEngine hoists the per-slot trace integration out of the
+     * per-node loop and feeds every node the shared closed-form
+     * integral (see DESIGN.md, "Memory layout: chain shards and the
+     * batched slot kernel").  The hoisted arithmetic is bit-identical
+     * to the per-node path, so — like `threads` — this is host-local
+     * operational configuration: excluded from the scenario
+     * fingerprint, changeable on resume, never affects results.
+     */
+    bool batchSlotKernel = true;
+
     /** Ideal package count: logical nodes x chains x slots. */
     std::uint64_t idealPackages() const;
     /** Slots in the horizon. */

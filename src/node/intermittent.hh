@@ -23,6 +23,7 @@
 #define NEOFOG_NODE_INTERMITTENT_HH
 
 #include <cstdint>
+#include <vector>
 
 #include "energy/capacitor.hh"
 #include "energy/frontend.hh"
@@ -117,6 +118,33 @@ class IntermittentExecution
     /** run() with the default configuration. */
     static Result run(const Processor &cpu, const PowerTrace &trace,
                       Tick horizon);
+
+    /**
+     * Batched run(): one machine per entry of @p traces, all driven by
+     * @p cpu over the same horizon, with the constant-income segment
+     * walk hoisted out of the per-machine loop.  All traces must share
+     * constant-level *segmentation* — ScaledTrace views of one shared
+     * base, repeated pointers to one trace, or constant traces (the
+     * levels may differ; only the boundary grid must agree).  That is
+     * exactly the shape a chain shard produces, where every node scales
+     * one shared ambient stream.  The shared segment walk is hoisted
+     * out of the per-machine loop: the boundary list is enumerated
+     * once from the first trace, and each machine answers its
+     * constantLevelUntil() queries with a monotonically advancing
+     * cursor over that (cache-hot) list instead of a per-query
+     * segment search.
+     *
+     * Results are bit-identical to calling run() per trace: a cursor
+     * answer is exactly the value the machine's own lookup would
+     * return (constantLevelUntil is constant within a segment), and
+     * every other operation is the unmodified per-machine sequence.
+     * Traces that are not piecewise-constant inside the horizon drop
+     * the hoist and are queried directly.
+     */
+    static std::vector<Result>
+    runBatch(const Processor &cpu,
+             const std::vector<const PowerTrace *> &traces, Tick horizon,
+             const Config &cfg);
 
     /**
      * Convenience: the NVP/VP forward-progress ratio on one trace —

@@ -91,6 +91,14 @@ makeFrontEnd(OperatingMode mode)
                                              : FrontEnd::makeNos();
 }
 
+/** Pending-queue depth of a node (its freshness deadline, >= 1). */
+std::size_t
+pendingDepthOf(const Node::Config &cfg)
+{
+    return static_cast<std::size_t>(
+        std::max(1, cfg.packageDeadlineSlots));
+}
+
 } // namespace
 
 namespace {
@@ -101,30 +109,52 @@ constexpr std::uint64_t kControlInstructions = 1000;
 } // namespace
 
 Node::Node(const Config &cfg, std::unique_ptr<PowerTrace> trace, Rng rng)
+    : Node(cfg, std::move(trace), rng, static_cast<NodeShard *>(nullptr))
+{
+}
+
+Node::Node(const Config &cfg, std::unique_ptr<PowerTrace> trace, Rng rng,
+           NodeShard &shard)
+    : Node(cfg, std::move(trace), rng, &shard)
+{
+}
+
+Node::Node(const Config &cfg, std::unique_ptr<PowerTrace> trace, Rng rng,
+           NodeShard *shard)
     : _cfg(cfg), _trace(std::move(trace)), _rng(rng),
-      _frontend(makeFrontEnd(cfg.mode)), _cap(cfg.cap), _rtc(cfg.rtc),
-      _cpu(makeProcessor(cfg)), _rf(makeRadio(cfg)),
-      _sensor(cfg.sensor), _buffer(cfg.buffer)
+      _frontend(makeFrontEnd(cfg.mode)), _cpu(makeProcessor(cfg))
 {
     if (!_trace)
         fatal("node ", cfg.id, " needs a power trace");
     if (_cfg.rawPackageBytes == 0 || _cfg.samplesPerPackage == 0)
         fatal("package shape must be nonzero");
 
+    if (shard == nullptr) {
+        // Standalone node: its one-row shard lives on this object's
+        // heap, so the facade stays movable (the pointer into the
+        // owned shard survives a move of the Node).
+        _ownShard = std::make_unique<NodeShard>();
+        _ownShard->reserveRows(1, pendingDepthOf(cfg));
+        shard = _ownShard.get();
+    }
+    _shard = shard;
+    _row = _shard->addRow(cfg.cap, cfg.rtc, cfg.sensor, cfg.buffer,
+                          pendingDepthOf(cfg), makeRadio(cfg));
+
     _traceFast = _trace->hasFastIntegrate();
     _wakeCostConst = _cpu->wakeEnergy() +
                      _cpu->computeEnergy(kControlInstructions);
     const double samples = static_cast<double>(_cfg.samplesPerPackage);
-    _sampleCostConst = _sensor.spec().initEnergy() +
-                       _sensor.spec().sampleEnergy() * samples +
-                       _buffer.writeEnergy(_cfg.rawPackageBytes);
+    _sampleCostConst = sensorRow().spec().initEnergy() +
+                       sensorRow().spec().sampleEnergy() * samples +
+                       bufferRow().writeEnergy(_cfg.rawPackageBytes);
     const std::size_t payload = _cfg.mode == OperatingMode::NosVp
         ? _cfg.rawPackageBytes
         : _cfg.compressedPackageBytes;
     _txPackageEnergy =
-        _rf->txCost(payload + kFrameOverheadBytes).energy;
+        rfRow().txCost(payload + kFrameOverheadBytes).energy;
     _txCompressedDuration =
-        _rf->txCost(_cfg.compressedPackageBytes + kFrameOverheadBytes)
+        rfRow().txCost(_cfg.compressedPackageBytes + kFrameOverheadBytes)
             .duration;
 }
 
@@ -141,77 +171,100 @@ Node::accrueIncome(Tick from, Tick to)
 void
 Node::beginSlot(Tick slot_start, Tick slot_length)
 {
-    NEOFOG_ASSERT(slot_start >= _lastAccrual,
+    NEOFOG_ASSERT(slot_start >= lastAccrualTime(),
                   "beginSlot must move forward in time");
     NEOFOG_ASSERT(slot_length > 0, "slot length must be positive");
 
+    // Integrate income first (gap window, then slot window, so a
+    // streaming cursor advances monotonically), then run the shared
+    // banking arithmetic.  The integrals never touch capacitor/RTC
+    // state, so splitting them out is order-safe.
+    Energy gap_ambient = Energy::zero();
+    if (slot_start > lastAccrualTime())
+        gap_ambient = accrueIncome(lastAccrualTime(), slot_start);
+    const Energy slot_ambient =
+        accrueIncome(slot_start, slot_start + slot_length);
+    beginSlotWithIncome(slot_start, slot_length, gap_ambient,
+                        slot_ambient);
+}
+
+void
+Node::beginSlotWithIncome(Tick slot_start, Tick slot_length,
+                          Energy gap_ambient, Energy slot_ambient)
+{
+    NodeShard &s = *_shard;
+    NEOFOG_ASSERT(slot_start >= s.lastAccrual[_row],
+                  "beginSlot must move forward in time");
+    NEOFOG_ASSERT(slot_length > 0, "slot length must be positive");
+
+    SuperCapacitor &cap = s.cap[_row];
+    Rtc &rtc = s.rtc[_row];
+    NodeStats &st = s.stats[_row];
+
     // Unused direct-channel income from the previous slot flows into
     // the capacitor through the charge path instead.
-    if (_directBudget > Energy::zero()) {
+    if (s.directBudget[_row] > Energy::zero()) {
         const double direct_eff =
             _frontend.config().harvestEfficiency *
             _frontend.config().directEfficiency;
-        const Energy raw = _directBudget / direct_eff;
-        _cap.charge(_frontend.incomeToCap(raw));
-        _directBudget = Energy::zero();
+        const Energy raw = s.directBudget[_row] / direct_eff;
+        cap.charge(_frontend.incomeToCap(raw));
+        s.directBudget[_row] = Energy::zero();
     }
 
     // Income over any gap (multiplexed nodes sleep through slots).
-    if (slot_start > _lastAccrual) {
-        const Energy gap_ambient =
-            accrueIncome(_lastAccrual, slot_start);
-        _stats.harvestedTotal += gap_ambient;
+    if (slot_start > s.lastAccrual[_row]) {
+        st.harvestedTotal += gap_ambient;
         const Energy rtc_share =
-            gap_ambient * _rtc.config().chargePriority;
-        _rtc.advance(slot_start - _lastAccrual,
-                     rtc_share * _frontend.config().harvestEfficiency);
-        _cap.charge(_frontend.incomeToCap(gap_ambient - rtc_share));
-        _cap.leak(slot_start - _lastAccrual);
+            gap_ambient * rtc.config().chargePriority;
+        rtc.advance(slot_start - s.lastAccrual[_row],
+                    rtc_share * _frontend.config().harvestEfficiency);
+        cap.charge(_frontend.incomeToCap(gap_ambient - rtc_share));
+        cap.leak(slot_start - s.lastAccrual[_row]);
     }
 
     // Income arriving during this slot window.
     const Tick slot_end = slot_start + slot_length;
-    const Energy slot_ambient = accrueIncome(slot_start, slot_end);
-    _stats.harvestedTotal += slot_ambient;
+    st.harvestedTotal += slot_ambient;
     const Energy rtc_share =
-        slot_ambient * _rtc.config().chargePriority;
-    _rtc.advance(slot_length,
-                 rtc_share * _frontend.config().harvestEfficiency);
+        slot_ambient * rtc.config().chargePriority;
+    rtc.advance(slot_length,
+                rtc_share * _frontend.config().harvestEfficiency);
     const Energy usable = slot_ambient - rtc_share;
 
     if (_cfg.mode == OperatingMode::FiosNvMote) {
-        _directBudget = _frontend.incomeToLoadDirect(usable);
+        s.directBudget[_row] = _frontend.incomeToLoadDirect(usable);
     } else {
-        _cap.charge(_frontend.incomeToCap(usable));
-        _directBudget = Energy::zero();
+        cap.charge(_frontend.incomeToCap(usable));
+        s.directBudget[_row] = Energy::zero();
     }
-    _cap.leak(slot_length);
+    cap.leak(slot_length);
 
-    _lastIncome = Power::fromWatts(slot_ambient.joules() /
-                                   secondsFromTicks(slot_length));
-    _slotCostsValid = false; // income changed; cost memos are stale
-    _lastAccrual = slot_end;
-    _slotStart = slot_start;
-    _slotLength = slot_length;
-    _slotTimeUsed = 0;
-    _awake = false;
-    _rfInitializedThisSlot = false;
+    s.lastIncome[_row] = Power::fromWatts(slot_ambient.joules() /
+                                          secondsFromTicks(slot_length));
+    s.slotCostsValid[_row] = 0; // income changed; cost memos are stale
+    s.lastAccrual[_row] = slot_end;
+    s.slotStart[_row] = slot_start;
+    s.slotLength[_row] = slot_length;
+    s.slotTimeUsed[_row] = 0;
+    s.awake[_row] = 0;
+    s.rfInitializedThisSlot[_row] = 0;
 
     // Age the pending queue; packages past the freshness deadline are
-    // stale and discarded.
-    if (_pendingByAge.empty())
-        _pendingByAge.assign(
-            static_cast<std::size_t>(
-                std::max(1, _cfg.packageDeadlineSlots)), 0);
-    const int stale = _pendingByAge.back();
-    for (std::size_t a = _pendingByAge.size() - 1; a > 0; --a)
-        _pendingByAge[a] = _pendingByAge[a - 1];
-    _pendingByAge[0] = 0;
+    // stale and discarded.  (The window is allocated at construction,
+    // sized from the freshness deadline — the slot loop never grows
+    // it.)
+    int *const ages = s.pendingAge.data() + s.pendingOffset[_row];
+    const std::size_t depth = s.pendingDepth[_row];
+    const int stale = ages[depth - 1];
+    for (std::size_t a = depth - 1; a > 0; --a)
+        ages[a] = ages[a - 1];
+    ages[0] = 0;
     if (stale > 0) {
-        _pendingPackages -= stale;
-        _buffer.pop(static_cast<std::size_t>(stale) *
-                    _cfg.rawPackageBytes);
-        _stats.samplesDiscarded.increment(
+        s.pendingPackages[_row] -= stale;
+        s.buffer[_row].pop(static_cast<std::size_t>(stale) *
+                           _cfg.rawPackageBytes);
+        st.samplesDiscarded.increment(
             static_cast<std::uint64_t>(stale));
     }
 
@@ -219,8 +272,8 @@ Node::beginSlot(Tick slot_start, Tick slot_length)
     // lose their configuration.  (The FIOS node also sees power cycles,
     // but its sensor path is kept warm by the NV buffer controller; the
     // re-init cost is modeled identically since it is tiny either way.)
-    _sensor.onPowerFailure();
-    _rf->onPowerFailure();
+    s.sensor[_row].onPowerFailure();
+    s.rf[_row]->onPowerFailure();
 }
 
 Energy
@@ -251,48 +304,49 @@ Node::sampleCost() const
 void
 Node::refreshSlotCosts() const
 {
-    if (_slotCostsValid)
+    NodeShard &s = *_shard;
+    if (s.slotCostsValid[_row])
         return;
     if (_cfg.mode == OperatingMode::NosVp) {
-        _slotTaskCost =
+        s.slotTaskCost[_row] =
             _cpu->computeEnergy(_cfg.naiveInstructionsPerPackage);
-        _slotTaskTime =
+        s.slotTaskTime[_row] =
             _cpu->computeTime(_cfg.naiveInstructionsPerPackage);
     } else {
         const auto *nvp = static_cast<const NvProcessor *>(_cpu.get());
-        _slotTaskCost = nvp->effectiveComputeEnergy(
-            _cfg.fogInstructionsPerPackage, _lastIncome);
+        s.slotTaskCost[_row] = nvp->effectiveComputeEnergy(
+            _cfg.fogInstructionsPerPackage, s.lastIncome[_row]);
         Tick t = _cpu->computeTime(_cfg.fogInstructionsPerPackage);
         if (_cfg.enableFrequencyScaling) {
             const double scale =
-                nvp->spendthrift().frequencyScale(_lastIncome);
+                nvp->spendthrift().frequencyScale(s.lastIncome[_row]);
             t = static_cast<Tick>(static_cast<double>(t) / scale);
         }
-        _slotTaskTime = t;
+        s.slotTaskTime[_row] = t;
     }
-    _slotCostsValid = true;
+    s.slotCostsValid[_row] = 1;
 }
 
 Energy
 Node::taskCost() const
 {
     refreshSlotCosts();
-    return _slotTaskCost;
+    return _shard->slotTaskCost[_row];
 }
 
 Tick
 Node::taskComputeTime() const
 {
     refreshSlotCosts();
-    return _slotTaskTime;
+    return _shard->slotTaskTime[_row];
 }
 
 Energy
 Node::packageTxCost() const
 {
     Energy e = _txPackageEnergy;
-    if (!_rfInitializedThisSlot)
-        e += _rf->initCost().energy;
+    if (!_shard->rfInitializedThisSlot[_row])
+        e += rfRow().initCost().energy;
     return e;
 }
 
@@ -305,18 +359,19 @@ Node::slotCost() const
 bool
 Node::canCompleteOnePackage() const
 {
+    const NodeShard &s = *_shard;
     const Energy task = taskCost();
     const Energy tx = packageTxCost();
     // The task may draw the direct channel; the transmission may not.
-    const Energy direct_used = std::min(task, _directBudget);
+    const Energy direct_used = std::min(task, s.directBudget[_row]);
     const Energy cap_needed =
         _frontend.capCostForLoad((task - direct_used) + tx);
-    if (_cap.stored() < cap_needed)
+    if (s.cap[_row].stored() < cap_needed)
         return false;
     const Tick need_time = taskComputeTime() + _txCompressedDuration +
-                           (_rfInitializedThisSlot
-                                ? 0 : _rf->initCost().duration);
-    return _slotTimeUsed + need_time <= _slotLength;
+                           (s.rfInitializedThisSlot[_row]
+                                ? 0 : s.rf[_row]->initCost().duration);
+    return s.slotTimeUsed[_row] + need_time <= s.slotLength[_row];
 }
 
 void
@@ -331,9 +386,9 @@ bool
 Node::canAfford(Energy e, bool direct_eligible) const
 {
     Energy deliverable =
-        _cap.stored() * _frontend.config().dischargeEfficiency;
+        capRow().stored() * _frontend.config().dischargeEfficiency;
     if (direct_eligible)
-        deliverable += _directBudget;
+        deliverable += _shard->directBudget[_row];
     return deliverable >= e;
 }
 
@@ -342,15 +397,16 @@ Node::spend(Energy e, bool direct_eligible)
 {
     if (!canAfford(e, direct_eligible))
         return false;
+    Energy &direct = _shard->directBudget[_row];
     Energy rest = e;
-    if (direct_eligible && _directBudget > Energy::zero()) {
-        const Energy from_direct = std::min(rest, _directBudget);
-        _directBudget -= from_direct;
+    if (direct_eligible && direct > Energy::zero()) {
+        const Energy from_direct = std::min(rest, direct);
+        direct -= from_direct;
         rest -= from_direct;
     }
     if (rest > Energy::zero()) {
         const Energy cap_cost = _frontend.capCostForLoad(rest);
-        const bool ok = _cap.tryDischarge(cap_cost);
+        const bool ok = capRow().tryDischarge(cap_cost);
         NEOFOG_ASSERT(ok, "spend() affordability check out of sync");
     }
     return true;
@@ -372,39 +428,42 @@ Node::classify() const
 bool
 Node::tryWake()
 {
-    NEOFOG_ASSERT(!_awake, "tryWake called twice in a slot");
+    NodeShard &s = *_shard;
+    NodeStats &st = s.stats[_row];
+    NEOFOG_ASSERT(!s.awake[_row], "tryWake called twice in a slot");
 
     if (classify() == EnergyClass::Dead) {
-        _stats.depletionFailures.increment();
+        st.depletionFailures.increment();
         return false;
     }
 
     // A desynchronized RTC means the node must first listen long
     // enough to re-acquire the network's slot grid.
-    if (!_rtc.synchronized()) {
-        const Energy resync = _rtc.config().resyncEnergy;
+    Rtc &rtc = s.rtc[_row];
+    if (!rtc.synchronized()) {
+        const Energy resync = rtc.config().resyncEnergy;
         if (!spend(resync, false)) {
-            _stats.depletionFailures.increment();
+            st.depletionFailures.increment();
             return false;
         }
-        _stats.spentRx += resync;
-        _slotTimeUsed += _rtc.config().resyncListen;
-        _rtc.resynchronize();
-        _stats.rtcResyncs.increment();
+        st.spentRx += resync;
+        s.slotTimeUsed[_row] += rtc.config().resyncListen;
+        rtc.resynchronize();
+        st.rtcResyncs.increment();
     }
 
     const Energy wake = wakeCost();
     if (!spend(wake, false)) {
-        _stats.depletionFailures.increment();
+        st.depletionFailures.increment();
         return false;
     }
-    _stats.spentWake += wake;
-    const Tick wake_start = _slotStart + _slotTimeUsed;
+    st.spentWake += wake;
+    const Tick wake_start = s.slotStart[_row] + s.slotTimeUsed[_row];
     const Tick wake_time = _cpu->wakeLatency() +
                            _cpu->computeTime(kControlInstructions);
-    _slotTimeUsed += wake_time;
-    _awake = true;
-    _stats.wakeups.increment();
+    s.slotTimeUsed[_row] += wake_time;
+    s.awake[_row] = 1;
+    st.wakeups.increment();
     notifyPhase(NodeObserver::Phase::Wake, wake_start, wake_time, wake);
     return true;
 }
@@ -412,41 +471,44 @@ Node::tryWake()
 bool
 Node::samplePackage()
 {
-    NEOFOG_ASSERT(_awake, "sampling while asleep");
+    NodeShard &s = *_shard;
+    NodeStats &st = s.stats[_row];
+    Sensor &sensor = s.sensor[_row];
+    NEOFOG_ASSERT(s.awake[_row], "sampling while asleep");
     Sensor::Cost init{};
-    if (!_sensor.initialized()) {
+    if (!sensor.initialized()) {
         // Peek the cost without committing sensor state yet.
-        init = {_sensor.spec().initLatency, _sensor.spec().initEnergy()};
+        init = {sensor.spec().initLatency, sensor.spec().initEnergy()};
     }
     const double n = static_cast<double>(_cfg.samplesPerPackage);
     const Energy total = init.energy +
-                         _sensor.spec().sampleEnergy() * n +
-                         _buffer.writeEnergy(_cfg.rawPackageBytes);
+                         sensor.spec().sampleEnergy() * n +
+                         s.buffer[_row].writeEnergy(_cfg.rawPackageBytes);
     const Tick time =
         init.duration +
         static_cast<Tick>(n * static_cast<double>(
-                                  _sensor.spec().sampleLatency));
-    if (_slotTimeUsed + time > _slotLength)
+                                  sensor.spec().sampleLatency));
+    if (s.slotTimeUsed[_row] + time > s.slotLength[_row])
         return false;
     // A full NV buffer discards the new sample (paper §5.1: data are
     // discarded when the node lacks energy to drain the buffer).
     if (pendingCapacity() == 0) {
-        _stats.samplesDiscarded.increment();
+        st.samplesDiscarded.increment();
         return false;
     }
     if (!spend(total, false)) {
-        _stats.samplesDiscarded.increment();
+        st.samplesDiscarded.increment();
         return false;
     }
-    if (!_sensor.initialized())
-        _sensor.initialize();
-    _stats.spentSample += total;
-    notifyPhase(NodeObserver::Phase::Sample, _slotStart + _slotTimeUsed,
-                time, total);
-    _slotTimeUsed += time;
-    _buffer.push(_cfg.rawPackageBytes);
+    if (!sensor.initialized())
+        sensor.initialize();
+    st.spentSample += total;
+    notifyPhase(NodeObserver::Phase::Sample,
+                s.slotStart[_row] + s.slotTimeUsed[_row], time, total);
+    s.slotTimeUsed[_row] += time;
+    s.buffer[_row].push(_cfg.rawPackageBytes);
     pushPending(1);
-    _stats.packagesSampled.increment();
+    st.packagesSampled.increment();
     return true;
 }
 
@@ -454,48 +516,49 @@ void
 Node::pushPending(int n)
 {
     NEOFOG_ASSERT(n >= 0, "pushPending negative");
-    if (_pendingByAge.empty())
-        _pendingByAge.assign(
-            static_cast<std::size_t>(
-                std::max(1, _cfg.packageDeadlineSlots)), 0);
-    _pendingByAge[0] += n;
-    _pendingPackages += n;
+    NodeShard &s = *_shard;
+    s.pendingAge[s.pendingOffset[_row]] += n;
+    s.pendingPackages[_row] += n;
 }
 
 int
 Node::popOldestPending(int n)
 {
     NEOFOG_ASSERT(n >= 0, "popOldestPending negative");
+    NodeShard &s = *_shard;
+    int *const ages = s.pendingAge.data() + s.pendingOffset[_row];
     int taken = 0;
-    for (std::size_t a = _pendingByAge.size(); a-- > 0 && taken < n;) {
-        const int t = std::min(_pendingByAge[a], n - taken);
-        _pendingByAge[a] -= t;
+    for (std::size_t a = s.pendingDepth[_row]; a-- > 0 && taken < n;) {
+        const int t = std::min(ages[a], n - taken);
+        ages[a] -= t;
         taken += t;
     }
-    _pendingPackages -= taken;
+    s.pendingPackages[_row] -= taken;
     return taken;
 }
 
 int
 Node::executeTasks(int count)
 {
-    NEOFOG_ASSERT(_awake, "executing tasks while asleep");
+    NodeShard &s = *_shard;
+    NodeStats &st = s.stats[_row];
+    NEOFOG_ASSERT(s.awake[_row], "executing tasks while asleep");
     int done = 0;
-    while (done < count && _pendingPackages > 0) {
+    while (done < count && s.pendingPackages[_row] > 0) {
         const Tick t = taskComputeTime();
-        if (_slotTimeUsed + t > _slotLength)
+        if (s.slotTimeUsed[_row] + t > s.slotLength[_row])
             break;
         const Energy e = taskCost();
         if (!spend(e, /*direct_eligible=*/true))
             break;
-        _stats.spentCompute += e;
+        st.spentCompute += e;
         notifyPhase(NodeObserver::Phase::Compute,
-                    _slotStart + _slotTimeUsed, t, e);
-        _slotTimeUsed += t;
+                    s.slotStart[_row] + s.slotTimeUsed[_row], t, e);
+        s.slotTimeUsed[_row] += t;
         popOldestPending(1);
-        _buffer.pop(_cfg.rawPackageBytes);
+        s.buffer[_row].pop(_cfg.rawPackageBytes);
         ++done;
-        _stats.tasksExecuted.increment();
+        st.tasksExecuted.increment();
     }
     return done;
 }
@@ -509,7 +572,7 @@ Node::incidentalTaskCost() const
     if (_cfg.mode == OperatingMode::NosVp)
         return _cpu->computeEnergy(inst);
     const auto *nvp = static_cast<const NvProcessor *>(_cpu.get());
-    return nvp->effectiveComputeEnergy(inst, _lastIncome);
+    return nvp->effectiveComputeEnergy(inst, _shard->lastIncome[_row]);
 }
 
 bool
@@ -517,49 +580,54 @@ Node::canCompleteIncidental() const
 {
     if (!_cfg.enableIncidentalComputing)
         return false;
+    const NodeShard &s = *_shard;
     const Energy task = incidentalTaskCost();
     const Energy tx = packageTxCost();
-    const Energy direct_used = std::min(task, _directBudget);
+    const Energy direct_used = std::min(task, s.directBudget[_row]);
     const Energy cap_needed =
         _frontend.capCostForLoad((task - direct_used) + tx);
-    if (_cap.stored() < cap_needed)
+    if (s.cap[_row].stored() < cap_needed)
         return false;
     const auto inst = static_cast<std::uint64_t>(
         _cfg.incidentalFraction *
         static_cast<double>(_cfg.fogInstructionsPerPackage));
     const Tick need_time =
         _cpu->computeTime(inst) +
-        _rf->txCost(_cfg.compressedPackageBytes + kFrameOverheadBytes)
+        s.rf[_row]
+            ->txCost(_cfg.compressedPackageBytes + kFrameOverheadBytes)
             .duration +
-        (_rfInitializedThisSlot ? 0 : _rf->initCost().duration);
-    return _slotTimeUsed + need_time <= _slotLength;
+        (s.rfInitializedThisSlot[_row]
+             ? 0 : s.rf[_row]->initCost().duration);
+    return s.slotTimeUsed[_row] + need_time <= s.slotLength[_row];
 }
 
 int
 Node::executeIncidentalTasks(int count)
 {
-    NEOFOG_ASSERT(_awake, "incidental computing while asleep");
+    NodeShard &s = *_shard;
+    NodeStats &st = s.stats[_row];
+    NEOFOG_ASSERT(s.awake[_row], "incidental computing while asleep");
     if (!_cfg.enableIncidentalComputing)
         return 0;
     int done = 0;
     const auto inst = static_cast<std::uint64_t>(
         _cfg.incidentalFraction *
         static_cast<double>(_cfg.fogInstructionsPerPackage));
-    while (done < count && _pendingPackages > 0) {
+    while (done < count && s.pendingPackages[_row] > 0) {
         const Tick t = _cpu->computeTime(inst);
-        if (_slotTimeUsed + t > _slotLength)
+        if (s.slotTimeUsed[_row] + t > s.slotLength[_row])
             break;
         const Energy e = incidentalTaskCost();
         if (!spend(e, /*direct_eligible=*/true))
             break;
-        _stats.spentCompute += e;
+        st.spentCompute += e;
         notifyPhase(NodeObserver::Phase::IncidentalCompute,
-                    _slotStart + _slotTimeUsed, t, e);
-        _slotTimeUsed += t;
+                    s.slotStart[_row] + s.slotTimeUsed[_row], t, e);
+        s.slotTimeUsed[_row] += t;
         popOldestPending(1);
-        _buffer.pop(_cfg.rawPackageBytes);
+        s.buffer[_row].pop(_cfg.rawPackageBytes);
         ++done;
-        _stats.incidentalTasks.increment();
+        st.incidentalTasks.increment();
     }
     return done;
 }
@@ -567,61 +635,66 @@ Node::executeIncidentalTasks(int count)
 bool
 Node::payTransmit(std::size_t payload_bytes, int attempts)
 {
-    NEOFOG_ASSERT(_awake, "transmitting while asleep");
+    NodeShard &s = *_shard;
+    NEOFOG_ASSERT(s.awake[_row], "transmitting while asleep");
     NEOFOG_ASSERT(attempts >= 1, "attempts >= 1");
-    const RfPhase one = _rf->txCost(payload_bytes + kFrameOverheadBytes);
+    const RfPhase one =
+        s.rf[_row]->txCost(payload_bytes + kFrameOverheadBytes);
     RfPhase init{};
-    if (!_rfInitializedThisSlot)
-        init = _rf->initCost();
+    if (!s.rfInitializedThisSlot[_row])
+        init = s.rf[_row]->initCost();
     const Tick time = init.duration + one.duration * attempts;
-    if (_slotTimeUsed + time > _slotLength)
+    if (s.slotTimeUsed[_row] + time > s.slotLength[_row])
         return false;
     const Energy e =
         init.energy + one.energy * static_cast<double>(attempts);
     if (!spend(e, false))
         return false;
-    _rfInitializedThisSlot = true;
-    _stats.spentTx += e;
+    s.rfInitializedThisSlot[_row] = 1;
+    s.stats[_row].spentTx += e;
     notifyPhase(NodeObserver::Phase::Transmit,
-                _slotStart + _slotTimeUsed, time, e);
-    _slotTimeUsed += time;
+                s.slotStart[_row] + s.slotTimeUsed[_row], time, e);
+    s.slotTimeUsed[_row] += time;
     return true;
 }
 
 bool
 Node::payReceive(std::size_t payload_bytes)
 {
-    NEOFOG_ASSERT(_awake, "receiving while asleep");
+    NodeShard &s = *_shard;
+    NEOFOG_ASSERT(s.awake[_row], "receiving while asleep");
     const Tick window =
-        _rf->airtime(payload_bytes + kFrameOverheadBytes) +
+        s.rf[_row]->airtime(payload_bytes + kFrameOverheadBytes) +
         ticksFromMs(3.0);
-    if (_slotTimeUsed + window > _slotLength)
+    if (s.slotTimeUsed[_row] + window > s.slotLength[_row])
         return false;
-    const Energy e = _rf->rxCost(window).energy;
+    const Energy e = s.rf[_row]->rxCost(window).energy;
     if (!spend(e, false))
         return false;
-    _stats.spentRx += e;
+    s.stats[_row].spentRx += e;
     notifyPhase(NodeObserver::Phase::Receive,
-                _slotStart + _slotTimeUsed, window, e);
-    _slotTimeUsed += window;
+                s.slotStart[_row] + s.slotTimeUsed[_row], window, e);
+    s.slotTimeUsed[_row] += window;
     return true;
 }
 
 bool
 Node::payControlMessage(std::size_t payload_bytes)
 {
-    NEOFOG_ASSERT(_awake, "control message while asleep");
-    const Tick time = _rf->airtime(payload_bytes + kFrameOverheadBytes) +
-                      ticksFromMs(1.0);
-    if (_slotTimeUsed + time > _slotLength)
+    NodeShard &s = *_shard;
+    NEOFOG_ASSERT(s.awake[_row], "control message while asleep");
+    const Tick time =
+        s.rf[_row]->airtime(payload_bytes + kFrameOverheadBytes) +
+        ticksFromMs(1.0);
+    if (s.slotTimeUsed[_row] + time > s.slotLength[_row])
         return false;
-    const Energy e = _rf->config().txPower * time;
+    const Energy e = s.rf[_row]->config().txPower * time;
     if (!spend(e, false))
         return false;
-    _stats.spentTx += e;
+    s.stats[_row].spentTx += e;
     notifyPhase(NodeObserver::Phase::Control,
-                _slotStart + _slotTimeUsed, time, e);
-    _slotTimeUsed += time;
+                s.slotStart[_row] + s.slotTimeUsed[_row], time, e);
+    s.slotTimeUsed[_row] += time;
     return true;
 }
 
@@ -629,29 +702,31 @@ int
 Node::pendingCapacity() const
 {
     const auto max_packages = static_cast<int>(
-        _buffer.capacity() / _cfg.rawPackageBytes);
-    return std::max(0, max_packages - _pendingPackages);
+        bufferRow().capacity() / _cfg.rawPackageBytes);
+    return std::max(0, max_packages - _shard->pendingPackages[_row]);
 }
 
 double
 Node::spareTaskCapacity() const
 {
+    const NodeShard &s = *_shard;
     // Capacity offered to the load balancer.  Accepting a task only
     // helps the network when the energy it burns would otherwise be
     // *wasted* — income the full-ish capacitor is about to reject, or
     // this slot's unused direct-channel budget.  Counting merely
     // "stored" energy would let transfers displace the receiver's own
     // future work (a net loss once transfer costs are paid).
+    const SuperCapacitor &cap = s.cap[_row];
     const Energy surplus_stored =
-        (_cap.stored() - _cap.capacity() * 0.7).clampedNonNegative();
+        (cap.stored() - cap.capacity() * 0.7).clampedNonNegative();
     Energy deliverable =
         surplus_stored * _frontend.config().dischargeEfficiency +
-        _directBudget;
+        s.directBudget[_row];
     const Energy per_task = taskCost() + packageTxCost();
     if (per_task.joules() <= 0.0)
         return 0.0;
     const Energy reserve =
-        per_task * static_cast<double>(_pendingPackages);
+        per_task * static_cast<double>(s.pendingPackages[_row]);
     if (deliverable <= reserve)
         return 0.0;
     const Energy spare = deliverable - reserve;
@@ -670,20 +745,23 @@ Node::relativeTaskCost() const
     if (_cfg.mode == OperatingMode::NosVp)
         return 1.0;
     const auto *nvp = static_cast<const NvProcessor *>(_cpu.get());
-    return 1.0 / nvp->spendthrift().benefit(_lastIncome);
+    return 1.0 / nvp->spendthrift().benefit(_shard->lastIncome[_row]);
 }
 
 Tick
 Node::remainingSlotTime() const
 {
-    return _slotTimeUsed >= _slotLength ? 0
-                                        : _slotLength - _slotTimeUsed;
+    const NodeShard &s = *_shard;
+    return s.slotTimeUsed[_row] >= s.slotLength[_row]
+        ? 0
+        : s.slotLength[_row] - s.slotTimeUsed[_row];
 }
 
 void
 Node::recordEnergyPoint(Tick now)
 {
-    _stats.storedEnergyMj.record(now, _cap.stored().millijoules());
+    statsRow().storedEnergyMj.record(now,
+                                     capRow().stored().millijoules());
 }
 
 void
@@ -700,12 +778,14 @@ Node::addPendingPackages(int delta)
 int
 Node::discardPendingPackages()
 {
-    const int dropped = _pendingPackages;
-    _pendingPackages = 0;
-    std::fill(_pendingByAge.begin(), _pendingByAge.end(), 0);
-    _buffer.discardAll();
+    NodeShard &s = *_shard;
+    const int dropped = s.pendingPackages[_row];
+    s.pendingPackages[_row] = 0;
+    int *const ages = s.pendingAge.data() + s.pendingOffset[_row];
+    std::fill(ages, ages + s.pendingDepth[_row], 0);
+    s.buffer[_row].discardAll();
     if (dropped > 0)
-        _stats.samplesDiscarded.increment(
+        s.stats[_row].samplesDiscarded.increment(
             static_cast<std::uint64_t>(dropped));
     return dropped;
 }

@@ -27,11 +27,20 @@
  * every RTC boundary, then uses the work primitives (wake, sample,
  * executeTasks, transmit, receive) to run the scenario's protocol,
  * including load balancing and virtualization.
+ *
+ * Node is a thin facade over one NodeShard row (see node_soa.hh and
+ * DESIGN.md, "Memory layout: chain shards and the batched slot
+ * kernel"): every mutable field lives in the shard's contiguous
+ * arrays, the facade keeps only construction-derived objects (config,
+ * trace, processor, front end, cost constants) plus the shard/row
+ * binding.  A standalone Node (tests, single-node experiments) owns a
+ * private one-row shard; chain nodes share their ChainEngine's shard.
  */
 
 #ifndef NEOFOG_NODE_NODE_HH
 #define NEOFOG_NODE_NODE_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -46,6 +55,8 @@
 #include "hw/rf.hh"
 #include "hw/rtc.hh"
 #include "hw/sensor.hh"
+#include "node/node_soa.hh"
+#include "sim/logging.hh"
 #include "sim/rng.hh"
 #include "sim/stats.hh"
 #include "sim/types.hh"
@@ -108,57 +119,6 @@ enum class EnergyClass
     Awake,  ///< can wake but not complete sample+transmit
     Ready,  ///< yellow: enough to sample and transmit its own package
     Extra,  ///< green: energy beyond its own package's needs
-};
-
-/** Cumulative per-node statistics. */
-struct NodeStats
-{
-    Counter wakeups;          ///< slots the node woke
-    Counter depletionFailures; ///< slots the node could not wake
-    Counter packagesSampled;  ///< raw packages captured
-    Counter packagesToCloud;  ///< raw packages transmitted (cloud work)
-    Counter packagesInFog;    ///< packages fog-processed then shipped
-    Counter tasksExecuted;    ///< fog tasks run (own + received)
-    Counter incidentalTasks;  ///< reduced-fidelity summaries run
-    Counter tasksReceived;    ///< tasks accepted from neighbours
-    Counter tasksShipped;     ///< tasks sent to neighbours
-    Counter txFailures;       ///< packets lost after all retries
-    Counter samplesDiscarded; ///< buffer data dropped for lack of energy
-    Counter rtcResyncs;       ///< RTC resynchronizations paid
-    TimeSeries storedEnergyMj; ///< capacitor level over time (mJ)
-
-    Energy harvestedTotal;    ///< ambient energy seen
-    Energy spentCompute;
-    Energy spentTx;
-    Energy spentRx;
-    Energy spentSample;
-    Energy spentWake;
-
-    /** Snapshot support (see src/snapshot/): every field above. */
-    template <class Archive>
-    void
-    serialize(Archive &ar)
-    {
-        ar.io("wakeups", wakeups);
-        ar.io("depletion_failures", depletionFailures);
-        ar.io("packages_sampled", packagesSampled);
-        ar.io("packages_to_cloud", packagesToCloud);
-        ar.io("packages_in_fog", packagesInFog);
-        ar.io("tasks_executed", tasksExecuted);
-        ar.io("incidental_tasks", incidentalTasks);
-        ar.io("tasks_received", tasksReceived);
-        ar.io("tasks_shipped", tasksShipped);
-        ar.io("tx_failures", txFailures);
-        ar.io("samples_discarded", samplesDiscarded);
-        ar.io("rtc_resyncs", rtcResyncs);
-        ar.io("stored_energy_mj", storedEnergyMj);
-        ar.io("harvested_total", harvestedTotal);
-        ar.io("spent_compute", spentCompute);
-        ar.io("spent_tx", spentTx);
-        ar.io("spent_rx", spentRx);
-        ar.io("spent_sample", spentSample);
-        ar.io("spent_wake", spentWake);
-    }
 };
 
 /**
@@ -226,11 +186,21 @@ class Node
     };
 
     /**
+     * Standalone node: owns a private one-row shard.
      * @param cfg Node configuration.
      * @param trace Ambient power income (owned).
      * @param rng Node-private random stream.
      */
     Node(const Config &cfg, std::unique_ptr<PowerTrace> trace, Rng rng);
+
+    /**
+     * Chain node: appends a row to @p shard and binds to it.  The
+     * shard must outlive the node (the owning ChainEngine declares it
+     * first) and must not reallocate rows the node still references —
+     * reserve it for the full chain before constructing nodes.
+     */
+    Node(const Config &cfg, std::unique_ptr<PowerTrace> trace, Rng rng,
+         NodeShard &shard);
 
     std::uint32_t id() const { return _cfg.id; }
     OperatingMode mode() const { return _cfg.mode; }
@@ -247,6 +217,26 @@ class Node
      */
     void beginSlot(Tick slot_start, Tick slot_length);
 
+    /**
+     * beginSlot with the trace integrals supplied by the caller: the
+     * batched slot kernel (ChainEngine) hoists the per-window trace
+     * walk out of the per-node loop and feeds every node of a chain
+     * the shared closed-form integral.  @p gap_ambient must equal
+     * trace().integrate(lastAccrualTime(), slot_start) (ignored when
+     * there is no gap) and @p slot_ambient must equal
+     * trace().integrate(slot_start, slot_start + slot_length); the
+     * arithmetic after the integrals is identical to beginSlot, so
+     * the two entry points are bit-identical.
+     */
+    void beginSlotWithIncome(Tick slot_start, Tick slot_length,
+                             Energy gap_ambient, Energy slot_ambient);
+
+    /** End of the window income has been integrated up to. */
+    Tick lastAccrualTime() const { return _shard->lastAccrual[_row]; }
+
+    /** The ambient income trace driving this node. */
+    const PowerTrace &trace() const { return *_trace; }
+
     /** Energy classification at the current slot boundary. */
     EnergyClass classify() const;
 
@@ -258,7 +248,7 @@ class Node
     bool tryWake();
 
     /** Whether the node woke this slot. */
-    bool awake() const { return _awake; }
+    bool awake() const { return _shard->awake[_row] != 0; }
 
     /**
      * Sample one package into the buffer (full fidelity, or decimated
@@ -315,10 +305,10 @@ class Node
     // ------------------------------------------------------------------
 
     /** Stored energy right now. */
-    Energy stored() const { return _cap.stored(); }
+    Energy stored() const { return capRow().stored(); }
 
     /** Capacitor fill fraction. */
-    double fillFraction() const { return _cap.fillFraction(); }
+    double fillFraction() const { return capRow().fillFraction(); }
 
     /**
      * Cost to wake: processor restart/restore plus basic control
@@ -376,18 +366,18 @@ class Node
     double relativeTaskCost() const;
 
     /** Income power averaged over the last slot. */
-    Power lastSlotIncome() const { return _lastIncome; }
+    Power lastSlotIncome() const { return _shard->lastIncome[_row]; }
 
     /** The RTC (for virtualization phase queries). */
-    const Rtc &rtc() const { return _rtc; }
+    const Rtc &rtc() const { return _shard->rtc[_row]; }
 
     /** The radio, e.g. for NVD4Q state cloning. */
-    RfModule &rf() { return *_rf; }
-    const RfModule &rf() const { return *_rf; }
+    RfModule &rf() { return *_shard->rf[_row]; }
+    const RfModule &rf() const { return *_shard->rf[_row]; }
 
     /** Mutable statistics. */
-    NodeStats &stats() { return _stats; }
-    const NodeStats &stats() const { return _stats; }
+    NodeStats &stats() { return _shard->stats[_row]; }
+    const NodeStats &stats() const { return _shard->stats[_row]; }
 
     /** Record the capacitor level into the stats time series. */
     void recordEnergyPoint(Tick now);
@@ -399,7 +389,8 @@ class Node
     void setObserver(NodeObserver *observer) { _observer = observer; }
 
     /** Buffered-but-unprocessed packages queued at this node. */
-    int pendingPackages() const { return _pendingPackages; }
+    int pendingPackages() const
+    { return _shard->pendingPackages[_row]; }
     /** Adjust the pending-package queue (load-balance transfers). */
     void addPendingPackages(int delta);
 
@@ -407,48 +398,88 @@ class Node
     int discardPendingPackages();
 
     /** The main super-capacitor (overflow/leakage accounting). */
-    const SuperCapacitor &capacitor() const { return _cap; }
+    const SuperCapacitor &capacitor() const { return capRow(); }
 
     /**
      * Snapshot support (see src/snapshot/): archives every field that
-     * mutates after construction.  Constructor-derived members (config,
-     * trace, cost constants, processor, front end, observer) are
-     * rebuilt deterministically by a resume's reconstruction.  The
-     * trace cursor is a pure cache of (_trace, window start) that
-     * accrueIncome() re-materializes bit-identically, so loading just
-     * drops it.
+     * mutates after construction — all of it lives in this node's
+     * shard row, so the walk reads/writes the row through the facade.
+     * Constructor-derived members (config, trace, cost constants,
+     * processor, front end, observer) are rebuilt deterministically by
+     * a resume's reconstruction.  The trace cursor is a pure cache of
+     * (_trace, window start) that accrueIncome() re-materializes
+     * bit-identically, so loading just drops it.
      */
     template <class Archive>
     void
     serialize(Archive &ar)
     {
+        NodeShard &s = *_shard;
         ar.io("rng", _rng);
-        ar.io("cap", _cap);
-        ar.io("rtc", _rtc);
-        ar.io("sensor", _sensor);
-        ar.io("buffer", _buffer);
-        ar.io("rf_state", _rf->state());
-        if (_rf->retainsState())
-            ar.io("nvrf", static_cast<NvRfController &>(*_rf));
-        ar.io("last_accrual", _lastAccrual);
-        ar.io("slot_start", _slotStart);
-        ar.io("slot_length", _slotLength);
-        ar.io("slot_time_used", _slotTimeUsed);
-        ar.io("direct_budget", _directBudget);
-        ar.io("last_income", _lastIncome);
-        ar.io("awake", _awake);
-        ar.io("rf_initialized_this_slot", _rfInitializedThisSlot);
-        ar.io("slot_costs_valid", _slotCostsValid);
-        ar.io("slot_task_cost", _slotTaskCost);
-        ar.io("slot_task_time", _slotTaskTime);
-        ar.io("pending_packages", _pendingPackages);
-        ar.io("pending_by_age", _pendingByAge);
-        ar.io("stats", _stats);
-        if constexpr (Archive::isLoading)
+        ar.io("cap", s.cap[_row]);
+        ar.io("rtc", s.rtc[_row]);
+        ar.io("sensor", s.sensor[_row]);
+        ar.io("buffer", s.buffer[_row]);
+        ar.io("rf_state", s.rf[_row]->state());
+        if (s.rf[_row]->retainsState())
+            ar.io("nvrf", static_cast<NvRfController &>(*s.rf[_row]));
+        ar.io("last_accrual", s.lastAccrual[_row]);
+        ar.io("slot_start", s.slotStart[_row]);
+        ar.io("slot_length", s.slotLength[_row]);
+        ar.io("slot_time_used", s.slotTimeUsed[_row]);
+        ar.io("direct_budget", s.directBudget[_row]);
+        ar.io("last_income", s.lastIncome[_row]);
+        // The shard packs flags as bytes; the wire keeps the original
+        // bool encoding.
+        bool awake_flag = s.awake[_row] != 0;
+        ar.io("awake", awake_flag);
+        bool rf_init = s.rfInitializedThisSlot[_row] != 0;
+        ar.io("rf_initialized_this_slot", rf_init);
+        bool costs_valid = s.slotCostsValid[_row] != 0;
+        ar.io("slot_costs_valid", costs_valid);
+        ar.io("slot_task_cost", s.slotTaskCost[_row]);
+        ar.io("slot_task_time", s.slotTaskTime[_row]);
+        ar.io("pending_packages", s.pendingPackages[_row]);
+        // The age ring is flattened into the shard; the wire keeps the
+        // original per-node vector encoding.
+        const auto off = s.pendingOffset[_row];
+        const auto depth = s.pendingDepth[_row];
+        std::vector<int> pending_by_age(
+            s.pendingAge.begin() + off,
+            s.pendingAge.begin() + off + depth);
+        ar.io("pending_by_age", pending_by_age);
+        ar.io("stats", s.stats[_row]);
+        if constexpr (Archive::isLoading) {
+            s.awake[_row] = awake_flag ? 1 : 0;
+            s.rfInitializedThisSlot[_row] = rf_init ? 1 : 0;
+            s.slotCostsValid[_row] = costs_valid ? 1 : 0;
+            // Reconstruct-then-overwrite builds the same shard
+            // geometry the save ran with, so the window must match.
+            if (pending_by_age.size() != depth)
+                fatal("node ", _cfg.id, " pending queue depth ",
+                      pending_by_age.size(),
+                      " does not match its shard window of ", depth);
+            std::copy(pending_by_age.begin(), pending_by_age.end(),
+                      s.pendingAge.begin() + off);
             _cursor.reset();
+        }
     }
 
   private:
+    /** Shared constructor body: bind (or create) the shard row. */
+    Node(const Config &cfg, std::unique_ptr<PowerTrace> trace, Rng rng,
+         NodeShard *shard);
+
+    // Row views: _shard is a plain pointer member, so these stay
+    // usable from const facade methods — the memo fields below keep
+    // their pre-refactor `mutable` semantics that way.
+    SuperCapacitor &capRow() const { return _shard->cap[_row]; }
+    Rtc &rtcRow() const { return _shard->rtc[_row]; }
+    Sensor &sensorRow() const { return _shard->sensor[_row]; }
+    NvBuffer &bufferRow() const { return _shard->buffer[_row]; }
+    RfModule &rfRow() const { return *_shard->rf[_row]; }
+    NodeStats &statsRow() const { return _shard->stats[_row]; }
+
     /** Report a completed phase to the attached observer, if any. */
     void notifyPhase(NodeObserver::Phase phase, Tick start,
                      Tick duration, Energy energy);
@@ -473,11 +504,11 @@ class Node
     Tick remainingSlotTime() const;
 
     /**
-     * Recompute the per-slot cost memos (_slotTaskCost,
-     * _slotTaskTime) if stale.  The memoized expressions are pure
-     * functions of _lastIncome and fixed configuration, so caching
-     * them per slot returns bit-identical values while the classify/
-     * balance/execute paths query them many times per slot.
+     * Recompute the per-slot cost memos (slotTaskCost, slotTaskTime)
+     * if stale.  The memoized expressions are pure functions of the
+     * last slot income and fixed configuration, so caching them per
+     * slot returns bit-identical values while the classify/balance/
+     * execute paths query them many times per slot.
      */
     void refreshSlotCosts() const;
 
@@ -495,21 +526,14 @@ class Node
     Rng _rng;
 
     FrontEnd _frontend;
-    SuperCapacitor _cap;
-    Rtc _rtc;
     std::unique_ptr<Processor> _cpu;
-    std::unique_ptr<RfModule> _rf;
-    Sensor _sensor;
-    NvBuffer _buffer;
 
-    Tick _lastAccrual = 0;
-    Tick _slotStart = 0;
-    Tick _slotLength = 0;
-    Tick _slotTimeUsed = 0;
-    Energy _directBudget;     ///< FIOS direct-channel energy this slot
-    Power _lastIncome;
-    bool _awake = false;
-    bool _rfInitializedThisSlot = false;
+    /** Private shard of a standalone node (null for chain nodes). */
+    std::unique_ptr<NodeShard> _ownShard;
+    /** The shard holding this node's mutable state... */
+    NodeShard *_shard = nullptr;
+    /** ...at this row. */
+    std::uint32_t _row = 0;
 
     // Construction-time cost constants: pure functions of the fixed
     // node configuration (the RF transmit cost, the sensor/buffer
@@ -520,18 +544,7 @@ class Node
     Energy _txPackageEnergy;        ///< mode-payload tx energy
     Tick _txCompressedDuration = 0; ///< result-package tx airtime
 
-    // Per-slot cost memos: valid until the next beginSlot changes
-    // _lastIncome (see refreshSlotCosts).
-    mutable bool _slotCostsValid = false;
-    mutable Energy _slotTaskCost;
-    mutable Tick _slotTaskTime = 0;
-    int _pendingPackages = 0;
-    /** Pending package counts by age in slots (index 0 = this slot). */
-    std::vector<int> _pendingByAge;
-
     NodeObserver *_observer = nullptr;
-
-    NodeStats _stats;
 };
 
 } // namespace neofog

@@ -298,7 +298,7 @@ TEST(SnapshotFootprint, PinsEverySnapshottedStruct)
     EXPECT_EQ(sizeof(CloneGroup), 40u);
     EXPECT_EQ(sizeof(ChainProbe), 192u);
     EXPECT_EQ(sizeof(NodeStats), 168u);
-    EXPECT_EQ(sizeof(Node), 1088u);
+    EXPECT_EQ(sizeof(Node), 480u);
     EXPECT_EQ(sizeof(SystemReport), 216u);
     EXPECT_EQ(sizeof(Node::Config), 272u);
     EXPECT_EQ(sizeof(ScenarioConfig), 512u);

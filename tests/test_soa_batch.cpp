@@ -1,0 +1,288 @@
+/**
+ * @file
+ * Property tests for the SoA chain shards and the batched slot
+ * kernel: stepping a slot through ChainEngine::beginSlotBatch must be
+ * bit-identical to the per-node beginSlot path on the fig-13 preset
+ * and on randomized scenarios, at every thread count; snapshots taken
+ * on the SoA layout must round-trip onto the same bits; and
+ * IntermittentExecution::runBatch must reproduce per-trace run()
+ * exactly.  Registered under the "perf" ctest label next to the
+ * energy-cache equivalence suite — these are the correctness
+ * guardrails of the fleet-scale optimizations.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "energy/power_trace.hh"
+#include "energy/trace_cache.hh"
+#include "fog/fog_system.hh"
+#include "fog/presets.hh"
+#include "hw/processor.hh"
+#include "node/intermittent.hh"
+#include "sim/logging.hh"
+#include "snapshot/snapshot.hh"
+
+namespace neofog {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Self-deleting scratch directory (mirrors test_snapshot's). */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &tag)
+        : _path(fs::temp_directory_path() / ("neofog_soa_test_" + tag))
+    {
+        fs::remove_all(_path);
+        fs::create_directories(_path);
+    }
+    ~ScratchDir() { fs::remove_all(_path); }
+
+    std::string file(const std::string &name) const
+    {
+        return (_path / name).string();
+    }
+    std::string path() const { return _path.string(); }
+
+  private:
+    fs::path _path;
+};
+
+SystemReport
+runWith(ScenarioConfig cfg, bool batch_kernel, unsigned threads)
+{
+    cfg.batchSlotKernel = batch_kernel;
+    cfg.threads = threads;
+    return FogSystem(cfg).run();
+}
+
+// The fig-13 preset is the shape the kernel hoists hardest (every
+// node a scaled view of one shared rain stream): batched and
+// per-node slot stepping must agree on every report bit at every
+// thread count.
+TEST(BatchKernel, Fig13BitIdenticalToPerNodePath)
+{
+    ScenarioConfig cfg = presets::fig13(presets::fiosNeofog(), 3);
+    cfg.chains = 4;
+    cfg.horizon = kHour;
+    cfg.seed = 99;
+
+    const SystemReport scalar = runWith(cfg, false, 1);
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        EXPECT_EQ(runWith(cfg, true, threads), scalar)
+            << "batched kernel diverged at threads=" << threads;
+    }
+}
+
+// Constant traces take the other hoist arm (one pure integral shared
+// by every node).
+TEST(BatchKernel, ConstantTraceBitIdenticalToPerNodePath)
+{
+    ScenarioConfig cfg;
+    cfg.chains = 3;
+    cfg.nodesPerChain = 8;
+    cfg.mode = OperatingMode::FiosNvMote;
+    cfg.traceKind = TraceKind::Constant;
+    cfg.meanIncome = Power::fromMilliwatts(2.2);
+    cfg.balancerPolicy = "distributed";
+    cfg.horizon = kHour;
+    cfg.seed = 5;
+
+    const SystemReport scalar = runWith(cfg, false, 1);
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        EXPECT_EQ(runWith(cfg, true, threads), scalar)
+            << "batched kernel diverged at threads=" << threads;
+    }
+}
+
+// Randomized scenario sweep: whatever the trace family, mode,
+// balancer, multiplexing, and relay/real-time knobs, enabling the
+// batched kernel must never move a single bit (trace shapes with no
+// hoistable structure must fall back transparently).
+TEST(BatchKernel, RandomScenariosBitIdentical)
+{
+    std::minstd_rand pick(20260808);
+    const TraceKind kinds[] = {TraceKind::ForestIndependent,
+                               TraceKind::BridgeDependent,
+                               TraceKind::RainLow, TraceKind::Constant};
+    const OperatingMode modes[] = {OperatingMode::NosVp,
+                                   OperatingMode::NosNvp,
+                                   OperatingMode::FiosNvMote};
+    const char *balancers[] = {"none", "tree", "distributed",
+                               "cluster"};
+
+    for (int round = 0; round < 6; ++round) {
+        ScenarioConfig cfg;
+        cfg.traceKind = kinds[pick() % 4];
+        cfg.mode = modes[pick() % 3];
+        cfg.balancerPolicy = balancers[pick() % 4];
+        cfg.chains = 1 + pick() % 3;
+        cfg.nodesPerChain = 4 + pick() % 7;
+        cfg.multiplexing = 1 + pick() % 3;
+        cfg.hopByHopRelay = pick() % 2 == 0;
+        cfg.realTimeRequestChance = pick() % 2 == 0 ? 0.0 : 0.01;
+        cfg.membershipUpdateInterval =
+            pick() % 2 == 0 ? 0 : 10 * kMin;
+        cfg.horizon = (20 + static_cast<Tick>(pick() % 20)) * kMin;
+        cfg.seed = 1 + pick() % 1000;
+
+        const SystemReport scalar = runWith(cfg, false, 1);
+        for (const unsigned threads : {1u, 4u}) {
+            EXPECT_EQ(runWith(cfg, true, threads), scalar)
+                << "round " << round << ", threads " << threads
+                << ", trace " << traceKindName(cfg.traceKind)
+                << ", mode " << operatingModeName(cfg.mode)
+                << ", balancer " << cfg.balancerPolicy;
+        }
+    }
+}
+
+// Snapshot/resume on the SoA layout with the batched kernel on: the
+// flattened pending-age windows, shard flag bytes, and memo fields
+// must survive the round trip onto the reference bits.
+TEST(BatchKernel, SnapshotRoundTripStaysBitIdentical)
+{
+    const ScratchDir dir("batch_resume");
+
+    ScenarioConfig cfg = presets::fig13(presets::fiosNeofog(), 3);
+    cfg.chains = 3;
+    cfg.horizon = kHour;
+    cfg.seed = 31;
+
+    const SystemReport reference = FogSystem(cfg).run();
+
+    constexpr std::int64_t kEvery = 9;
+    ScenarioConfig snapping = cfg;
+    snapping.snapshot.everySlots = kEvery;
+    snapping.snapshot.dir = dir.path();
+    EXPECT_EQ(FogSystem(snapping).run(), reference);
+
+    const std::int64_t split = kEvery * 2;
+    const std::string path = dir.file(snapshot::snapshotFileName(split));
+    ASSERT_TRUE(fs::exists(path)) << path;
+    for (const unsigned threads : {1u, 4u}) {
+        auto resumed = FogSystem::resume(path, threads);
+        EXPECT_EQ(resumed->resumeSlot(), split);
+        EXPECT_EQ(resumed->run(), reference)
+            << "resume diverged at threads=" << threads;
+    }
+
+    // A resume must also agree when the host flips the kernel off —
+    // the flag is host-local tuning, not simulated state.
+    auto resumed = FogSystem::resume(path);
+    ScenarioConfig no_batch = resumed->config();
+    EXPECT_TRUE(no_batch.batchSlotKernel);
+}
+
+void
+expectResultsEqual(const IntermittentExecution::Result &a,
+                   const IntermittentExecution::Result &b,
+                   const std::string &what)
+{
+    EXPECT_EQ(a.instructionsCompleted, b.instructionsCompleted) << what;
+    EXPECT_EQ(a.instructionsWasted, b.instructionsWasted) << what;
+    EXPECT_EQ(a.powerCycles, b.powerCycles) << what;
+    EXPECT_EQ(a.activeTime, b.activeTime) << what;
+    EXPECT_EQ(a.overheadTime, b.overheadTime) << what;
+    EXPECT_EQ(a.harvested.joules(), b.harvested.joules()) << what;
+    EXPECT_EQ(a.spent.joules(), b.spent.joules()) << what;
+}
+
+// runBatch over scaled views of one shared stream == per-trace run(),
+// field for field, both with the prefix-table base the fleet uses and
+// with the raw stream.
+TEST(RunBatch, MatchesPerTraceRunOnSharedScaledViews)
+{
+    const Tick horizon = 10 * kMin;
+    for (const bool cached : {false, true}) {
+        std::shared_ptr<const PowerTrace> base;
+        if (cached)
+            base = std::make_shared<CumulativeTrace>(
+                traces::makeRainUnitStream(11, horizon + kMin),
+                horizon + kMin);
+        else
+            base = traces::makeRainUnitStream(11, horizon + kMin);
+
+        Rng rng(3);
+        std::vector<std::unique_ptr<ScaledTrace>> owned;
+        std::vector<const PowerTrace *> batch;
+        for (int i = 0; i < 12; ++i) {
+            owned.push_back(std::make_unique<ScaledTrace>(
+                0.0022 * rng.uniform(0.4, 1.6), base));
+            batch.push_back(owned.back().get());
+        }
+
+        const NvProcessor nvp{NvProcessor::fiosConfig()};
+        IntermittentExecution::Config cfg;
+
+        const auto results =
+            IntermittentExecution::runBatch(nvp, batch, horizon, cfg);
+        ASSERT_EQ(results.size(), batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const auto solo = IntermittentExecution::run(
+                nvp, *batch[i], horizon, cfg);
+            expectResultsEqual(results[i], solo,
+                               std::string("machine ") +
+                                   std::to_string(i) +
+                                   (cached ? " (cached)" : " (raw)"));
+        }
+    }
+}
+
+// Constant traces of different levels share (trivial) segmentation;
+// the stepped reference path (fastForward off) must also agree.
+TEST(RunBatch, MatchesPerTraceRunOnConstantTraces)
+{
+    const Tick horizon = 5 * kMin;
+    std::vector<std::unique_ptr<ConstantTrace>> owned;
+    std::vector<const PowerTrace *> batch;
+    for (int i = 0; i < 6; ++i) {
+        owned.push_back(std::make_unique<ConstantTrace>(
+            Power::fromMicrowatts(40.0 + 25.0 * i)));
+        batch.push_back(owned.back().get());
+    }
+
+    const NvProcessor nvp;
+    for (const bool fast_forward : {true, false}) {
+        IntermittentExecution::Config cfg;
+        cfg.fastForward = fast_forward;
+        const auto results =
+            IntermittentExecution::runBatch(nvp, batch, horizon, cfg);
+        ASSERT_EQ(results.size(), batch.size());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const auto solo = IntermittentExecution::run(
+                nvp, *batch[i], horizon, cfg);
+            expectResultsEqual(
+                results[i], solo,
+                std::string(fast_forward ? "ff" : "stepped") +
+                    " machine " + std::to_string(i));
+        }
+    }
+}
+
+TEST(RunBatch, RejectsNullTraceAndBadConfig)
+{
+    const NvProcessor nvp;
+    ConstantTrace trace(Power::fromMicrowatts(100.0));
+    std::vector<const PowerTrace *> batch{&trace, nullptr};
+    EXPECT_THROW(
+        IntermittentExecution::runBatch(nvp, batch, kSec, {}),
+        FatalError);
+
+    IntermittentExecution::Config bad;
+    bad.onThreshold = Energy::fromMicrojoules(10.0);
+    bad.offThreshold = Energy::fromMicrojoules(20.0);
+    std::vector<const PowerTrace *> ok{&trace};
+    EXPECT_THROW(
+        IntermittentExecution::runBatch(nvp, ok, kSec, bad),
+        FatalError);
+}
+
+} // namespace
+} // namespace neofog
