@@ -23,6 +23,7 @@
 #include <memory>
 #include <string>
 
+#include "balance/policy_registry.hh"
 #include "fog/fog_system.hh"
 #include "fog/presets.hh"
 #include "sim/logging.hh"
@@ -38,7 +39,14 @@ usage(const char *argv0)
     std::printf(
         "usage: %s [options]\n"
         "  --mode vp|nvp|fios        node architecture (default fios)\n"
-        "  --balancer none|tree|distributed   (default distributed)\n"
+        "  --balancer SPEC           offloading policy, as NAME or\n"
+        "                            NAME:key=val,key=val "
+        "(default distributed;\n"
+        "                            --list-balancers documents all "
+        "policies\n"
+        "                            and their parameters)\n"
+        "  --list-balancers          print the policy registry and "
+        "exit\n"
         "  --trace forest|bridge|mountain|rain|constant "
         "(default forest)\n"
         "  --income-mw X             mean ambient income (default 2.6)\n"
@@ -205,6 +213,12 @@ main(int argc, char **argv)
             return 0;
         } else if (arg == "--version") {
             printVersion();
+            return 0;
+        } else if (arg == "--list-balancers") {
+            std::cout << "registered offloading policies "
+                         "(--balancer NAME or "
+                         "NAME:key=val,key=val):\n\n";
+            PolicyRegistry::instance().describe(std::cout);
             return 0;
         } else if (arg == "--mode") {
             if (!parseMode(next(), cfg.mode)) {

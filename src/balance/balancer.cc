@@ -314,18 +314,7 @@ ClusterBalancer::balanceInto(const std::vector<LbNodeState> &nodes,
     }
 }
 
-std::unique_ptr<LoadBalancer>
-makeBalancer(const std::string &policy)
-{
-    if (policy == "none")
-        return std::make_unique<NoBalancer>();
-    if (policy == "tree")
-        return std::make_unique<TreeBalancer>();
-    if (policy == "cluster")
-        return std::make_unique<ClusterBalancer>();
-    if (policy == "distributed")
-        return std::make_unique<DistributedBalancer>();
-    fatal("unknown balancer policy: ", policy);
-}
+// makeBalancer (the deprecated factory shim) lives with the registry
+// in policy_registry.cc.
 
 } // namespace neofog

@@ -1,0 +1,171 @@
+#include "balance/policy_spec.hh"
+
+#include <charconv>
+#include <cmath>
+
+#include "sim/logging.hh"
+
+namespace neofog {
+
+std::string
+paramTypeName(ParamType type)
+{
+    switch (type) {
+      case ParamType::Int:
+        return "int";
+      case ParamType::Double:
+        return "double";
+      case ParamType::Bool:
+        return "bool";
+    }
+    NEOFOG_PANIC("unknown param type");
+}
+
+ParamValue
+ParamValue::ofInt(std::int64_t v)
+{
+    ParamValue p;
+    p.type = ParamType::Int;
+    p.i = v;
+    return p;
+}
+
+ParamValue
+ParamValue::ofDouble(double v)
+{
+    ParamValue p;
+    p.type = ParamType::Double;
+    p.d = v;
+    return p;
+}
+
+ParamValue
+ParamValue::ofBool(bool v)
+{
+    ParamValue p;
+    p.type = ParamType::Bool;
+    p.b = v;
+    return p;
+}
+
+bool
+ParamValue::operator==(const ParamValue &other) const
+{
+    if (type != other.type)
+        return false;
+    switch (type) {
+      case ParamType::Int:
+        return i == other.i;
+      case ParamType::Double:
+        return d == other.d; // bitwise-equal semantics for the spec
+      case ParamType::Bool:
+        return b == other.b;
+    }
+    return false;
+}
+
+ParamValue
+parseValue(ParamType type, const std::string &text,
+           const std::string &key)
+{
+    if (text.empty())
+        fatal("balancer spec: empty value for parameter '", key, "'");
+    const char *first = text.data();
+    const char *last = first + text.size();
+    switch (type) {
+      case ParamType::Int: {
+        std::int64_t v = 0;
+        const auto [ptr, ec] = std::from_chars(first, last, v);
+        if (ec != std::errc{} || ptr != last)
+            fatal("balancer spec: parameter '", key, "' expects an ",
+                  "int, got '", text, "'");
+        return ParamValue::ofInt(v);
+      }
+      case ParamType::Double: {
+        double v = 0.0;
+        const auto [ptr, ec] = std::from_chars(first, last, v);
+        if (ec != std::errc{} || ptr != last || !std::isfinite(v))
+            fatal("balancer spec: parameter '", key, "' expects a ",
+                  "finite double, got '", text, "'");
+        return ParamValue::ofDouble(v);
+      }
+      case ParamType::Bool: {
+        if (text == "true" || text == "1")
+            return ParamValue::ofBool(true);
+        if (text == "false" || text == "0")
+            return ParamValue::ofBool(false);
+        fatal("balancer spec: parameter '", key, "' expects a bool ",
+              "(true/false/1/0), got '", text, "'");
+      }
+    }
+    NEOFOG_PANIC("unknown param type");
+}
+
+std::string
+formatValue(const ParamValue &value)
+{
+    char buf[64];
+    switch (value.type) {
+      case ParamType::Int: {
+        const auto [ptr, ec] =
+            std::to_chars(buf, buf + sizeof(buf), value.i);
+        NEOFOG_ASSERT(ec == std::errc{}, "int format");
+        return std::string(buf, ptr);
+      }
+      case ParamType::Double: {
+        // Shortest representation that parses back to the same bits.
+        const auto [ptr, ec] =
+            std::to_chars(buf, buf + sizeof(buf), value.d);
+        NEOFOG_ASSERT(ec == std::errc{}, "double format");
+        return std::string(buf, ptr);
+      }
+      case ParamType::Bool:
+        return value.b ? "true" : "false";
+    }
+    NEOFOG_PANIC("unknown param type");
+}
+
+PolicySpec
+parsePolicySpec(const std::string &spec)
+{
+    PolicySpec out;
+    const std::size_t colon = spec.find(':');
+    out.name = spec.substr(0, colon);
+    if (out.name.empty())
+        fatal("balancer spec: empty policy name in '", spec, "'");
+    if (colon == std::string::npos)
+        return out;
+
+    const std::string tail = spec.substr(colon + 1);
+    if (tail.empty())
+        fatal("balancer spec: '", spec, "' has a ':' but no ",
+              "parameters (drop the ':' or add key=value pairs)");
+
+    std::size_t pos = 0;
+    while (pos <= tail.size()) {
+        const std::size_t comma = tail.find(',', pos);
+        const std::string pair = tail.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos)
+            fatal("balancer spec: '", pair, "' in '", spec,
+                  "' is not a key=value pair");
+        const std::string key = pair.substr(0, eq);
+        const std::string value = pair.substr(eq + 1);
+        if (key.empty())
+            fatal("balancer spec: empty key in '", spec, "'");
+        for (const auto &[seen, _] : out.params) {
+            if (seen == key)
+                fatal("balancer spec: duplicate key '", key,
+                      "' in '", spec, "'");
+        }
+        out.params.emplace_back(key, value);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace neofog

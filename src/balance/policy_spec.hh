@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Self-describing policy parameters and the balancer-spec grammar.
+ *
+ * A *policy spec* is the one-line textual form of a configured
+ * balancer that flows from the CLI through ScenarioConfig into the
+ * snapshot config fingerprint:
+ *
+ *     policy                      # all parameters at their defaults
+ *     policy:key=val,key=val      # non-default parameters
+ *
+ * Keys and values carry no whitespace; duplicate keys are an error.
+ * Each policy publishes its parameters as ParamSpec entries
+ * (name/type/default/doc), and the registry resolves a parsed spec
+ * against them: unknown keys and type mismatches fail loudly.
+ *
+ * The *canonical* form of a spec — name, then only the parameters
+ * that differ from their defaults, in ParamSpec declaration order,
+ * values printed by formatValue() — is what the fingerprint hashes.
+ * Canonical strings round-trip exactly: parsing one and re-printing
+ * it reproduces the same bytes, so two runs fingerprint equal iff
+ * their balancer configurations are equal.
+ */
+
+#ifndef NEOFOG_BALANCE_POLICY_SPEC_HH
+#define NEOFOG_BALANCE_POLICY_SPEC_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace neofog {
+
+/** Value type of one policy parameter. */
+enum class ParamType
+{
+    Int,    ///< 64-bit signed integer
+    Double, ///< finite IEEE double
+    Bool,   ///< "true" / "false" (also accepts "1" / "0" on parse)
+};
+
+/** Display name of a parameter type ("int", "double", "bool"). */
+std::string paramTypeName(ParamType type);
+
+/** One typed parameter value (tag + the matching member). */
+struct ParamValue
+{
+    ParamType type = ParamType::Int;
+    std::int64_t i = 0;
+    double d = 0.0;
+    bool b = false;
+
+    static ParamValue ofInt(std::int64_t v);
+    static ParamValue ofDouble(double v);
+    static ParamValue ofBool(bool v);
+
+    bool operator==(const ParamValue &other) const;
+    bool operator!=(const ParamValue &other) const
+    { return !(*this == other); }
+};
+
+/**
+ * Self-description of one policy parameter: everything --list-balancers
+ * prints and everything spec resolution needs.
+ */
+struct ParamSpec
+{
+    std::string name;        ///< spec key, snake_case
+    ParamType type = ParamType::Int;
+    ParamValue defaultValue; ///< value when the spec omits the key
+    std::string doc;         ///< one-line description
+};
+
+/**
+ * Parse @p text as a value of @p type.  Strict: the whole string must
+ * be consumed, doubles must be finite, bools are true/false/1/0.
+ * Fatal (FatalError) on violation, mentioning @p key.
+ */
+ParamValue parseValue(ParamType type, const std::string &text,
+                      const std::string &key);
+
+/**
+ * Canonical text of a value: ints in decimal, bools as true/false,
+ * doubles in shortest round-trip form (std::to_chars).  Guaranteed to
+ * parseValue() back to a bitwise-equal ParamValue.
+ */
+std::string formatValue(const ParamValue &value);
+
+/**
+ * A parsed (but not yet resolved) balancer spec: the policy name plus
+ * the key=value pairs in their textual order.  Resolution against the
+ * policy's ParamSpec table happens in the registry.
+ */
+struct PolicySpec
+{
+    std::string name;
+    std::vector<std::pair<std::string, std::string>> params;
+};
+
+/**
+ * Split `policy` / `policy:key=val,...` into a PolicySpec.  Fatal on
+ * grammar violations: empty name, empty parameter section, a pair
+ * without '=', an empty key, or a duplicate key.  Values are kept as
+ * text — typing is the registry's job.
+ */
+PolicySpec parsePolicySpec(const std::string &spec);
+
+} // namespace neofog
+
+#endif // NEOFOG_BALANCE_POLICY_SPEC_HH

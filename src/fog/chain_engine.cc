@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "balance/policy_registry.hh"
 #include "energy/power_trace.hh"
 #include "net/mac.hh"
 #include "net/packet.hh"
@@ -14,7 +15,7 @@ ChainEngine::ChainEngine(const ScenarioConfig &cfg,
                          std::uint32_t first_node_id, Rng rng,
                          std::shared_ptr<const PowerTrace> shared_trace)
     : _cfg(cfg), _chainIndex(chain_index), _rng(rng), _loss(cfg.loss),
-      _balancer(makeBalancer(cfg.balancerPolicy)),
+      _balancer(PolicyRegistry::instance().make(cfg.balancerPolicy)),
       _sharedTrace(std::move(shared_trace))
 {
     const auto mux = static_cast<std::size_t>(_cfg.multiplexing);

@@ -1,5 +1,6 @@
 #include "fog/fog_system.hh"
 
+#include "balance/policy_registry.hh"
 #include "energy/trace_cache.hh"
 #include "fog/snapshot_io.hh"
 #include "sim/logging.hh"
@@ -17,6 +18,16 @@ FogSystem::FogSystem(const ScenarioConfig &cfg)
         fatal("multiplexing must be >= 1");
     if (_cfg.slotInterval <= 0 || _cfg.horizon < _cfg.slotInterval)
         fatal("bad slot interval / horizon");
+
+    // Canonicalize the balancer spec up front: one registry walk
+    // validates the policy name and every parameter (failing with
+    // did-you-mean diagnostics before any chain is built), and the
+    // canonical form — name + non-default params only — is what
+    // serializeScenario() then carries into the snapshot config
+    // fingerprint, so a resume under a differently tuned policy is
+    // rejected loudly instead of silently diverging.
+    _cfg.balancerPolicy =
+        PolicyRegistry::instance().canonicalSpec(_cfg.balancerPolicy);
 
     // With the energy cache enabled, deployment-wide streams are
     // built once here and shared read-only by every chain: the rain

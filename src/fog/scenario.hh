@@ -57,7 +57,14 @@ struct ScenarioConfig
     Power meanIncome = Power::fromMilliwatts(2.2);
 
     OperatingMode mode = OperatingMode::FiosNvMote;
-    /** "none", "tree", or "distributed". */
+    /**
+     * Offloading-policy spec, `policy` or `policy:key=val,...`
+     * (see balance/policy_registry.hh; `neofog_cli --list-balancers`
+     * prints the registered policies and their parameters).
+     * FogSystem canonicalizes this field on construction — name plus
+     * non-default parameters only — and the canonical spec is part of
+     * the snapshot config fingerprint.
+     */
     std::string balancerPolicy = "none";
 
     LossModel::Config loss{};

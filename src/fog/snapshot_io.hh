@@ -92,6 +92,10 @@ serializeScenario(Archive &ar, ScenarioConfig &cfg)
     ar.io("mode", mode);
     if constexpr (Archive::isLoading)
         cfg.mode = static_cast<OperatingMode>(mode);
+    // The full balancer spec — policy name plus non-default
+    // parameters, canonicalized by the FogSystem constructor — so a
+    // resume under a differently *tuned* policy (not just a
+    // different name) fails the fingerprint check.
     ar.io("balancer_policy", cfg.balancerPolicy);
     ar.io("loss", cfg.loss);
     ar.pushScope("node_template");
