@@ -109,7 +109,7 @@ class SuperCapacitor
     }
 
   private:
-    Config _cfg;
+    Config _cfg; // neofog-lint: allow(snapshot): construction-time configuration, rebuilt from the scenario on resume (only the stored level and lifetime accounting mutate)
     Energy _stored;
     Energy _overflowTotal;
     Energy _leakedTotal;

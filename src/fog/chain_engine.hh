@@ -187,12 +187,12 @@ class ChainEngine
     void sampleProbe(std::int64_t slot_index, Tick now);
 
     const ScenarioConfig &_cfg;
-    std::size_t _chainIndex;
+    std::size_t _chainIndex; // neofog-lint: allow(snapshot): chain position is construction-derived from the scenario layout
     Rng _rng;
     LossModel _loss;
-    std::unique_ptr<LoadBalancer> _balancer;
+    std::unique_ptr<LoadBalancer> _balancer; // neofog-lint: allow(snapshot): the balancer is re-built from the scenario policy spec on resume; stateful policies archive via LbState
     /** Cached `_balancer->name() == "none"` (checked every slot). */
-    bool _balancerIsNoop = false;
+    bool _balancerIsNoop = false; // neofog-lint: allow(snapshot): cached predicate over the rebuilt balancer (recomputed at construction)
 
     /**
      * Scenario-wide shared stream (see FogSystem::_sharedTrace); node
@@ -201,14 +201,14 @@ class ChainEngine
     std::shared_ptr<const PowerTrace> _sharedTrace;
 
     /** Hoist the batched slot kernel can apply (set at construction). */
-    IncomeHoist _hoist = IncomeHoist::None;
+    IncomeHoist _hoist = IncomeHoist::None; // neofog-lint: allow(snapshot): construction-time kernel selection (pure function of the trace shape)
 
     /**
      * SoA state of every node in this chain (see node_soa.hh).  Must
      * be declared before _nodes: the Node facades point into these
      * arrays and must be destroyed first.
      */
-    NodeShard _soa;
+    NodeShard _soa; // neofog-lint: allow(snapshot): the SoA shard rows are archived through the Node facades (*_nodes[i] below walks every row)
 
     /** Physical nodes of this chain, in id order. */
     std::vector<std::unique_ptr<Node>> _nodes;
@@ -222,9 +222,9 @@ class ChainEngine
      * capacity instead of reallocating every slot.  Valid only within
      * one runSlot/balance invocation.
      */
-    std::vector<Node *> _scheduled;
-    std::vector<LbNodeState> _lbStates;
-    LbOutcome _lbOutcome;
+    std::vector<Node *> _scheduled; // neofog-lint: allow(snapshot): per-slot scratch, valid only within one runSlot; reconstructed empty on resume
+    std::vector<LbNodeState> _lbStates; // neofog-lint: allow(snapshot): per-slot scratch, valid only within one runSlot; reconstructed empty on resume
+    LbOutcome _lbOutcome; // neofog-lint: allow(snapshot): per-slot scratch, valid only within one runSlot; reconstructed empty on resume
 
     /** One accrual window the batched slot kernel integrated. */
     struct IncomeWindow
@@ -234,7 +234,7 @@ class ChainEngine
         Energy unit; ///< shared-trace (or constant-level) integral
     };
     /** Windows integrated this slot (scratch for beginSlotBatch). */
-    std::vector<IncomeWindow> _windowMemo;
+    std::vector<IncomeWindow> _windowMemo; // neofog-lint: allow(snapshot): per-slot scratch, valid only within one beginSlotBatch; reconstructed empty on resume
 
     SystemReport _shard;
     ChainProbe _probe;

@@ -108,7 +108,7 @@ class NvBuffer
     }
 
   private:
-    Config _cfg;
+    Config _cfg; // neofog-lint: allow(snapshot): construction-time configuration, rebuilt from the scenario on resume
     std::size_t _size = 0;
     std::uint64_t _accepted = 0;
     std::uint64_t _dropped = 0;

@@ -236,7 +236,7 @@ class NvRfController : public RfModule
     }
 
   private:
-    NvConfig _nv;
+    NvConfig _nv; // neofog-lint: allow(snapshot): one-time NV configuration latch, rebuilt from the scenario on resume; the network state lives in RfState::serialize
     bool _configured = false;
 };
 

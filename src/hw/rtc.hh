@@ -109,7 +109,7 @@ class Rtc
     }
 
   private:
-    Config _cfg;
+    Config _cfg; // neofog-lint: allow(snapshot): construction-time configuration, rebuilt from the scenario on resume
     SuperCapacitor _cap;
     bool _synchronized = true;
     std::uint64_t _desyncs = 0;

@@ -118,7 +118,7 @@ class Sensor
     }
 
   private:
-    SensorSpec _spec;
+    SensorSpec _spec; // neofog-lint: allow(snapshot): construction-time sensor spec, rebuilt from the scenario on resume; only the volatile init latch mutates
     bool _initialized = false;
 };
 

@@ -77,7 +77,7 @@ class LossModel
     }
 
   private:
-    Config _cfg;
+    Config _cfg; // neofog-lint: allow(snapshot): construction-time configuration, rebuilt from the scenario on resume; only the attempt/loss accounting mutates
     mutable std::uint64_t _attempts = 0;
     mutable std::uint64_t _losses = 0;
 };

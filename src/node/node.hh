@@ -521,15 +521,15 @@ class Node
     Energy accrueIncome(Tick from, Tick to);
 
     Config _cfg;
-    std::unique_ptr<PowerTrace> _trace;
+    std::unique_ptr<PowerTrace> _trace; // neofog-lint: allow(snapshot): the power trace is rebuilt from the scenario on resume; its sampling cursor is reset, not archived
     std::optional<TraceCursor> _cursor;
     Rng _rng;
 
-    FrontEnd _frontend;
-    std::unique_ptr<Processor> _cpu;
+    FrontEnd _frontend; // neofog-lint: allow(snapshot): stateless facade; the sensor/buffer state it fronts lives in the shard rows archived above
+    std::unique_ptr<Processor> _cpu; // neofog-lint: allow(snapshot): stateless strategy object; per-slot compute state lives in the shard rows archived above
 
     /** Private shard of a standalone node (null for chain nodes). */
-    std::unique_ptr<NodeShard> _ownShard;
+    std::unique_ptr<NodeShard> _ownShard; // neofog-lint: allow(snapshot): shard storage is re-created at construction; the row contents are archived via the s.*[_row] fields above
     /** The shard holding this node's mutable state... */
     NodeShard *_shard = nullptr;
     /** ...at this row. */
@@ -538,13 +538,13 @@ class Node
     // Construction-time cost constants: pure functions of the fixed
     // node configuration (the RF transmit cost, the sensor/buffer
     // sampling cost, the processor wake cost carry no mutable state).
-    bool _traceFast = false;        ///< _trace->hasFastIntegrate()
-    Energy _wakeCostConst;          ///< wakeCost()
-    Energy _sampleCostConst;        ///< sampleCost()
-    Energy _txPackageEnergy;        ///< mode-payload tx energy
-    Tick _txCompressedDuration = 0; ///< result-package tx airtime
+    bool _traceFast = false;        ///< _trace->hasFastIntegrate() // neofog-lint: allow(snapshot): construction-time cost constant (pure function of the fixed node configuration)
+    Energy _wakeCostConst;          ///< wakeCost() // neofog-lint: allow(snapshot): construction-time cost constant (pure function of the fixed node configuration)
+    Energy _sampleCostConst;        ///< sampleCost() // neofog-lint: allow(snapshot): construction-time cost constant (pure function of the fixed node configuration)
+    Energy _txPackageEnergy;        ///< mode-payload tx energy // neofog-lint: allow(snapshot): construction-time cost constant (pure function of the fixed node configuration)
+    Tick _txCompressedDuration = 0; ///< result-package tx airtime // neofog-lint: allow(snapshot): construction-time cost constant (pure function of the fixed node configuration)
 
-    NodeObserver *_observer = nullptr;
+    NodeObserver *_observer = nullptr; // neofog-lint: allow(snapshot): non-owning observer hook, re-attached by the harness after resume; never part of simulation state
 };
 
 } // namespace neofog

@@ -7,7 +7,7 @@ namespace neofog {
 
 namespace {
 
-LogLevel globalLevel = LogLevel::Warn;
+LogLevel globalLevel = LogLevel::Warn; // neofog-lint: allow(global): process-wide log-level latch, set once by the harness before any chain-parallel work starts and read-only after
 
 const char *
 levelName(LogLevel level)

@@ -72,8 +72,8 @@ class CloneGroup
     }
 
   private:
-    std::size_t _logicalId;
-    std::vector<std::size_t> _members;
+    std::size_t _logicalId; // neofog-lint: allow(snapshot): group identity is construction-derived (formation is deterministic in node order); only the rotation phase mutates
+    std::vector<std::size_t> _members; // neofog-lint: allow(snapshot): membership is construction-derived (formation is deterministic in node order); only the rotation phase mutates
     int _rotation = 0;
 };
 

@@ -1,0 +1,26 @@
+// R7 fixture: `ghost_knob` is declared but never read in the builder
+// (dead knob or typo), and `undocumented` carries empty docs — the
+// registry-coverage pass must flag both; `alpha` is read and
+// documented, so it stays clean.
+#include "balance/r7_registry.hh"
+
+namespace neofog {
+
+void
+registerFixturePolicies(PolicyRegistry &reg)
+{
+    reg.add({"fixture",
+             "r7 fixture policy",
+             {{"alpha", ParamType::Double, ParamValue::ofDouble(0.5),
+               "smoothing factor, in (0, 1]"},
+              {"ghost_knob", ParamType::Int, ParamValue::ofInt(1),
+               "declared but never read below"},
+              {"undocumented", ParamType::Bool,
+               ParamValue::ofBool(false), ""}},
+             [](const ParamSet &p) {
+                 return makeFixturePolicy(p.d("alpha"),
+                                          p.b("undocumented"));
+             }});
+}
+
+} // namespace neofog

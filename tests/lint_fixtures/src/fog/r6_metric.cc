@@ -1,0 +1,32 @@
+// R6 fixture: MiniReport is registry-backed (a concrete
+// MetricRegistry<MiniReport> exists below) but its `stranded` member
+// never appears as a &MiniReport::member MetricDef — the
+// metric-coverage pass must flag it by name.
+#include "fog/r6_metric.hh"
+
+namespace neofog {
+
+struct MiniReport
+{
+    unsigned long sent = 0;
+    unsigned long lost = 0;
+    unsigned long stranded = 0; // line 13: missing from the registry
+};
+
+namespace {
+
+using R = MiniReport;
+
+const MetricRegistry<MiniReport> &
+miniMetrics()
+{
+    static const MetricRegistry<MiniReport> reg{{
+        {"sent", "packages sent", &R::sent},
+        {"lost", "packages lost", &R::lost},
+    }};
+    return reg;
+}
+
+} // namespace
+
+} // namespace neofog

@@ -1,0 +1,29 @@
+// R5 fixture: the seeded mutation.  _driftScratch is a freshly added
+// member that nobody serialized and nobody justified — the
+// snapshot-coverage pass must name it (file, line, member) instead of
+// leaving the failure to a bare sizeof pin.
+#ifndef NEOFOG_HW_R5_SNAPSHOT_HH
+#define NEOFOG_HW_R5_SNAPSHOT_HH
+
+namespace neofog {
+
+class DriftModel
+{
+  public:
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("accumulated", _accumulated);
+        ar.io("steps", _steps);
+    }
+
+  private:
+    double _accumulated = 0.0;
+    unsigned long _steps = 0;
+    double _driftScratch = 0.0; // line 24: the unserialized member
+};
+
+} // namespace neofog
+
+#endif // NEOFOG_HW_R5_SNAPSHOT_HH

@@ -1,0 +1,32 @@
+// R8 fixture: mutable namespace-scope, static-local, and class-static
+// state must all be flagged; const/constexpr declarations and a
+// justified allow(global) stay clean.
+#include "sim/r8_global.hh"
+
+namespace neofog {
+
+int stray_counter = 0;            // line 8: namespace-scope mutable
+static double cached_ratio = 0.0; // line 9: ditto (internal linkage)
+const int kTableSize = 8;         // const: clean
+constexpr double kEps = 1e-9;     // constexpr: clean
+
+struct Holder
+{
+    static int liveCount; // line 15: class-static mutable
+    int id = 0;
+};
+
+int
+bump()
+{
+    static int calls = 0;      // line 22: function-local static
+    static const int base = 3; // const: clean
+    calls += stray_counter;
+    return calls + base + kTableSize;
+}
+
+namespace {
+long allowed_scratch = 0; // neofog-lint: allow(global): fixture-sanctioned scratch, single-threaded setup only
+} // namespace
+
+} // namespace neofog

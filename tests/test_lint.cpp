@@ -20,16 +20,18 @@
 #include <gtest/gtest.h>
 
 #include "lint.hh"
+#include "model.hh"
 
 using neofog::lint::Finding;
+using neofog::lint::Model;
 using neofog::lint::Result;
 using neofog::lint::Rule;
 
 namespace {
 
-/** Lint one fixture file under its logical repo-relative path. */
-Result
-lintFixture(const std::string &rel_path)
+/** Read a fixture file's text, failing the test if it is missing. */
+std::string
+fixtureText(const std::string &rel_path)
 {
     const std::string full =
         std::string(NEOFOG_LINT_FIXTURE_DIR) + "/" + rel_path;
@@ -37,9 +39,38 @@ lintFixture(const std::string &rel_path)
     EXPECT_TRUE(is.good()) << "missing fixture " << full;
     std::ostringstream ss;
     ss << is.rdbuf();
+    return ss.str();
+}
+
+/** Lint one fixture file under its logical repo-relative path. */
+Result
+lintFixture(const std::string &rel_path)
+{
     Result result;
-    neofog::lint::lintFile(rel_path, ss.str(), result);
+    neofog::lint::lintFile(rel_path, fixtureText(rel_path), result);
     return result;
+}
+
+/** Run the semantic passes (R5-R8) over one or more fixtures. */
+Result
+lintSemanticFixtures(std::initializer_list<std::string> rel_paths)
+{
+    Model model;
+    Result result;
+    for (const std::string &rel : rel_paths)
+        neofog::lint::collectFile(rel, fixtureText(rel), model);
+    neofog::lint::lintModel(model, result);
+    return result;
+}
+
+/** First finding message for a rule, "" when none. */
+std::string
+messageOf(const Result &r, Rule rule)
+{
+    for (const Finding &f : r.findings)
+        if (f.rule == rule)
+            return f.message;
+    return {};
 }
 
 int
@@ -67,8 +98,14 @@ TEST(LintRules, IdsAndNamesRoundTrip)
     EXPECT_STREQ(ruleId(Rule::Layering), "R2.layering");
     EXPECT_STREQ(ruleId(Rule::Observability), "R3.observability");
     EXPECT_STREQ(ruleId(Rule::Hygiene), "R4.hygiene");
+    EXPECT_STREQ(ruleId(Rule::Snapshot), "R5.snapshot");
+    EXPECT_STREQ(ruleId(Rule::Metric), "R6.metric");
+    EXPECT_STREQ(ruleId(Rule::Registry), "R7.registry");
+    EXPECT_STREQ(ruleId(Rule::Global), "R8.global");
     for (Rule rule : {Rule::Determinism, Rule::Layering,
-                      Rule::Observability, Rule::Hygiene}) {
+                      Rule::Observability, Rule::Hygiene,
+                      Rule::Snapshot, Rule::Metric, Rule::Registry,
+                      Rule::Global}) {
         Rule parsed = Rule::Hygiene;
         EXPECT_TRUE(
             neofog::lint::ruleFromName(ruleName(rule), parsed));
@@ -135,7 +172,7 @@ TEST(LintFixtures, R4HygieneFlagsGuardAndNamespaceLeak)
 
 TEST(LintFixtures, ValidSuppressionIsHonoredAndCounted)
 {
-    const Result r = lintFixture("src/virt/r5_suppressed.cc");
+    const Result r = lintFixture("src/virt/suppression_valid.cc");
     EXPECT_EQ(neofog::lint::exitCode(r), 0);
     EXPECT_TRUE(r.findings.empty());
     ASSERT_EQ(r.suppressions.size(), 1u);
@@ -146,7 +183,7 @@ TEST(LintFixtures, ValidSuppressionIsHonoredAndCounted)
 
 TEST(LintFixtures, MalformedAndUnusedTrailersAreViolations)
 {
-    const Result r = lintFixture("src/virt/r6_bad_suppression.cc");
+    const Result r = lintFixture("src/virt/suppression_bad.cc");
     EXPECT_EQ(neofog::lint::exitCode(r), 1);
     // Justification-less trailer: the R1 hit survives AND the trailer
     // itself is a hygiene violation.
@@ -252,4 +289,205 @@ TEST(LintScan, DigitSeparatorsDoNotSwallowCode)
                            "void f() { g(1'000, time(nullptr)); }\n",
                            r);
     EXPECT_EQ(countRule(r, Rule::Determinism), 1);
+}
+
+// ------------------------------------------------- semantic passes
+
+TEST(LintSemantic, R5SnapshotNamesTheUnserializedMember)
+{
+    const Result r = lintSemanticFixtures({"src/hw/r5_snapshot.hh"});
+    EXPECT_EQ(neofog::lint::exitCode(r), 1);
+    EXPECT_EQ(countRule(r, Rule::Snapshot), 1);
+    // The seeded mutation is reported with rule id, member name, and
+    // file:line — not a bare sizeof mismatch.
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Snapshot, 24));
+    const std::string msg = messageOf(r, Rule::Snapshot);
+    EXPECT_NE(msg.find("_driftScratch"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("DriftModel"), std::string::npos) << msg;
+}
+
+TEST(LintSemantic, R5ExemptsConstSuppressedAndRegistryWalked)
+{
+    const Result r =
+        lintSemanticFixtures({"src/hw/r5_snapshot_ok.hh"});
+    EXPECT_EQ(neofog::lint::exitCode(r), 0)
+        << (r.findings.empty() ? "" : r.findings[0].message);
+    // The allow(snapshot) on _memo is honored and counted.
+    ASSERT_EQ(r.suppressions.size(), 1u);
+    EXPECT_EQ(r.suppressions[0].rule, Rule::Snapshot);
+    EXPECT_FALSE(r.suppressions[0].justification.empty());
+}
+
+TEST(LintSemantic, R6MetricNamesTheUnregisteredReportMember)
+{
+    const Result r = lintSemanticFixtures({"src/fog/r6_metric.cc"});
+    EXPECT_EQ(neofog::lint::exitCode(r), 1);
+    EXPECT_EQ(countRule(r, Rule::Metric), 1);
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Metric, 13));
+    const std::string msg = messageOf(r, Rule::Metric);
+    EXPECT_NE(msg.find("stranded"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("MiniReport"), std::string::npos) << msg;
+}
+
+TEST(LintSemantic, R6ResolvesAliasesAcrossFiles)
+{
+    // The report struct lives in a header, the registry declaration
+    // (with a `using R = ...` alias) in a .cc — the model joins them.
+    Model m;
+    Result r;
+    neofog::lint::collectFile(
+        "src/fog/rep.hh",
+        "#ifndef NEOFOG_FOG_REP_HH\n#define NEOFOG_FOG_REP_HH\n"
+        "struct Rep { unsigned a = 0; unsigned b = 0; };\n"
+        "#endif\n",
+        m);
+    neofog::lint::collectFile(
+        "src/fog/rep.cc",
+        "#include \"fog/rep.hh\"\n"
+        "using R = Rep;\n"
+        "static const MetricRegistry<Rep> regy{{{\"a\", &R::a}}};\n",
+        m);
+    neofog::lint::lintModel(m, r);
+    EXPECT_EQ(countRule(r, Rule::Metric), 1);
+    const std::string msg = messageOf(r, Rule::Metric);
+    EXPECT_NE(msg.find("'b'"), std::string::npos) << msg;
+    EXPECT_EQ(r.findings[0].file, "src/fog/rep.hh");
+}
+
+TEST(LintSemantic, R6IgnoresTemplateParameterRegistries)
+{
+    // MetricRegistry<Report> where Report is a template parameter
+    // (the registry's own header) must not create a report struct.
+    Model m;
+    Result r;
+    neofog::lint::collectFile(
+        "src/sim/metrics_like.hh",
+        "#ifndef NEOFOG_SIM_METRICS_LIKE_HH\n"
+        "#define NEOFOG_SIM_METRICS_LIKE_HH\n"
+        "template <class Report> class MetricRegistry {};\n"
+        "template <class Report>\n"
+        "const MetricRegistry<Report> &get();\n"
+        "struct Report { int x = 0; };\n"
+        "#endif\n",
+        m);
+    neofog::lint::lintModel(m, r);
+    EXPECT_EQ(countRule(r, Rule::Metric), 0)
+        << messageOf(r, Rule::Metric);
+}
+
+TEST(LintSemantic, R7FlagsUnreadAndUndocumentedParams)
+{
+    const Result r =
+        lintSemanticFixtures({"src/balance/r7_registry.cc"});
+    EXPECT_EQ(neofog::lint::exitCode(r), 1);
+    EXPECT_EQ(countRule(r, Rule::Registry), 2);
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Registry, 16)); // unread
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Registry, 18)); // no docs
+    const std::string msg = messageOf(r, Rule::Registry);
+    EXPECT_NE(msg.find("ghost_knob"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'fixture'"), std::string::npos) << msg;
+}
+
+TEST(LintSemantic, R8FlagsEveryMutableGlobalKind)
+{
+    const Result r = lintSemanticFixtures({"src/sim/r8_global.cc"});
+    EXPECT_EQ(neofog::lint::exitCode(r), 1);
+    EXPECT_EQ(countRule(r, Rule::Global), 4);
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Global, 8));  // ns-scope
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Global, 9));  // static ns
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Global, 15)); // class-static
+    EXPECT_TRUE(hasFindingAtLine(r, Rule::Global, 22)); // static local
+    // const/constexpr declarations stay clean; the justified
+    // allow(global) is honored and counted.
+    EXPECT_FALSE(hasFindingAtLine(r, Rule::Global, 10));
+    EXPECT_FALSE(hasFindingAtLine(r, Rule::Global, 11));
+    EXPECT_FALSE(hasFindingAtLine(r, Rule::Global, 23));
+    ASSERT_EQ(r.suppressions.size(), 1u);
+    EXPECT_EQ(r.suppressions[0].rule, Rule::Global);
+    EXPECT_EQ(r.suppressions[0].line, 29);
+}
+
+TEST(LintSemantic, UnusedProjectRuleTrailerIsFlaggedByModelOnly)
+{
+    // A stray allow(snapshot) with nothing to suppress: lintFile must
+    // leave it alone (the model owns R5-R8 accounting) and lintModel
+    // must flag it unused.
+    const std::string text =
+        "void f();"
+        " // neofog-lint: allow(snapshot): nothing here needs it\n";
+    Result file;
+    neofog::lint::lintFile("src/sim/stray.cc", text, file);
+    EXPECT_EQ(countRule(file, Rule::Hygiene), 0);
+    Model m;
+    Result sem;
+    neofog::lint::collectFile("src/sim/stray.cc", text, m);
+    neofog::lint::lintModel(m, sem);
+    EXPECT_EQ(countRule(sem, Rule::Hygiene), 1);
+    EXPECT_TRUE(hasFindingAtLine(sem, Rule::Hygiene, 1));
+}
+
+TEST(LintSemantic, DeclarationsOutsideSrcAreNotModeled)
+{
+    // bench/ and examples/ declarations never enter the model (the
+    // semantic rules are src/-only), but their trailers still settle.
+    Model m;
+    Result r;
+    neofog::lint::collectFile(
+        "bench/scratch.cc", "int mutable_bench_counter = 0;\n", m);
+    neofog::lint::lintModel(m, r);
+    EXPECT_EQ(countRule(r, Rule::Global), 0);
+}
+
+// ----------------------------------------------------- output formats
+
+TEST(LintOutput, JsonFormatCarriesSchemaFindingsAndSuppressions)
+{
+    Result r;
+    r.filesScanned = 3;
+    r.findings.push_back({"src/hw/rtc.hh", 12, Rule::Snapshot,
+                          "unserialized member '_x' of \"Y\""});
+    r.suppressions.push_back(
+        {"src/sim/logging.cc", 10, Rule::Global, "latch"});
+    std::ostringstream os;
+    neofog::lint::printJson(r, os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("\"schema\": \"neofog-lint-v1\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"files_scanned\": 3"), std::string::npos);
+    EXPECT_NE(out.find("\"rule\": \"R5.snapshot\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"line\": 12"), std::string::npos);
+    // The embedded quotes are escaped, keeping the document valid.
+    EXPECT_NE(out.find("\\\"Y\\\""), std::string::npos);
+    EXPECT_NE(out.find("\"rule\": \"R8.global\""), std::string::npos);
+}
+
+TEST(LintOutput, JsonFormatEmitsEmptyArraysWhenClean)
+{
+    Result r;
+    r.filesScanned = 1;
+    std::ostringstream os;
+    neofog::lint::printJson(r, os);
+    EXPECT_NE(os.str().find("\"findings\": []"), std::string::npos);
+    EXPECT_NE(os.str().find("\"suppressions\": []"),
+              std::string::npos);
+}
+
+TEST(LintOutput, GithubFormatEmitsEscapedErrorAnnotations)
+{
+    Result r;
+    r.filesScanned = 1;
+    r.findings.push_back({"src/net/loss.hh", 7, Rule::Metric,
+                          "50% drop\nsecond line"});
+    std::ostringstream os;
+    neofog::lint::printGithub(r, os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("::error file=src/net/loss.hh,line=7,"
+                       "title=R6.metric::"),
+              std::string::npos)
+        << out;
+    // % and newlines use the workflow-command escapes.
+    EXPECT_NE(out.find("50%25 drop%0Asecond line"),
+              std::string::npos)
+        << out;
 }

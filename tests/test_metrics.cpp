@@ -54,6 +54,9 @@ TEST(MetricRegistry, EveryFieldIsDeclaredExactlyOnce)
     // 21 counters + idealPackages come to 22 u64s; 7 double gauges.
     // If this fails after adding a SystemReport field, add its
     // MetricDef line in system_report.cc (and nothing else).
+    // R6.metric in tools/neofog_lint catches the same omission by
+    // name (&SystemReport::field must appear as a MetricDef); this
+    // sizeof pin is the layout backstop it can't provide.
     EXPECT_EQ(reg.storedCount() * sizeof(std::uint64_t),
               sizeof(SystemReport));
 

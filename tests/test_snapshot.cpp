@@ -277,8 +277,12 @@ TEST(Archive, RngStreamPositionRoundTrips)
 // ---------------------------------------------------------------------
 // Serialized-footprint pins (the sizeof(SystemReport) trick): adding
 // a data member to a snapshotted struct without extending serialize()
-// would silently corrupt resumes; these pins make it fail here
-// instead.  If one trips, update the struct's serialize() AND the pin.
+// would silently corrupt resumes.  The first line of defense is now
+// R5.snapshot in tools/neofog_lint, which names the forgotten member
+// by field and line; these pins stay as the layout backstop for what
+// a token-level pass can't see (padding, type-size changes, members
+// smuggled in through a base class).  If one trips, update the
+// struct's serialize() AND the pin.
 // ---------------------------------------------------------------------
 
 TEST(SnapshotFootprint, PinsEverySnapshottedStruct)

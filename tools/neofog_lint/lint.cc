@@ -1,9 +1,10 @@
 /**
  * @file
  * neofog_lint engine: comment/string stripping, suppression-trailer
- * parsing, and the R1-R4 rule passes.  See lint.hh for the contract
- * and DESIGN.md "Static analysis & enforced invariants" for the rule
- * rationale.
+ * parsing, the R1-R4 token passes, and the report printers.  The
+ * semantic passes (R5-R8) live in model.cc.  See lint.hh for the
+ * contract and DESIGN.md "Static analysis & enforced invariants" for
+ * the rule rationale.
  */
 
 #include "lint.hh"
@@ -11,11 +12,14 @@
 #include <algorithm>
 #include <cctype>
 #include <cstddef>
+#include <cstdio>
 #include <map>
 #include <ostream>
 #include <regex>
 #include <set>
 #include <sstream>
+
+#include "scan.hh"
 
 namespace neofog::lint {
 
@@ -23,10 +27,12 @@ namespace {
 
 // ---------------------------------------------------------------- rules
 
-const char *kRuleIds[] = {"R1.determinism", "R2.layering",
-                          "R3.observability", "R4.hygiene"};
-const char *kRuleNames[] = {"determinism", "layering", "observability",
-                            "hygiene"};
+const char *kRuleIds[kRuleCount] = {
+    "R1.determinism", "R2.layering", "R3.observability", "R4.hygiene",
+    "R5.snapshot",    "R6.metric",   "R7.registry",      "R8.global"};
+const char *kRuleNames[kRuleCount] = {
+    "determinism", "layering", "observability", "hygiene",
+    "snapshot",    "metric",   "registry",      "global"};
 
 /**
  * Layer DAG over `src/` subsystems: which subsystem directories each
@@ -101,27 +107,6 @@ sinkFiles()
 
 // ------------------------------------------------------- path analysis
 
-bool
-startsWith(const std::string &s, const std::string &prefix)
-{
-    return s.rfind(prefix, 0) == 0;
-}
-
-bool
-endsWith(const std::string &s, const std::string &suffix)
-{
-    return s.size() >= suffix.size() &&
-           s.compare(s.size() - suffix.size(), suffix.size(),
-                     suffix) == 0;
-}
-
-bool
-isHeaderPath(const std::string &path)
-{
-    return endsWith(path, ".hh") || endsWith(path, ".hpp") ||
-           endsWith(path, ".h");
-}
-
 /** "src/fog/chain_engine.cc" -> "fog"; "" when not under src/. */
 std::string
 srcLayerOf(const std::string &rel_path)
@@ -133,152 +118,6 @@ srcLayerOf(const std::string &rel_path)
     if (slash == std::string::npos)
         return {};
     return rel_path.substr(start, slash - start);
-}
-
-// ------------------------------------- comment/string/trailer scanning
-
-/** Per-file scan state carried across lines. */
-struct ScanState {
-    bool inBlockComment = false;
-    bool inRawString = false;
-    std::string rawDelimiter; // the )delim" that ends a raw string
-};
-
-struct LineScan {
-    std::string code;    ///< line with comments/strings blanked
-    std::string comment; ///< concatenated // and /* */ comment text
-};
-
-/**
- * Strip comments, string literals, and char literals from one line,
- * preserving column positions (stripped characters become spaces).
- * Comment *text* is captured so suppression trailers survive.
- */
-LineScan
-scanLine(const std::string &line, ScanState &state)
-{
-    LineScan out;
-    out.code.assign(line.size(), ' ');
-    std::size_t i = 0;
-    const std::size_t n = line.size();
-    while (i < n) {
-        if (state.inBlockComment) {
-            const std::size_t end = line.find("*/", i);
-            const std::size_t stop =
-                end == std::string::npos ? n : end;
-            out.comment.append(line, i, stop - i);
-            if (end == std::string::npos)
-                return out;
-            state.inBlockComment = false;
-            i = end + 2;
-            continue;
-        }
-        if (state.inRawString) {
-            const std::size_t end = line.find(state.rawDelimiter, i);
-            if (end == std::string::npos)
-                return out;
-            state.inRawString = false;
-            i = end + state.rawDelimiter.size();
-            continue;
-        }
-        const char c = line[i];
-        if (c == '/' && i + 1 < n && line[i + 1] == '/') {
-            out.comment.append(line, i + 2, n - i - 2);
-            return out;
-        }
-        if (c == '/' && i + 1 < n && line[i + 1] == '*') {
-            state.inBlockComment = true;
-            i += 2;
-            continue;
-        }
-        if (c == 'R' && i + 1 < n && line[i + 1] == '"' &&
-            (i == 0 || (!std::isalnum(static_cast<unsigned char>(
-                            line[i - 1])) &&
-                        line[i - 1] != '_'))) {
-            const std::size_t paren = line.find('(', i + 2);
-            if (paren != std::string::npos) {
-                state.rawDelimiter =
-                    ")" + line.substr(i + 2, paren - i - 2) + "\"";
-                state.inRawString = true;
-                const std::size_t end =
-                    line.find(state.rawDelimiter, paren + 1);
-                if (end != std::string::npos) {
-                    state.inRawString = false;
-                    i = end + state.rawDelimiter.size();
-                } else {
-                    return out;
-                }
-                continue;
-            }
-        }
-        if (c == '\'' && i > 0 &&
-            std::isdigit(static_cast<unsigned char>(line[i - 1]))) {
-            // Digit separator (20'000), not a char literal.
-            ++i;
-            continue;
-        }
-        if (c == '"' || c == '\'') {
-            const char quote = c;
-            ++i;
-            while (i < n) {
-                if (line[i] == '\\')
-                    i += 2;
-                else if (line[i] == quote) {
-                    ++i;
-                    break;
-                } else
-                    ++i;
-            }
-            out.code[i <= n ? i - 1 : n - 1] = ' ';
-            continue;
-        }
-        out.code[i] = c;
-        ++i;
-    }
-    return out;
-}
-
-// -------------------------------------------------- suppression parsing
-
-struct Trailer {
-    bool present = false;
-    bool wellFormed = false;
-    Rule rule = Rule::Hygiene;
-    std::string ruleText;
-    std::string justification;
-};
-
-/**
- * Parse `neofog-lint: allow(<rule>): <justification>` out of a line's
- * comment text.  A trailer with an unknown rule or an empty
- * justification is reported as a hygiene violation (present but not
- * well-formed) so suppressions can never silently rot.
- */
-Trailer
-parseTrailer(const std::string &comment)
-{
-    Trailer t;
-    const std::size_t at = comment.find("neofog-lint:");
-    if (at == std::string::npos)
-        return t;
-    t.present = true;
-    static const std::regex re(
-        R"(neofog-lint:\s*allow\(([A-Za-z0-9_.]+)\)\s*:\s*(\S.*))");
-    std::smatch m;
-    if (!std::regex_search(comment, m, re))
-        return t;
-    t.ruleText = m[1];
-    t.justification = m[2];
-    // Accept both the short name ("determinism") and the full id
-    // ("R1.determinism").
-    std::string name = t.ruleText;
-    const std::size_t dot = name.find('.');
-    if (dot != std::string::npos)
-        name = name.substr(dot + 1);
-    if (!ruleFromName(name, t.rule))
-        return t;
-    t.wellFormed = true;
-    return t;
 }
 
 // ---------------------------------------------------------- rule passes
@@ -378,8 +217,8 @@ includeTarget(const std::string &code, std::string &full)
     return full.substr(0, slash);
 }
 
-// Note: #include lines survive in `code` (only strings are blanked),
-// so R2 parses the raw line text instead.
+// Note: #include lines are parsed from the raw line text (their
+// quoted path is a string literal, blanked in `code`).
 
 struct FileScope {
     bool checkDeterminism = false; ///< R1 token bans
@@ -423,6 +262,54 @@ scopeOf(const std::string &rel_path)
     return s;
 }
 
+/** JSON string escaping (control chars, quotes, backslashes). */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(c)));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * GitHub workflow-command data escaping: % first, then newlines
+ * (https://docs.github.com/actions "workflow commands" grammar).
+ */
+std::string
+githubEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (const char c : s) {
+        switch (c) {
+        case '%': out += "%25"; break;
+        case '\r': out += "%0D"; break;
+        case '\n': out += "%0A"; break;
+        default: out += c;
+        }
+    }
+    return out;
+}
+
 } // namespace
 
 // ------------------------------------------------------------- public
@@ -442,7 +329,7 @@ ruleName(Rule rule)
 bool
 ruleFromName(const std::string &name, Rule &out)
 {
-    for (int i = 0; i < 4; ++i) {
+    for (int i = 0; i < kRuleCount; ++i) {
         if (name == kRuleNames[i]) {
             out = static_cast<Rule>(i);
             return true;
@@ -452,10 +339,159 @@ ruleFromName(const std::string &name, Rule &out)
 }
 
 bool
+projectRule(Rule rule)
+{
+    return static_cast<int>(rule) >=
+           static_cast<int>(Rule::Snapshot);
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.rfind(prefix, 0) == 0;
+}
+
+bool
+endsWith(const std::string &s, const std::string &suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.compare(s.size() - suffix.size(), suffix.size(),
+                     suffix) == 0;
+}
+
+bool
+isHeaderPath(const std::string &path)
+{
+    return endsWith(path, ".hh") || endsWith(path, ".hpp") ||
+           endsWith(path, ".h");
+}
+
+bool
 lintableFile(const std::string &rel_path)
 {
     return endsWith(rel_path, ".cc") || endsWith(rel_path, ".cpp") ||
            endsWith(rel_path, ".cxx") || isHeaderPath(rel_path);
+}
+
+// ------------------------------------- comment/string/trailer scanning
+
+LineScan
+scanLine(const std::string &line, ScanState &state)
+{
+    LineScan out;
+    out.code.assign(line.size(), ' ');
+    out.full.assign(line.size(), ' ');
+    std::size_t i = 0;
+    const std::size_t n = line.size();
+    while (i < n) {
+        if (state.inBlockComment) {
+            const std::size_t end = line.find("*/", i);
+            const std::size_t stop =
+                end == std::string::npos ? n : end;
+            out.comment.append(line, i, stop - i);
+            if (end == std::string::npos)
+                return out;
+            state.inBlockComment = false;
+            i = end + 2;
+            continue;
+        }
+        if (state.inRawString) {
+            const std::size_t end = line.find(state.rawDelimiter, i);
+            if (end == std::string::npos)
+                return out;
+            state.inRawString = false;
+            i = end + state.rawDelimiter.size();
+            continue;
+        }
+        const char c = line[i];
+        if (c == '/' && i + 1 < n && line[i + 1] == '/') {
+            out.comment.append(line, i + 2, n - i - 2);
+            return out;
+        }
+        if (c == '/' && i + 1 < n && line[i + 1] == '*') {
+            state.inBlockComment = true;
+            i += 2;
+            continue;
+        }
+        if (c == 'R' && i + 1 < n && line[i + 1] == '"' &&
+            (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                            line[i - 1])) &&
+                        line[i - 1] != '_'))) {
+            const std::size_t paren = line.find('(', i + 2);
+            if (paren != std::string::npos) {
+                state.rawDelimiter =
+                    ")" + line.substr(i + 2, paren - i - 2) + "\"";
+                state.inRawString = true;
+                const std::size_t end =
+                    line.find(state.rawDelimiter, paren + 1);
+                if (end != std::string::npos) {
+                    state.inRawString = false;
+                    i = end + state.rawDelimiter.size();
+                } else {
+                    return out;
+                }
+                continue;
+            }
+        }
+        if (c == '\'' && i > 0 &&
+            std::isdigit(static_cast<unsigned char>(line[i - 1]))) {
+            // Digit separator (20'000), not a char literal.
+            out.full[i] = c;
+            ++i;
+            continue;
+        }
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            const std::size_t start = i;
+            ++i;
+            while (i < n) {
+                if (line[i] == '\\')
+                    i += 2;
+                else if (line[i] == quote) {
+                    ++i;
+                    break;
+                } else
+                    ++i;
+            }
+            // Literal stays visible in `full` (content extraction);
+            // `code` keeps the blanks.
+            const std::size_t stop = std::min(i, n);
+            for (std::size_t k = start; k < stop; ++k)
+                out.full[k] = line[k];
+            continue;
+        }
+        out.code[i] = c;
+        out.full[i] = c;
+        ++i;
+    }
+    return out;
+}
+
+Trailer
+parseTrailer(const std::string &comment)
+{
+    Trailer t;
+    const std::size_t at = comment.find("neofog-lint:");
+    if (at == std::string::npos)
+        return t;
+    t.present = true;
+    static const std::regex re(
+        R"(neofog-lint:\s*allow\(([A-Za-z0-9_.]+)\)\s*:\s*(\S.*))");
+    std::smatch m;
+    if (!std::regex_search(comment, m, re))
+        return t;
+    t.ruleText = m[1];
+    t.justification = m[2];
+    // Accept both the short name ("determinism") and the full id
+    // ("R1.determinism").
+    std::string name = t.ruleText;
+    const std::size_t dot = name.find('.');
+    if (dot != std::string::npos)
+        name = name.substr(dot + 1);
+    if (!ruleFromName(name, t.rule))
+        return t;
+    t.wellFormed = true;
+    return t;
 }
 
 void
@@ -467,7 +503,6 @@ lintFile(const std::string &rel_path, const std::string &content,
 
     std::vector<PendingFinding> pending;
     std::vector<std::pair<int, Trailer>> trailers; // line -> trailer
-    std::set<int> suppressedLines; // lines whose trailer was consumed
 
     bool sawPragmaOnce = false;
     std::string guardMacro;  // from #ifndef
@@ -643,6 +678,11 @@ lintFile(const std::string &rel_path, const std::string &content,
                 {rel_path, f.line, f.rule, f.message});
     }
     for (std::size_t t = 0; t < trailers.size(); ++t) {
+        // R5-R8 trailers are settled by lintModel once the whole
+        // model is collected — not "unused" just because the token
+        // passes had nothing to suppress here.
+        if (projectRule(trailers[t].second.rule))
+            continue;
         if (usedTrailers.count(t) == 0) {
             result.findings.push_back(
                 {rel_path, trailers[t].first, Rule::Hygiene,
@@ -667,7 +707,7 @@ printReport(const Result &result, std::ostream &os)
         os << f.file << ":" << f.line << ": [" << ruleId(f.rule)
            << "] " << f.message << "\n";
     }
-    int counts[4] = {0, 0, 0, 0};
+    int counts[kRuleCount] = {};
     for (const Finding &f : result.findings)
         ++counts[static_cast<int>(f.rule)];
     os << "\nneofog_lint: scanned " << result.filesScanned
@@ -675,7 +715,7 @@ printReport(const Result &result, std::ostream &os)
     if (!result.findings.empty()) {
         os << " (";
         bool first = true;
-        for (int i = 0; i < 4; ++i) {
+        for (int i = 0; i < kRuleCount; ++i) {
             if (counts[i] == 0)
                 continue;
             if (!first)
@@ -691,6 +731,49 @@ printReport(const Result &result, std::ostream &os)
         os << "  allowed " << ruleId(s.rule) << " at " << s.file
            << ":" << s.line << " — " << s.justification << "\n";
     }
+}
+
+void
+printJson(const Result &result, std::ostream &os)
+{
+    os << "{\n"
+       << "  \"schema\": \"neofog-lint-v1\",\n"
+       << "  \"files_scanned\": " << result.filesScanned << ",\n"
+       << "  \"findings\": [";
+    for (std::size_t i = 0; i < result.findings.size(); ++i) {
+        const Finding &f = result.findings[i];
+        os << (i ? "," : "") << "\n    {\"file\": \""
+           << jsonEscape(f.file) << "\", \"line\": " << f.line
+           << ", \"rule\": \"" << ruleId(f.rule)
+           << "\", \"message\": \"" << jsonEscape(f.message)
+           << "\"}";
+    }
+    os << (result.findings.empty() ? "" : "\n  ") << "],\n"
+       << "  \"suppressions\": [";
+    for (std::size_t i = 0; i < result.suppressions.size(); ++i) {
+        const Suppression &s = result.suppressions[i];
+        os << (i ? "," : "") << "\n    {\"file\": \""
+           << jsonEscape(s.file) << "\", \"line\": " << s.line
+           << ", \"rule\": \"" << ruleId(s.rule)
+           << "\", \"justification\": \""
+           << jsonEscape(s.justification) << "\"}";
+    }
+    os << (result.suppressions.empty() ? "" : "\n  ") << "]\n"
+       << "}\n";
+}
+
+void
+printGithub(const Result &result, std::ostream &os)
+{
+    for (const Finding &f : result.findings) {
+        os << "::error file=" << githubEscape(f.file)
+           << ",line=" << f.line << ",title=" << ruleId(f.rule)
+           << "::" << githubEscape(f.message) << "\n";
+    }
+    os << "neofog_lint: " << result.findings.size()
+       << " violation(s), " << result.suppressions.size()
+       << " suppression(s) across " << result.filesScanned
+       << " file(s)\n";
 }
 
 void
@@ -716,6 +799,23 @@ printRules(std::ostream &os)
           "(or #pragma once) and must\n"
        << "                   not say `using namespace`; "
           "suppressions must parse and be used\n"
+       << "  R5.snapshot      every data member of a struct with "
+          "serialize(Archive&) is\n"
+       << "                   referenced inside it (const/reference "
+          "members and registry-walked\n"
+       << "                   bodies exempt); scratch/derived fields "
+          "need allow(snapshot)\n"
+       << "  R6.metric        every member of a MetricRegistry-backed "
+          "report struct appears as\n"
+       << "                   a &Report::member MetricDef\n"
+       << "  R7.registry      every ParamSpec a policy registers is "
+          "read in its builder\n"
+       << "                   (p.i/p.d/p.b) and carries non-empty "
+          "docs\n"
+       << "  R8.global        no mutable namespace-scope/static-local/"
+          "class-static state in\n"
+       << "                   src/ (race + determinism hazard); "
+          "sanctioned sinks allowlisted\n"
        << "Suppress one line: trailing "
           "`// neofog-lint: allow(<rule>): <justification>`\n";
 }

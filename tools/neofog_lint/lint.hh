@@ -1,15 +1,22 @@
 /**
  * @file
- * neofog_lint core: a token/include-level static-analysis pass that
- * enforces the repository's determinism, layering, observability, and
- * header-hygiene invariants (DESIGN.md, "Static analysis & enforced
+ * neofog_lint core: the static-analysis passes that enforce the
+ * repository's determinism, layering, observability, hygiene, and
+ * state-coverage invariants (DESIGN.md, "Static analysis & enforced
  * invariants").
  *
- * The engine is deliberately libclang-free: every rule is decidable
- * from a comment/string-stripped token stream plus the file's
- * repository-relative path, which keeps the tool a single standalone
- * C++17 translation unit that builds in milliseconds and runs over
- * the whole tree as a ctest (`ctest -L lint`).
+ * The engine is deliberately libclang-free.  It has two layers:
+ *
+ *  - a token/include scanner (lintFile): every rule decidable from a
+ *    comment/string-stripped token stream plus the file's
+ *    repository-relative path;
+ *  - a lightweight declaration parser feeding a cross-translation-unit
+ *    Model (collectFile), over which the semantic passes run
+ *    (lintModel) once every file has been collected.
+ *
+ * Together they keep the tool a standalone C++17 library that builds
+ * in milliseconds and runs over the whole tree as a ctest
+ * (`ctest -L lint`).
  *
  * Rules (each suppressible per line via a trailing
  * `// neofog-lint: allow(<rule>): <justification>` comment):
@@ -24,6 +31,17 @@
  *    `report_io`/`metrics`/`logging` (or `bench_util`'s sink).
  *  - R4 `hygiene`       — headers carry a NEOFOG_* include guard (or
  *    `#pragma once`) and never say `using namespace`.
+ *  - R5 `snapshot`      — every data member of a struct with a
+ *    `serialize(Archive&)` is referenced inside that serialize() (or
+ *    is const/reference, or carries allow(snapshot) naming it
+ *    scratch/derived); registry-walked bodies delegate to R6.
+ *  - R6 `metric`        — every member of a report struct backed by a
+ *    MetricRegistry appears as a `&Report::member` MetricDef.
+ *  - R7 `registry`      — every ParamSpec a policy registers is read
+ *    in its builder and carries non-empty docs.
+ *  - R8 `global`        — no mutable namespace-scope / static-local /
+ *    class-static state in `src/` (race + determinism hazard under
+ *    chain-parallel execution), sanctioned sinks allowlisted.
  */
 
 #ifndef NEOFOG_TOOLS_LINT_HH
@@ -35,13 +53,20 @@
 
 namespace neofog::lint {
 
-/** The four enforced rule families. */
+/** The eight enforced rule families. */
 enum class Rule {
     Determinism,   ///< R1: no ambient entropy / stray RNG seeding
     Layering,      ///< R2: includes follow the layer DAG
     Observability, ///< R3: output only via sanctioned sinks
     Hygiene,       ///< R4: header guards, no `using namespace`
+    Snapshot,      ///< R5: serialize() covers every data member
+    Metric,        ///< R6: report members carry a MetricDef
+    Registry,      ///< R7: ParamSpecs are read and documented
+    Global,        ///< R8: no mutable global/static state
 };
+
+/** Number of rule families (array sizing). */
+constexpr int kRuleCount = 8;
 
 /** Stable rule id used in diagnostics, e.g. "R1.determinism". */
 const char *ruleId(Rule rule);
@@ -51,6 +76,13 @@ const char *ruleName(Rule rule);
 
 /** Parse a trailer rule name; returns false if unknown. */
 bool ruleFromName(const std::string &name, Rule &out);
+
+/**
+ * True for the semantic rules (R5-R8) that run over the cross-file
+ * Model: their findings — and therefore their suppression accounting —
+ * are produced by lintModel, not lintFile.
+ */
+bool projectRule(Rule rule);
 
 /** One diagnostic: a violation (or a malformed/unused suppression). */
 struct Finding {
@@ -76,18 +108,48 @@ struct Result {
 };
 
 /**
- * Lint one file.  @p rel_path is the repository-relative path (it
- * determines which rules and which layer table apply); @p content is
- * the full file text.  Appends to @p result.
+ * Lint one file with the token passes (R1-R4).  @p rel_path is the
+ * repository-relative path (it determines which rules and which layer
+ * table apply); @p content is the full file text.  Appends to
+ * @p result.  Well-formed trailers for the semantic rules (R5-R8) are
+ * left alone here — collectFile records them and lintModel settles
+ * whether they are honored or unused.
  */
 void lintFile(const std::string &rel_path, const std::string &content,
               Result &result);
+
+/** Cross-file declaration model filled by collectFile (model.hh). */
+struct Model;
+
+/**
+ * Parse @p content's declarations into @p model: struct/class members
+ * and serialize() bodies, MetricRegistry member-pointer declarations,
+ * PolicyRegistry add({...}) registrations, mutable global/static
+ * state, and R5-R8 suppression trailers.  Declaration extraction only
+ * applies to `src/` paths; trailers are recorded for every path so a
+ * misplaced one is still flagged unused.
+ */
+void collectFile(const std::string &rel_path,
+                 const std::string &content, Model &model);
+
+/** Run the semantic passes (R5-R8) over the collected model. */
+void lintModel(const Model &model, Result &result);
 
 /** True if @p rel_path is a file the linter knows how to scan. */
 bool lintableFile(const std::string &rel_path);
 
 /** Print findings (file:line: [id] message), suppressions, summary. */
 void printReport(const Result &result, std::ostream &os);
+
+/** Machine-readable findings: one neofog-lint-v1 JSON document. */
+void printJson(const Result &result, std::ostream &os);
+
+/**
+ * GitHub workflow-command annotations (::error file=..,line=..) so the
+ * CI lint lane surfaces file:line findings directly on PRs, plus a
+ * one-line summary.
+ */
+void printGithub(const Result &result, std::ostream &os);
 
 /** Exit code for a result: 0 clean, 1 violations. */
 int exitCode(const Result &result);

@@ -1,10 +1,13 @@
 /**
  * @file
  * neofog_lint CLI: walk the given repository-relative files or
- * directories and lint every C++ source found.
+ * directories and lint every C++ source found — the token passes
+ * (R1-R4) per file, then the semantic passes (R5-R8) over the
+ * cross-file declaration model collected along the way.
  *
  * Usage:
- *   neofog_lint [--root DIR] [--list-rules] PATH...
+ *   neofog_lint [--root DIR] [--format text|json|github]
+ *               [--list-rules] PATH...
  *
  * PATHs are interpreted relative to --root (default: the current
  * directory), and diagnostics always print root-relative paths, so
@@ -15,6 +18,7 @@
  */
 
 #include "lint.hh"
+#include "model.hh"
 
 #include <algorithm>
 #include <filesystem>
@@ -56,6 +60,7 @@ int
 main(int argc, char **argv)
 {
     fs::path root = fs::current_path();
+    std::string format = "text";
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -65,11 +70,24 @@ main(int argc, char **argv)
                 return 2;
             }
             root = argv[++i];
+        } else if (arg == "--format") {
+            if (i + 1 >= argc) {
+                std::cerr << "neofog_lint: --format needs a value\n";
+                return 2;
+            }
+            format = argv[++i];
+            if (format != "text" && format != "json" &&
+                format != "github") {
+                std::cerr << "neofog_lint: --format must be text, "
+                             "json, or github\n";
+                return 2;
+            }
         } else if (arg == "--list-rules") {
             neofog::lint::printRules(std::cout);
             return 0;
         } else if (arg == "--help" || arg == "-h") {
             std::cout << "usage: neofog_lint [--root DIR] "
+                         "[--format text|json|github] "
                          "[--list-rules] PATH...\n";
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -82,12 +100,19 @@ main(int argc, char **argv)
     }
     if (paths.empty()) {
         std::cerr << "usage: neofog_lint [--root DIR] "
+                     "[--format text|json|github] "
                      "[--list-rules] PATH...\n";
         return 2;
     }
 
     std::error_code ec;
     neofog::lint::Result result;
+    neofog::lint::Model model;
+    auto lintOne = [&](const std::string &rel,
+                       const std::string &content) {
+        neofog::lint::lintFile(rel, content, result);
+        neofog::lint::collectFile(rel, content, model);
+    };
     for (const std::string &p : paths) {
         const fs::path abs = root / p;
         if (fs::is_directory(abs, ec)) {
@@ -111,7 +136,7 @@ main(int argc, char **argv)
                               << "\n";
                     return 2;
                 }
-                neofog::lint::lintFile(rel, content, result);
+                lintOne(rel, content);
             }
         } else if (fs::is_regular_file(abs, ec)) {
             std::string content;
@@ -120,13 +145,30 @@ main(int argc, char **argv)
                           << "\n";
                 return 2;
             }
-            neofog::lint::lintFile(relform(p), content, result);
+            lintOne(relform(p), content);
         } else {
             std::cerr << "neofog_lint: no such path: " << p << "\n";
             return 2;
         }
     }
+    neofog::lint::lintModel(model, result);
 
-    neofog::lint::printReport(result, std::cout);
+    // Interleaved per-file token findings and model findings sort
+    // into one stable stream.
+    std::stable_sort(
+        result.findings.begin(), result.findings.end(),
+        [](const neofog::lint::Finding &a,
+           const neofog::lint::Finding &b) {
+            if (a.file != b.file)
+                return a.file < b.file;
+            return a.line < b.line;
+        });
+
+    if (format == "json")
+        neofog::lint::printJson(result, std::cout);
+    else if (format == "github")
+        neofog::lint::printGithub(result, std::cout);
+    else
+        neofog::lint::printReport(result, std::cout);
     return neofog::lint::exitCode(result);
 }

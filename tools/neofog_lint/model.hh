@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The cross-translation-unit declaration model behind neofog_lint's
+ * semantic passes (R5-R8).
+ *
+ * collectFile (lint.hh) fills one Model from every scanned file; the
+ * passes in lintModel then reason across files: a report struct's
+ * members live in a header while its MetricRegistry declaration lives
+ * in a .cc, a policy's ParamSpec table and its builder lambda sit in
+ * the same add({...}) call but are different sub-expressions, and the
+ * suppression inventory must stay consistent tree-wide.
+ *
+ * The declaration parser is a brace/statement machine over the
+ * comment/string-stripped character stream (scan.hh) — NOT a C++
+ * parser.  Its contract (see DESIGN.md, "Static analysis & enforced
+ * invariants") is the repo's clang-formatted house style:
+ *
+ *  - one declarator per member statement (`int a, b;` records `b`);
+ *  - members of function-pointer type (declarator contains parens)
+ *    are not extracted;
+ *  - serialize() must be defined inline in the class body;
+ *  - PolicyRegistry registrations must be braced literals
+ *    (`reg.add({ ... })`) for R7 to see them;
+ *  - a declaration mentioning `const`/`constexpr`/`constinit`
+ *    anywhere counts as immutable for R8 (so `const char *` tables
+ *    pass even though the pointers are technically mutable).
+ */
+
+#ifndef NEOFOG_TOOLS_LINT_MODEL_HH
+#define NEOFOG_TOOLS_LINT_MODEL_HH
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint.hh"
+
+namespace neofog::lint {
+
+/** One non-static data member of a struct/class. */
+struct MemberDecl {
+    std::string name;
+    int line = 0;
+    /**
+     * Const or reference members cannot be assigned by a load, so R5
+     * treats them as construction-derived and exempt.
+     */
+    bool constOrRef = false;
+};
+
+/** One struct/class declaration (nested names join with "::"). */
+struct StructDecl {
+    std::string name; ///< e.g. "Rtc::Config"
+    std::string file;
+    int line = 0;
+    std::vector<MemberDecl> members;
+    bool hasSerialize = false;
+    int serializeLine = 0;
+    /** Stripped code text of every serialize(Archive&) body. */
+    std::string serializeBody;
+};
+
+/** One ParamSpec entry of a policy registration. */
+struct ParamDecl {
+    std::string name;
+    int line = 0;
+    bool hasDoc = false; ///< 4th element present with non-empty text
+};
+
+/** One PolicyRegistry add({...}) registration. */
+struct PolicyDecl {
+    std::string name; ///< registry key ("greedy", ...)
+    std::string file;
+    int line = 0;
+    std::vector<ParamDecl> params;
+    /** Param keys read via .i("k")/.d("k")/.b("k") in the region. */
+    std::set<std::string> reads;
+};
+
+/** One mutable namespace-scope/static-local/class-static variable. */
+struct GlobalDecl {
+    std::string name;
+    std::string file;
+    int line = 0;
+    enum Kind { NamespaceScope, StaticLocal, ClassStatic } kind =
+        NamespaceScope;
+};
+
+/** One recorded R5-R8 suppression trailer, settled by lintModel. */
+struct ModelTrailer {
+    std::string file;
+    int line = 0;
+    Rule rule = Rule::Snapshot;
+    std::string justification;
+};
+
+/** Everything the semantic passes know about the tree. */
+struct Model {
+    std::vector<StructDecl> structs;
+    /** Struct names T with a concrete MetricRegistry<T> use. */
+    std::set<std::string> reportStructs;
+    /** Report name -> members declared as &Report::member. */
+    std::map<std::string, std::set<std::string>> metricRefs;
+    std::vector<PolicyDecl> policies;
+    std::vector<GlobalDecl> globals;
+    std::vector<ModelTrailer> trailers;
+    int filesCollected = 0;
+};
+
+} // namespace neofog::lint
+
+#endif // NEOFOG_TOOLS_LINT_MODEL_HH

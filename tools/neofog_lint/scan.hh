@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Shared lexical machinery of neofog_lint: comment/string stripping
+ * with column preservation, and the suppression-trailer grammar.
+ *
+ * Used by both the token passes (lint.cc, rules R1-R4) and the
+ * declaration parser behind the semantic passes (model.cc, rules
+ * R5-R8), so the two layers agree character-for-character on what is
+ * code, what is a string literal, and what is comment text.
+ */
+
+#ifndef NEOFOG_TOOLS_LINT_SCAN_HH
+#define NEOFOG_TOOLS_LINT_SCAN_HH
+
+#include <string>
+
+#include "lint.hh"
+
+namespace neofog::lint {
+
+/** Per-file scan state carried across lines. */
+struct ScanState {
+    bool inBlockComment = false;
+    bool inRawString = false;
+    std::string rawDelimiter; // the )delim" that ends a raw string
+};
+
+struct LineScan {
+    /** Line with comments AND string/char literals blanked to spaces
+     *  (column-preserving): what the token/structure passes read. */
+    std::string code;
+    /** Line with comments blanked but string/char literals kept
+     *  (column-preserving): what content extraction (policy names,
+     *  param keys, docs) reads.  Same length as `code`. */
+    std::string full;
+    /** Concatenated // and slash-star comment text (trailers). */
+    std::string comment;
+};
+
+/**
+ * Strip comments, string literals, and char literals from one line,
+ * preserving column positions (stripped characters become spaces).
+ * Comment *text* is captured so suppression trailers survive, and a
+ * strings-kept variant is captured for content extraction.
+ */
+LineScan scanLine(const std::string &line, ScanState &state);
+
+/** A parsed `neofog-lint: allow(<rule>): <justification>` trailer. */
+struct Trailer {
+    bool present = false;
+    bool wellFormed = false;
+    Rule rule = Rule::Hygiene;
+    std::string ruleText;
+    std::string justification;
+};
+
+/**
+ * Parse a trailer out of a line's comment text.  A trailer with an
+ * unknown rule or an empty justification is reported as present but
+ * not well-formed so suppressions can never silently rot.
+ */
+Trailer parseTrailer(const std::string &comment);
+
+// Small path/string helpers shared by both layers.
+bool startsWith(const std::string &s, const std::string &prefix);
+bool endsWith(const std::string &s, const std::string &suffix);
+bool isHeaderPath(const std::string &path);
+
+} // namespace neofog::lint
+
+#endif // NEOFOG_TOOLS_LINT_SCAN_HH
