@@ -187,7 +187,13 @@ main(int argc, char **argv)
     sink.add("total_nodes", static_cast<double>(total_nodes));
     sink.add("slots", static_cast<double>(slots));
 
-    // ---- Section 1: fleet throughput, batch kernel on vs off -------
+    // ---- Section 1: fleet throughput, kernel ladder ----------------
+    // Three rungs share one fleet shape: the per-node beginSlot loop
+    // (the reference), the batched hoist with scalar banking
+    // (--no-simd-kernel), and the full vectorized shard kernel.  The
+    // per-node reference is run exactly once and its report reused for
+    // every parity assertion below — re-running it per section doubled
+    // the --smoke wall-clock for no extra coverage.
     header("Fleet throughput: " + std::to_string(chains) + " chains x " +
            std::to_string(nodes_per_chain) + " nodes, " +
            std::to_string(slots) + " slots");
@@ -198,12 +204,22 @@ main(int argc, char **argv)
     scalar_cfg.batchSlotKernel = false;
     const TimedRun scalar_t = runTimed(scalar_cfg, scalar);
 
+    SystemReport nosimd;
+    ScenarioConfig nosimd_cfg = cfg;
+    nosimd_cfg.simdKernel = false;
+    const TimedRun nosimd_t = runTimed(nosimd_cfg, nosimd);
+
     SystemReport batched;
     std::size_t shard_bytes = 0;
     const TimedRun batched_t = runTimed(cfg, batched, &shard_bytes);
 
     if (!(batched == scalar)) {
         err("fleet_bench: batched slot kernel diverged from the "
+            "per-node path\n");
+        return 1;
+    }
+    if (!(nosimd == scalar)) {
+        err("fleet_bench: scalar-banking fallback diverged from the "
             "per-node path\n");
         return 1;
     }
@@ -218,7 +234,11 @@ main(int argc, char **argv)
     t1.row({"per-node beginSlot", fmt(scalar_t.buildSecs, 2),
             fmt(scalar_t.runSecs, 2),
             fmt(chain_slots / scalar_t.runSecs, 0), "1.00x"});
-    t1.row({"batched slot kernel", fmt(batched_t.buildSecs, 2),
+    t1.row({"batch, scalar banking", fmt(nosimd_t.buildSecs, 2),
+            fmt(nosimd_t.runSecs, 2),
+            fmt(chain_slots / nosimd_t.runSecs, 0),
+            fmt(scalar_t.runSecs / nosimd_t.runSecs, 2) + "x"});
+    t1.row({"vectorized shard kernel", fmt(batched_t.buildSecs, 2),
             fmt(batched_t.runSecs, 2), fmt(slots_per_sec, 0),
             fmt(scalar_t.runSecs / batched_t.runSecs, 2) + "x"});
     out("\nresident shard bytes/node: %.1f (%zu nodes, %.1f MiB "
@@ -229,28 +249,44 @@ main(int argc, char **argv)
     sink.add("scalar_slots_per_sec", chain_slots / scalar_t.runSecs);
     sink.add("batch_kernel_speedup",
              scalar_t.runSecs / batched_t.runSecs);
+    sink.add("simd_kernel_speedup",
+             nosimd_t.runSecs / batched_t.runSecs);
     sink.add("build_secs", batched_t.buildSecs);
     sink.add("bytes_per_node", bytes_per_node);
     sink.add("reports_match_scalar", 1.0);
+    sink.add("simd_matches_scalar", 1.0);
 
     // ---- Section 2: thread-sweep bit-identity ----------------------
     header("Thread sweep: chain-order shard merge bit-identity");
     {
         bool consistent = true;
         double best_secs = batched_t.runSecs;
+        double four_thread_secs = 0.0;
         for (unsigned threads : {2u, 4u}) {
             ScenarioConfig swept = cfg;
             swept.threads = threads;
             SystemReport r;
             const TimedRun t_t = runTimed(swept, r);
             best_secs = std::min(best_secs, t_t.runSecs);
+            if (threads == 4)
+                four_thread_secs = t_t.runSecs;
             if (!(r == batched))
                 consistent = false;
             out("  --threads %u: %.2f s, bit-identical: %s\n", threads,
                 t_t.runSecs, r == batched ? "yes" : "NO");
         }
+        // Amdahl-style scaling quality: (4-thread throughput over
+        // 1-thread throughput) / 4.  1.0 = perfect scaling; the
+        // memory-bound slot sweep lands well below that, and the gate
+        // watches it so locality regressions show up at the PR that
+        // caused them.
+        const double efficiency_4t =
+            batched_t.runSecs / (4.0 * four_thread_secs);
+        out("  parallel efficiency at 4 threads: %.2f\n",
+            efficiency_4t);
         sink.add("reports_consistent", consistent ? 1.0 : 0.0);
         sink.add("best_threaded_slots_per_sec", chain_slots / best_secs);
+        sink.add("parallel_efficiency_4t", efficiency_4t);
         if (!consistent) {
             err("fleet_bench: thread sweep diverged on the SoA "
                 "layout\n");

@@ -89,6 +89,17 @@ usage(const char *argv0)
         "                            batched SoA slot kernel (results "
         "are\n"
         "                            identical either way)\n"
+        "  --no-simd-kernel          scalar slot banking instead of "
+        "the\n"
+        "                            vectorized lane-per-node shard "
+        "kernel\n"
+        "                            (results are identical either "
+        "way)\n"
+        "  --pin-threads             pin chain-loop workers to CPUs "
+        "so\n"
+        "                            first-touch shard pages stay "
+        "local\n"
+        "                            (Linux; never affects results)\n"
         "  --dump-energy I           export node I's stored-energy "
         "series\n"
         "  --snapshot-every N        checkpoint every N slots "
@@ -282,6 +293,10 @@ main(int argc, char **argv)
             cfg.energyCache.enabled = false;
         } else if (arg == "--no-batch-kernel") {
             cfg.batchSlotKernel = false;
+        } else if (arg == "--no-simd-kernel") {
+            cfg.simdKernel = false;
+        } else if (arg == "--pin-threads") {
+            cfg.pinThreads = true;
         } else if (arg == "--cache-grid-s") {
             cfg.energyCache.grid =
                 ticksFromSeconds(std::atof(next().c_str()));
@@ -303,11 +318,13 @@ main(int argc, char **argv)
     try {
         // A resumed run rebuilds its scenario from the snapshot's own
         // config section; only the host-local knobs (threads, the
-        // checkpoint schedule) carry over from the command line.
+        // checkpoint schedule, the kernel/pinning selection) carry
+        // over from the command line.
         std::unique_ptr<FogSystem> system = resume_path.empty()
             ? std::make_unique<FogSystem>(cfg)
             : FogSystem::resume(resume_path, cfg.threads,
-                                cfg.snapshot);
+                                cfg.snapshot, cfg.simdKernel,
+                                cfg.pinThreads);
         cfg = system->config();
         const SystemReport report = system->run();
 

@@ -71,4 +71,65 @@ SuperCapacitor::setStored(Energy e)
     _stored = e;
 }
 
+// CapacitorView mutators: SuperCapacitor's arithmetic on raw joule
+// cells.  Each statement mirrors the class method above — std::min
+// argument order included — because the scalar banking path runs
+// through these while the batched slot kernel replicates them
+// column-wise (shard_kernel.cc), and the two must stay bit-identical.
+
+Energy
+CapacitorView::charge(Energy amount)
+{
+    NEOFOG_ASSERT(amount.joules() >= -1e-15, "charging negative energy");
+    const double amt = amount.clampedNonNegative().joules();
+    const double room = _cfg->capacity.joules() - *_stored;
+    const double accepted = std::min(amt, room);
+    *_stored += accepted;
+    *_chargedTotal += accepted;
+    *_overflowTotal += amt - accepted;
+    return Energy::fromJoules(accepted);
+}
+
+bool
+CapacitorView::tryDischarge(Energy amount)
+{
+    NEOFOG_ASSERT(amount.joules() >= -1e-15,
+                  "discharging negative energy");
+    const double amt = amount.clampedNonNegative().joules();
+    if (*_stored < amt)
+        return false;
+    *_stored -= amt;
+    *_dischargedTotal += amt;
+    return true;
+}
+
+Energy
+CapacitorView::drain(Energy amount)
+{
+    NEOFOG_ASSERT(amount.joules() >= -1e-15, "draining negative energy");
+    const double amt = amount.clampedNonNegative().joules();
+    const double removed = std::min(amt, *_stored);
+    *_stored -= removed;
+    *_dischargedTotal += removed;
+    return Energy::fromJoules(removed);
+}
+
+void
+CapacitorView::leak(Tick duration)
+{
+    NEOFOG_ASSERT(duration >= 0, "negative leak duration");
+    const double loss =
+        std::min((_cfg->leakage * duration).joules(), *_stored);
+    *_stored -= loss;
+    *_leakedTotal += loss;
+}
+
+void
+CapacitorView::setStored(Energy e)
+{
+    if (e.joules() < 0.0 || e > _cfg->capacity)
+        fatal("setStored outside [0, capacity]");
+    *_stored = e.joules();
+}
+
 } // namespace neofog

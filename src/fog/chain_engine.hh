@@ -26,6 +26,7 @@
 #include "fog/system_report.hh"
 #include "net/loss.hh"
 #include "node/node.hh"
+#include "node/shard_kernel.hh"
 #include "sim/metrics.hh"
 #include "virt/nvd4q.hh"
 
@@ -235,6 +236,15 @@ class ChainEngine
     };
     /** Windows integrated this slot (scratch for beginSlotBatch). */
     std::vector<IncomeWindow> _windowMemo; // neofog-lint: allow(snapshot): per-slot scratch, valid only within one beginSlotBatch; reconstructed empty on resume
+
+    /**
+     * Vectorized slot kernel (null when disabled — scalar fallback;
+     * see ScenarioConfig::simdKernel).  Bit-identical to the per-node
+     * path, so it carries no archived state of its own.
+     */
+    std::unique_ptr<ShardSlotKernel> _kernel; // neofog-lint: allow(snapshot): construction-time kernel selection plus per-slot scratch columns; no simulation state
+    /** Per-slot kernel input scratch (rows + income integrals). */
+    std::vector<ShardSlotKernel::Lane> _kernelLanes; // neofog-lint: allow(snapshot): per-slot scratch, valid only within one beginSlotBatch; reconstructed empty on resume
 
     SystemReport _shard;
     ChainProbe _probe;

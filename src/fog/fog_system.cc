@@ -47,27 +47,46 @@ FogSystem::FogSystem(const ScenarioConfig &cfg)
     // number of chains executing concurrently nor their interleaving
     // can perturb any chain's results.
     Rng root(_cfg.seed ^ 0xF06F06ULL);
-    const auto mux = static_cast<std::size_t>(_cfg.multiplexing);
-    _engines.reserve(_cfg.chains);
-    for (std::size_t c = 0; c < _cfg.chains; ++c) {
-        const auto first_id =
-            static_cast<std::uint32_t>(c * _cfg.nodesPerChain * mux);
-        _engines.push_back(std::make_unique<ChainEngine>(
-            _cfg, c, first_id, root.fork(), _sharedTrace));
-    }
+    std::vector<Rng> streams;
+    streams.reserve(_cfg.chains);
+    for (std::size_t c = 0; c < _cfg.chains; ++c)
+        streams.push_back(root.fork());
 
+    // The pool exists before the engines so construction itself can
+    // run under the *chunked* partition: chain c's shard arrays are
+    // allocated and first-written by the same pool thread that will
+    // sweep them every slot (slotTick below uses the same stable
+    // chunk→thread mapping), so with --pin-threads the OS places each
+    // shard's pages on the worker's own core/NUMA node (first-touch).
     const unsigned threads = _cfg.threads == 0
         ? ThreadPool::hardwareThreads() : _cfg.threads;
     if (threads > 1 && _cfg.chains > 1)
-        _pool = std::make_unique<ThreadPool>(threads);
+        _pool = std::make_unique<ThreadPool>(threads, _cfg.pinThreads);
+
+    // Engine construction is chain-parallel for the same reason the
+    // slot loop is: engine c writes only its own slot (distinct
+    // unique_ptr elements), reads only the shared config, the
+    // read-only shared trace, and its own pre-forked RNG stream.
+    const auto mux = static_cast<std::size_t>(_cfg.multiplexing);
+    _engines.resize(_cfg.chains);
+    parallelForChunked(_pool.get(), _cfg.chains, [&](std::size_t c) {
+        const auto first_id =
+            static_cast<std::uint32_t>(c * _cfg.nodesPerChain * mux);
+        _engines[c] = std::make_unique<ChainEngine>(
+            _cfg, c, first_id, streams[c], _sharedTrace);
+    });
 }
 
 void
 FogSystem::slotTick(std::int64_t slot_index)
 {
     // Chains are mutually independent, so the order (and thread) in
-    // which they execute a slot is irrelevant to the outcome.
-    parallelFor(_pool.get(), _engines.size(), [&](std::size_t c) {
+    // which they execute a slot is irrelevant to the outcome.  The
+    // chunked partition (not dynamic claiming) keeps chain c on the
+    // pool thread that constructed its shard, every slot — see the
+    // first-touch note in the constructor.
+    parallelForChunked(_pool.get(), _engines.size(),
+                       [&](std::size_t c) {
         _engines[c]->runSlot(slot_index);
     });
 
@@ -143,7 +162,8 @@ FogSystem::saveSnapshot(std::int64_t slot)
     // its own buffer — then land in the snapshot in chain order, so
     // the byte stream is identical for any thread count.
     std::vector<snapshot::Section> chain_sections(_engines.size());
-    parallelFor(_pool.get(), _engines.size(), [&](std::size_t c) {
+    parallelForChunked(_pool.get(), _engines.size(),
+                       [&](std::size_t c) {
         const std::string name = "chain" + std::to_string(c);
         snapshot::OutArchive ar;
         ar.pushScope(name);
@@ -167,7 +187,8 @@ FogSystem::saveSnapshot(std::int64_t slot)
 
 std::unique_ptr<FogSystem>
 FogSystem::resume(const std::string &path, unsigned threads,
-                  ScenarioConfig::SnapshotConfig snap_cfg)
+                  ScenarioConfig::SnapshotConfig snap_cfg,
+                  bool simd_kernel, bool pin_threads)
 {
     const std::string file = snapshot::resolveSnapshotPath(path);
     const snapshot::Snapshot snap = snapshot::readSnapshot(file);
@@ -178,6 +199,8 @@ FogSystem::resume(const std::string &path, unsigned threads,
     ScenarioConfig cfg = deserializeScenarioBlob(config->data);
     cfg.threads = threads;
     cfg.snapshot = std::move(snap_cfg);
+    cfg.simdKernel = simd_kernel;
+    cfg.pinThreads = pin_threads;
 
     if (snap.chains != cfg.chains)
         fatal("snapshot ", file, " header claims ", snap.chains,
@@ -197,8 +220,8 @@ FogSystem::resume(const std::string &path, unsigned threads,
     // the same reason serializing is; a corrupt section throws out of
     // parallelFor and the half-built system is discarded whole.
     auto system = std::make_unique<FogSystem>(cfg);
-    parallelFor(system->_pool.get(), system->_engines.size(),
-                [&](std::size_t c) {
+    parallelForChunked(system->_pool.get(), system->_engines.size(),
+                       [&](std::size_t c) {
         const std::string name = "chain" + std::to_string(c);
         const snapshot::Section *sec = snap.find(name);
         if (sec == nullptr)

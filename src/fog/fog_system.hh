@@ -45,16 +45,18 @@ class FogSystem
      * Reconstruct a system from a snapshot (see src/snapshot/): @p path
      * names either a snapshot file or a directory, which resolves to
      * its newest fully valid snapshot.  The scenario is rebuilt from
-     * the snapshot's own config section; @p threads and @p snap replace
-     * the host-local knobs (neither influences results).  run() on the
-     * returned system continues at the snapshot's slot and produces a
-     * report bit-identical to the uninterrupted run.  Fatal on any
+     * the snapshot's own config section; @p threads, @p snap,
+     * @p simd_kernel, and @p pin_threads replace the host-local knobs
+     * (none influences results).  run() on the returned system
+     * continues at the snapshot's slot and produces a report
+     * bit-identical to the uninterrupted run.  Fatal on any
      * corruption or config mismatch — a resume applies completely or
      * not at all.
      */
     static std::unique_ptr<FogSystem>
     resume(const std::string &path, unsigned threads = 1,
-           ScenarioConfig::SnapshotConfig snap = {});
+           ScenarioConfig::SnapshotConfig snap = {},
+           bool simd_kernel = true, bool pin_threads = false);
 
     /**
      * Write a full-state checkpoint into the configured snapshot

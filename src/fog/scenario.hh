@@ -170,6 +170,31 @@ struct ScenarioConfig
      */
     bool batchSlotKernel = true;
 
+    /**
+     * Vectorized (lane-per-node) slot kernel: when the batched slot
+     * kernel is active, ChainEngine runs the slot-boundary banking
+     * arithmetic through ShardSlotKernel's contiguous column loops
+     * instead of per-node calls (see DESIGN.md, "Vectorization &
+     * memory placement").  Each node's own floating-point op order is
+     * unchanged — vectorization happens *across* independent nodes —
+     * so the result is bit-identical to the scalar path and this is,
+     * like `threads`/`batchSlotKernel`, host-local operational
+     * configuration: excluded from the scenario fingerprint,
+     * changeable on resume, never affects results.  Ignored by
+     * NEOFOG_SIMD=OFF builds (which compile the dispatch out).
+     */
+    bool simdKernel = true;
+
+    /**
+     * Pin each worker thread of the chain loop to one CPU (Linux
+     * only; a no-op elsewhere).  Combined with the chunked static
+     * chain partition and first-touch shard construction, pinning
+     * keeps each chain's shard pages on the worker that sweeps them.
+     * Host-local operational configuration like `threads`: excluded
+     * from the scenario fingerprint, never affects results.
+     */
+    bool pinThreads = false;
+
     /** Ideal package count: logical nodes x chains x slots. */
     std::uint64_t idealPackages() const;
     /** Slots in the horizon. */

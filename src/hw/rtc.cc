@@ -30,19 +30,46 @@ Rtc::advance(Tick duration, Energy income)
 }
 
 Tick
-Rtc::nextWake(Tick now, int phase_offset, int interval_multiplier) const
+alignedWakeAfter(Tick interval, Tick now, int phase_offset,
+                 int interval_multiplier)
 {
     NEOFOG_ASSERT(interval_multiplier >= 1, "interval multiplier >= 1");
     NEOFOG_ASSERT(phase_offset >= 0 && phase_offset < interval_multiplier,
                   "phase offset must be in [0, multiplier)");
-    const Tick stride = _cfg.interval * interval_multiplier;
-    const Tick offset = _cfg.interval * phase_offset;
+    const Tick stride = interval * interval_multiplier;
+    const Tick offset = interval * phase_offset;
     // Smallest k*stride + offset strictly greater than now.
     Tick k = (now - offset) / stride;
     Tick candidate = k * stride + offset;
     while (candidate <= now)
         candidate += stride;
     return candidate;
+}
+
+Tick
+Rtc::nextWake(Tick now, int phase_offset, int interval_multiplier) const
+{
+    return alignedWakeAfter(_cfg.interval, now, phase_offset,
+                            interval_multiplier);
+}
+
+// RtcView::advance replicates Rtc::advance above on the shard's
+// column cells; see the CapacitorView notes in capacitor.cc for the
+// bit-identity requirement.
+void
+RtcView::advance(Tick duration, Energy income)
+{
+    NEOFOG_ASSERT(duration >= 0, "negative RTC advance");
+    _cap.charge(income);
+    _cap.leak(duration);
+    const Energy need = _cfg->draw * duration;
+    if (!_cap.tryDischarge(need)) {
+        _cap.drain(need);
+        if (*_sync != 0.0) {
+            *_sync = 0.0;
+            *_desyncs += 1.0;
+        }
+    }
 }
 
 } // namespace neofog

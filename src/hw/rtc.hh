@@ -25,6 +25,15 @@
 namespace neofog {
 
 /**
+ * Next aligned wake tick strictly after @p now on a slot grid of
+ * @p interval, for a clone with the given phase offset and interval
+ * multiplier (0/1 for un-virtualized nodes).  Shared by Rtc and
+ * RtcView so both facades compute the identical grid.
+ */
+Tick alignedWakeAfter(Tick interval, Tick now, int phase_offset,
+                      int interval_multiplier);
+
+/**
  * RTC model: slot bookkeeping plus its dedicated super-capacitor.
  */
 class Rtc
@@ -113,6 +122,82 @@ class Rtc
     SuperCapacitor _cap;
     bool _synchronized = true;
     std::uint64_t _desyncs = 0;
+};
+
+/**
+ * Row view over a shard's RTC state columns.
+ *
+ * Mirrors Rtc's public API over one NodeShard row (node_soa.hh): the
+ * dedicated cap is a CapacitorView over the rtc* columns, and the
+ * sync flag / desync count live in double cells (1.0/0.0 and an exact
+ * small integer — lossless in a double, and it keeps every kernel
+ * column homogeneous).  advance() replicates Rtc::advance statement
+ * for statement; the batched slot kernel runs the same program
+ * column-wise, so all three paths stay bit-identical.
+ */
+class RtcView
+{
+  public:
+    RtcView(const Rtc::Config &cfg, CapacitorView cap, double &sync,
+            double &desyncs)
+        : _cfg(&cfg), _cap(cap), _sync(&sync), _desyncs(&desyncs)
+    {
+    }
+
+    /** Whether the RTC still tracks network time. */
+    bool synchronized() const { return *_sync != 0.0; }
+
+    /** The slot interval. */
+    Tick interval() const { return _cfg->interval; }
+
+    /**
+     * Advance wall-clock by @p duration: drains the RTC cap (plus
+     * leakage) and desynchronizes if it empties.
+     * @param income Energy routed to the RTC cap during the period
+     *        (already scaled by the charge priority).
+     */
+    void advance(Tick duration, Energy income);
+
+    /** Next aligned wake tick strictly after @p now (see Rtc). */
+    Tick
+    nextWake(Tick now, int phase_offset = 0,
+             int interval_multiplier = 1) const
+    {
+        return alignedWakeAfter(_cfg->interval, now, phase_offset,
+                                interval_multiplier);
+    }
+
+    /** Record a successful resynchronization. */
+    void resynchronize() { *_sync = 1.0; }
+
+    /** Dedicated capacitor (for inspection / tests). */
+    CapacitorView cap() const { return _cap; }
+
+    /** Times the RTC lost synchronization. */
+    std::uint64_t desyncCount() const
+    { return static_cast<std::uint64_t>(*_desyncs); }
+
+    const Rtc::Config &config() const { return *_cfg; }
+
+    /** Snapshot support: Rtc's exact wire keys and types. */
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("cap", _cap);
+        bool sync = *_sync != 0.0;
+        ar.io("synchronized", sync);
+        *_sync = sync ? 1.0 : 0.0;
+        auto desyncs = static_cast<std::uint64_t>(*_desyncs);
+        ar.io("desyncs", desyncs);
+        *_desyncs = static_cast<double>(desyncs);
+    }
+
+  private:
+    const Rtc::Config *_cfg;
+    CapacitorView _cap;
+    double *_sync;
+    double *_desyncs;
 };
 
 } // namespace neofog

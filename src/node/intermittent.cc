@@ -370,13 +370,19 @@ IntermittentExecution::runBatch(
     const Processor &cpu, const std::vector<const PowerTrace *> &traces,
     Tick horizon, const Config &cfg)
 {
+    return runBatch(cpu, traces, horizon, cfg, nullptr);
+}
+
+std::vector<IntermittentExecution::Result>
+IntermittentExecution::runBatch(
+    const Processor &cpu, const std::vector<const PowerTrace *> &traces,
+    Tick horizon, const Config &cfg, ThreadPool *pool)
+{
     if (cfg.offThreshold >= cfg.onThreshold)
         fatal("intermittent execution thresholds reversed");
     if (cfg.step <= 0)
         fatal("intermittent execution step must be positive");
 
-    std::vector<Result> out;
-    out.reserve(traces.size());
     for (const PowerTrace *trace : traces)
         if (!trace)
             fatal("runBatch needs a trace per machine");
@@ -414,7 +420,13 @@ IntermittentExecution::runBatch(
         }
     }
 
-    for (const PowerTrace *trace : traces) {
+    // Machines are mutually independent: each owns its StepMachine
+    // state and a private cursor into the read-only `segs` list, and
+    // writes only its own result slot — so the batch distributes over
+    // the pool's chunked partition with bit-identical results.
+    std::vector<Result> out(traces.size());
+    parallelForChunked(pool, traces.size(), [&](std::size_t m) {
+        const PowerTrace *trace = traces[m];
         NEOFOG_ASSERT(trace == traces.front() ||
                           trace->constantLevelUntil(0) ==
                               traces.front()->constantLevelUntil(0),
@@ -424,8 +436,8 @@ IntermittentExecution::runBatch(
         if (!cfg.fastForward) {
             for (Tick t = 0; t < horizon; t += cfg.step)
                 machine.stepOnce(t, horizon);
-            out.push_back(machine.finish());
-            continue;
+            out[m] = machine.finish();
+            return;
         }
 
         std::size_t cursor = 0;
@@ -459,8 +471,8 @@ IntermittentExecution::runBatch(
             machine.stepOnce(t, horizon);
             t += cfg.step;
         }
-        out.push_back(machine.finish());
-    }
+        out[m] = machine.finish();
+    });
     return out;
 }
 

@@ -29,6 +29,7 @@
 #include "energy/frontend.hh"
 #include "energy/power_trace.hh"
 #include "hw/processor.hh"
+#include "sim/thread_pool.hh"
 #include "sim/types.hh"
 #include "sim/units.hh"
 
@@ -145,6 +146,20 @@ class IntermittentExecution
     runBatch(const Processor &cpu,
              const std::vector<const PowerTrace *> &traces, Tick horizon,
              const Config &cfg);
+
+    /**
+     * runBatch() distributed over @p pool (null or size 1 = serial).
+     * Machines are mutually independent — each one owns its state and
+     * a private cursor into the read-only shared boundary list — and
+     * results land by machine index, so the output is bit-identical
+     * to the serial form for any thread count.  The chunked partition
+     * keeps machine m's step loop on the same pool thread across
+     * calls (see ThreadPool::parallelForChunked).
+     */
+    static std::vector<Result>
+    runBatch(const Processor &cpu,
+             const std::vector<const PowerTrace *> &traces, Tick horizon,
+             const Config &cfg, ThreadPool *pool);
 
     /**
      * Convenience: the NVP/VP forward-progress ratio on one trace —

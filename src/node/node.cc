@@ -197,19 +197,20 @@ Node::beginSlotWithIncome(Tick slot_start, Tick slot_length,
                   "beginSlot must move forward in time");
     NEOFOG_ASSERT(slot_length > 0, "slot length must be positive");
 
-    SuperCapacitor &cap = s.cap[_row];
-    Rtc &rtc = s.rtc[_row];
+    CapacitorView cap = capView();
+    RtcView rtc = rtcView();
     NodeStats &st = s.stats[_row];
 
     // Unused direct-channel income from the previous slot flows into
     // the capacitor through the charge path instead.
-    if (s.directBudget[_row] > Energy::zero()) {
+    if (s.directBudgetJ[_row] > 0.0) {
         const double direct_eff =
             _frontend.config().harvestEfficiency *
             _frontend.config().directEfficiency;
-        const Energy raw = s.directBudget[_row] / direct_eff;
+        const Energy raw =
+            Energy::fromJoules(s.directBudgetJ[_row]) / direct_eff;
         cap.charge(_frontend.incomeToCap(raw));
-        s.directBudget[_row] = Energy::zero();
+        s.directBudgetJ[_row] = 0.0;
     }
 
     // Income over any gap (multiplexed nodes sleep through slots).
@@ -233,10 +234,11 @@ Node::beginSlotWithIncome(Tick slot_start, Tick slot_length,
     const Energy usable = slot_ambient - rtc_share;
 
     if (_cfg.mode == OperatingMode::FiosNvMote) {
-        s.directBudget[_row] = _frontend.incomeToLoadDirect(usable);
+        s.directBudgetJ[_row] =
+            _frontend.incomeToLoadDirect(usable).joules();
     } else {
         cap.charge(_frontend.incomeToCap(usable));
-        s.directBudget[_row] = Energy::zero();
+        s.directBudgetJ[_row] = 0.0;
     }
     cap.leak(slot_length);
 
@@ -249,6 +251,15 @@ Node::beginSlotWithIncome(Tick slot_start, Tick slot_length,
     s.slotTimeUsed[_row] = 0;
     s.awake[_row] = 0;
     s.rfInitializedThisSlot[_row] = 0;
+
+    rolloverSlotState();
+}
+
+void
+Node::rolloverSlotState()
+{
+    NodeShard &s = *_shard;
+    NodeStats &st = s.stats[_row];
 
     // Age the pending queue; packages past the freshness deadline are
     // stale and discarded.  (The window is allocated at construction,
@@ -363,10 +374,11 @@ Node::canCompleteOnePackage() const
     const Energy task = taskCost();
     const Energy tx = packageTxCost();
     // The task may draw the direct channel; the transmission may not.
-    const Energy direct_used = std::min(task, s.directBudget[_row]);
+    const Energy direct_used =
+        std::min(task, Energy::fromJoules(s.directBudgetJ[_row]));
     const Energy cap_needed =
         _frontend.capCostForLoad((task - direct_used) + tx);
-    if (s.cap[_row].stored() < cap_needed)
+    if (capView().stored() < cap_needed)
         return false;
     const Tick need_time = taskComputeTime() + _txCompressedDuration +
                            (s.rfInitializedThisSlot[_row]
@@ -386,9 +398,9 @@ bool
 Node::canAfford(Energy e, bool direct_eligible) const
 {
     Energy deliverable =
-        capRow().stored() * _frontend.config().dischargeEfficiency;
+        capView().stored() * _frontend.config().dischargeEfficiency;
     if (direct_eligible)
-        deliverable += _shard->directBudget[_row];
+        deliverable += Energy::fromJoules(_shard->directBudgetJ[_row]);
     return deliverable >= e;
 }
 
@@ -397,16 +409,17 @@ Node::spend(Energy e, bool direct_eligible)
 {
     if (!canAfford(e, direct_eligible))
         return false;
-    Energy &direct = _shard->directBudget[_row];
+    double &direct = _shard->directBudgetJ[_row];
     Energy rest = e;
-    if (direct_eligible && direct > Energy::zero()) {
-        const Energy from_direct = std::min(rest, direct);
-        direct -= from_direct;
+    if (direct_eligible && direct > 0.0) {
+        const Energy from_direct =
+            std::min(rest, Energy::fromJoules(direct));
+        direct -= from_direct.joules();
         rest -= from_direct;
     }
     if (rest > Energy::zero()) {
         const Energy cap_cost = _frontend.capCostForLoad(rest);
-        const bool ok = capRow().tryDischarge(cap_cost);
+        const bool ok = capView().tryDischarge(cap_cost);
         NEOFOG_ASSERT(ok, "spend() affordability check out of sync");
     }
     return true;
@@ -439,7 +452,7 @@ Node::tryWake()
 
     // A desynchronized RTC means the node must first listen long
     // enough to re-acquire the network's slot grid.
-    Rtc &rtc = s.rtc[_row];
+    RtcView rtc = rtcView();
     if (!rtc.synchronized()) {
         const Energy resync = rtc.config().resyncEnergy;
         if (!spend(resync, false)) {
@@ -583,10 +596,11 @@ Node::canCompleteIncidental() const
     const NodeShard &s = *_shard;
     const Energy task = incidentalTaskCost();
     const Energy tx = packageTxCost();
-    const Energy direct_used = std::min(task, s.directBudget[_row]);
+    const Energy direct_used =
+        std::min(task, Energy::fromJoules(s.directBudgetJ[_row]));
     const Energy cap_needed =
         _frontend.capCostForLoad((task - direct_used) + tx);
-    if (s.cap[_row].stored() < cap_needed)
+    if (capView().stored() < cap_needed)
         return false;
     const auto inst = static_cast<std::uint64_t>(
         _cfg.incidentalFraction *
@@ -716,12 +730,12 @@ Node::spareTaskCapacity() const
     // this slot's unused direct-channel budget.  Counting merely
     // "stored" energy would let transfers displace the receiver's own
     // future work (a net loss once transfer costs are paid).
-    const SuperCapacitor &cap = s.cap[_row];
+    const CapacitorView cap = capView();
     const Energy surplus_stored =
         (cap.stored() - cap.capacity() * 0.7).clampedNonNegative();
     Energy deliverable =
         surplus_stored * _frontend.config().dischargeEfficiency +
-        s.directBudget[_row];
+        Energy::fromJoules(s.directBudgetJ[_row]);
     const Energy per_task = taskCost() + packageTxCost();
     if (per_task.joules() <= 0.0)
         return 0.0;
@@ -761,7 +775,7 @@ void
 Node::recordEnergyPoint(Tick now)
 {
     statsRow().storedEnergyMj.record(now,
-                                     capRow().stored().millijoules());
+                                     capView().stored().millijoules());
 }
 
 void

@@ -231,6 +231,16 @@ class Node
     void beginSlotWithIncome(Tick slot_start, Tick slot_length,
                              Energy gap_ambient, Energy slot_ambient);
 
+    /**
+     * The non-arithmetic tail of the slot boundary: age the pending
+     * queue (discarding stale packages) and power-cycle the volatile
+     * peripherals.  beginSlotWithIncome calls this itself; the
+     * vectorized shard kernel (ShardSlotKernel) runs the banking
+     * arithmetic column-wise and then calls this per node, so the
+     * two paths stay bit-identical.
+     */
+    void rolloverSlotState();
+
     /** End of the window income has been integrated up to. */
     Tick lastAccrualTime() const { return _shard->lastAccrual[_row]; }
 
@@ -305,10 +315,10 @@ class Node
     // ------------------------------------------------------------------
 
     /** Stored energy right now. */
-    Energy stored() const { return capRow().stored(); }
+    Energy stored() const { return capView().stored(); }
 
     /** Capacitor fill fraction. */
-    double fillFraction() const { return capRow().fillFraction(); }
+    double fillFraction() const { return capView().fillFraction(); }
 
     /**
      * Cost to wake: processor restart/restore plus basic control
@@ -369,7 +379,7 @@ class Node
     Power lastSlotIncome() const { return _shard->lastIncome[_row]; }
 
     /** The RTC (for virtualization phase queries). */
-    const Rtc &rtc() const { return _shard->rtc[_row]; }
+    RtcView rtc() const { return rtcView(); }
 
     /** The radio, e.g. for NVD4Q state cloning. */
     RfModule &rf() { return *_shard->rf[_row]; }
@@ -398,7 +408,13 @@ class Node
     int discardPendingPackages();
 
     /** The main super-capacitor (overflow/leakage accounting). */
-    const SuperCapacitor &capacitor() const { return capRow(); }
+    CapacitorView capacitor() const { return capView(); }
+
+    /** The harvesting front end (mode-derived efficiencies). */
+    const FrontEnd &frontend() const { return _frontend; }
+
+    /** This node's row in its shard (see ShardSlotKernel::Lane). */
+    std::uint32_t shardRow() const { return _row; }
 
     /**
      * Snapshot support (see src/snapshot/): archives every field that
@@ -416,8 +432,12 @@ class Node
     {
         NodeShard &s = *_shard;
         ar.io("rng", _rng);
-        ar.io("cap", s.cap[_row]);
-        ar.io("rtc", s.rtc[_row]);
+        // The capacitor/RTC columns archive through their row views,
+        // which keep SuperCapacitor's / Rtc's wire keys and types.
+        CapacitorView cap_view = capView();
+        ar.io("cap", cap_view);
+        RtcView rtc_view = rtcView();
+        ar.io("rtc", rtc_view);
         ar.io("sensor", s.sensor[_row]);
         ar.io("buffer", s.buffer[_row]);
         ar.io("rf_state", s.rf[_row]->state());
@@ -427,7 +447,12 @@ class Node
         ar.io("slot_start", s.slotStart[_row]);
         ar.io("slot_length", s.slotLength[_row]);
         ar.io("slot_time_used", s.slotTimeUsed[_row]);
-        ar.io("direct_budget", s.directBudget[_row]);
+        // The budget column is raw joules; the wire keeps the
+        // original Energy encoding.
+        Energy direct_budget =
+            Energy::fromJoules(s.directBudgetJ[_row]);
+        ar.io("direct_budget", direct_budget);
+        s.directBudgetJ[_row] = direct_budget.joules();
         ar.io("last_income", s.lastIncome[_row]);
         // The shard packs flags as bytes; the wire keeps the original
         // bool encoding.
@@ -472,9 +497,28 @@ class Node
 
     // Row views: _shard is a plain pointer member, so these stay
     // usable from const facade methods — the memo fields below keep
-    // their pre-refactor `mutable` semantics that way.
-    SuperCapacitor &capRow() const { return _shard->cap[_row]; }
-    Rtc &rtcRow() const { return _shard->rtc[_row]; }
+    // their pre-refactor `mutable` semantics that way.  The energy
+    // state lives in the shard's double columns; the views bind one
+    // row of them to this node's configs.
+    CapacitorView
+    capView() const
+    {
+        NodeShard &s = *_shard;
+        return {_cfg.cap, s.capStoredJ[_row], s.capChargedJ[_row],
+                s.capOverflowJ[_row], s.capLeakedJ[_row],
+                s.capDischargedJ[_row]};
+    }
+    RtcView
+    rtcView() const
+    {
+        NodeShard &s = *_shard;
+        return {_cfg.rtc,
+                CapacitorView(_cfg.rtc.cap, s.rtcStoredJ[_row],
+                              s.rtcChargedJ[_row], s.rtcOverflowJ[_row],
+                              s.rtcLeakedJ[_row],
+                              s.rtcDischargedJ[_row]),
+                s.rtcSync[_row], s.rtcDesyncs[_row]};
+    }
     Sensor &sensorRow() const { return _shard->sensor[_row]; }
     NvBuffer &bufferRow() const { return _shard->buffer[_row]; }
     RfModule &rfRow() const { return *_shard->rf[_row]; }

@@ -7,8 +7,19 @@ namespace neofog {
 void
 NodeShard::reserveRows(std::size_t row_count, std::size_t pending_depth)
 {
-    cap.reserve(row_count);
-    rtc.reserve(row_count);
+    capStoredJ.reserve(row_count);
+    capChargedJ.reserve(row_count);
+    capOverflowJ.reserve(row_count);
+    capLeakedJ.reserve(row_count);
+    capDischargedJ.reserve(row_count);
+    rtcStoredJ.reserve(row_count);
+    rtcChargedJ.reserve(row_count);
+    rtcOverflowJ.reserve(row_count);
+    rtcLeakedJ.reserve(row_count);
+    rtcDischargedJ.reserve(row_count);
+    rtcSync.reserve(row_count);
+    rtcDesyncs.reserve(row_count);
+    directBudgetJ.reserve(row_count);
     sensor.reserve(row_count);
     buffer.reserve(row_count);
     rf.reserve(row_count);
@@ -16,7 +27,6 @@ NodeShard::reserveRows(std::size_t row_count, std::size_t pending_depth)
     slotStart.reserve(row_count);
     slotLength.reserve(row_count);
     slotTimeUsed.reserve(row_count);
-    directBudget.reserve(row_count);
     lastIncome.reserve(row_count);
     awake.reserve(row_count);
     rfInitializedThisSlot.reserve(row_count);
@@ -40,8 +50,23 @@ NodeShard::addRow(const SuperCapacitor::Config &cap_cfg,
     NEOFOG_ASSERT(pending_depth >= 1, "pending queue needs depth >= 1");
     NEOFOG_ASSERT(radio != nullptr, "node row needs a radio");
     const auto row = static_cast<std::uint32_t>(rows());
-    cap.emplace_back(cap_cfg);
-    rtc.emplace_back(rtc_cfg);
+    // Construct throwaway parts to reuse their config validation and
+    // initial-charge semantics, then seed the columns from them.
+    const SuperCapacitor seed_cap(cap_cfg);
+    const Rtc seed_rtc(rtc_cfg);
+    capStoredJ.push_back(seed_cap.stored().joules());
+    capChargedJ.push_back(0.0);
+    capOverflowJ.push_back(0.0);
+    capLeakedJ.push_back(0.0);
+    capDischargedJ.push_back(0.0);
+    rtcStoredJ.push_back(seed_rtc.cap().stored().joules());
+    rtcChargedJ.push_back(0.0);
+    rtcOverflowJ.push_back(0.0);
+    rtcLeakedJ.push_back(0.0);
+    rtcDischargedJ.push_back(0.0);
+    rtcSync.push_back(1.0);
+    rtcDesyncs.push_back(0.0);
+    directBudgetJ.push_back(0.0);
     sensor.emplace_back(spec);
     buffer.emplace_back(buffer_cfg);
     rf.push_back(std::move(radio));
@@ -49,7 +74,6 @@ NodeShard::addRow(const SuperCapacitor::Config &cap_cfg,
     slotStart.push_back(0);
     slotLength.push_back(0);
     slotTimeUsed.push_back(0);
-    directBudget.push_back(Energy::zero());
     lastIncome.push_back(Power::zero());
     awake.push_back(0);
     rfInitializedThisSlot.push_back(0);
@@ -69,8 +93,19 @@ std::size_t
 NodeShard::residentBytes() const
 {
     std::size_t bytes = sizeof(NodeShard);
-    bytes += cap.capacity() * sizeof(SuperCapacitor);
-    bytes += rtc.capacity() * sizeof(Rtc);
+    bytes += capStoredJ.capacity() * sizeof(double);
+    bytes += capChargedJ.capacity() * sizeof(double);
+    bytes += capOverflowJ.capacity() * sizeof(double);
+    bytes += capLeakedJ.capacity() * sizeof(double);
+    bytes += capDischargedJ.capacity() * sizeof(double);
+    bytes += rtcStoredJ.capacity() * sizeof(double);
+    bytes += rtcChargedJ.capacity() * sizeof(double);
+    bytes += rtcOverflowJ.capacity() * sizeof(double);
+    bytes += rtcLeakedJ.capacity() * sizeof(double);
+    bytes += rtcDischargedJ.capacity() * sizeof(double);
+    bytes += rtcSync.capacity() * sizeof(double);
+    bytes += rtcDesyncs.capacity() * sizeof(double);
+    bytes += directBudgetJ.capacity() * sizeof(double);
     bytes += sensor.capacity() * sizeof(Sensor);
     bytes += buffer.capacity() * sizeof(NvBuffer);
     bytes += rf.capacity() * sizeof(std::unique_ptr<RfModule>);
@@ -84,7 +119,6 @@ NodeShard::residentBytes() const
     bytes += slotStart.capacity() * sizeof(Tick);
     bytes += slotLength.capacity() * sizeof(Tick);
     bytes += slotTimeUsed.capacity() * sizeof(Tick);
-    bytes += directBudget.capacity() * sizeof(Energy);
     bytes += lastIncome.capacity() * sizeof(Power);
     bytes += awake.capacity();
     bytes += rfInitializedThisSlot.capacity();

@@ -14,12 +14,23 @@
  *
  * Layout (one row per node, arrays grouped by access pattern):
  *
- *     cap[]  rtc[]  sensor[]  buffer[]  rf[]          component rows
+ *     capStoredJ[] capChargedJ[] ... rtcSync[]         energy columns
+ *     sensor[]  buffer[]  rf[]                         component rows
  *     lastAccrual[] slotStart[] slotLength[] ...       slot scalars
  *     slotCostsValid[] slotTaskCost[] slotTaskTime[]   per-slot memos
  *     pendingPackages[] pendingOffset[] pendingDepth[] queue headers
  *     pendingAge[]  (flat, rows at [offset, offset+depth))
  *     stats[]                                          cold counters
+ *
+ * The capacitor / RTC / direct-budget state that the slot-boundary
+ * banking touches every slot is stored as *plain double columns*
+ * (joules), not as embedded SuperCapacitor/Rtc objects: the batched
+ * slot kernel (ShardSlotKernel) advances those columns in place with
+ * SIMD lanes, and the scalar path reads and writes the very same
+ * cells through CapacitorView/RtcView facades — one authoritative
+ * copy, no gather/scatter of fat objects on either path.  The RTC
+ * sync flag and desync count are doubles too (1.0/0.0 and an exact
+ * small integer) so every kernel column is homogeneous.
  *
  * Rows are append-only: addRow() returns the new row index, and
  * reserveRows() pre-sizes every array so construction of a whole chain
@@ -138,7 +149,7 @@ class NodeShard
                          std::unique_ptr<RfModule> rf);
 
     /** Rows currently in the shard. */
-    std::size_t rows() const { return cap.size(); }
+    std::size_t rows() const { return stats.size(); }
 
     /**
      * Bytes resident in the shard's arrays (capacity-based, including
@@ -147,9 +158,22 @@ class NodeShard
      */
     std::size_t residentBytes() const;
 
+    // ---- energy-state columns (joules; see the header comment) ----
+    std::vector<double> capStoredJ;
+    std::vector<double> capChargedJ;
+    std::vector<double> capOverflowJ;
+    std::vector<double> capLeakedJ;
+    std::vector<double> capDischargedJ;
+    std::vector<double> rtcStoredJ;
+    std::vector<double> rtcChargedJ;
+    std::vector<double> rtcOverflowJ;
+    std::vector<double> rtcLeakedJ;
+    std::vector<double> rtcDischargedJ;
+    std::vector<double> rtcSync;    ///< 1.0 synchronized, 0.0 not
+    std::vector<double> rtcDesyncs; ///< desync count (exact integer)
+    std::vector<double> directBudgetJ; ///< FIOS direct-channel budget
+
     // ---- component rows --------------------------------------------
-    std::vector<SuperCapacitor> cap;
-    std::vector<Rtc> rtc;
     std::vector<Sensor> sensor;
     std::vector<NvBuffer> buffer;
     std::vector<std::unique_ptr<RfModule>> rf;
@@ -159,7 +183,6 @@ class NodeShard
     std::vector<Tick> slotStart;
     std::vector<Tick> slotLength;
     std::vector<Tick> slotTimeUsed;
-    std::vector<Energy> directBudget; ///< FIOS direct-channel budget
     std::vector<Power> lastIncome;
     std::vector<std::uint8_t> awake;
     std::vector<std::uint8_t> rfInitializedThisSlot;

@@ -4,9 +4,39 @@
 #include <cstdint>
 #include <memory>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 namespace neofog {
 
-ThreadPool::ThreadPool(unsigned threads)
+namespace {
+
+/**
+ * Best-effort affinity: pin pool thread @p worker to one CPU (id mod
+ * hardware threads).  Affinity is pure placement — it can never change
+ * results, only which core's cache/NUMA node serves the memory.
+ */
+void
+pinPoolThread(unsigned worker)
+{
+#if defined(__linux__)
+    const unsigned hw = ThreadPool::hardwareThreads();
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(worker % hw, &set);
+    // pid 0 = the calling thread; ignore failure (restricted cpusets,
+    // containers) — pinning is an optimization, not a contract.
+    (void)sched_setaffinity(0, sizeof(set), &set);
+#else
+    (void)worker;
+#endif
+}
+
+} // namespace
+
+ThreadPool::ThreadPool(unsigned threads, bool pin_threads)
 {
     _size = threads == 0 ? hardwareThreads() : threads;
     if (_size < 1)
@@ -17,9 +47,16 @@ ThreadPool::ThreadPool(unsigned threads)
     const unsigned cap = std::max(256u, 2 * hardwareThreads());
     if (_size > cap)
         _size = cap;
+    if (pin_threads)
+        pinPoolThread(0); // the caller participates as pool thread 0
     _workers.reserve(_size - 1);
-    for (unsigned i = 0; i + 1 < _size; ++i)
-        _workers.emplace_back([this] { workerLoop(); });
+    for (unsigned i = 0; i + 1 < _size; ++i) {
+        _workers.emplace_back([this, i, pin_threads] {
+            if (pin_threads)
+                pinPoolThread(i + 1);
+            workerLoop(i + 1);
+        });
+    }
 }
 
 ThreadPool::~ThreadPool()
@@ -41,8 +78,28 @@ ThreadPool::hardwareThreads()
 }
 
 void
-ThreadPool::work(Job &job)
+ThreadPool::work(Job &job, unsigned worker)
 {
+    if (job.chunked) {
+        // Static partition: this thread's fixed contiguous chunk.
+        // The mapping depends only on (count, poolSize, worker), so
+        // every chunked loop of a pool sweeps the same indices on the
+        // same thread — the first-touch locality contract.
+        const std::size_t lo = job.count * worker / job.poolSize;
+        const std::size_t hi =
+            job.count * (worker + 1) / job.poolSize;
+        for (std::size_t i = lo; i < hi; ++i) {
+            try {
+                (*job.body)(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(job.errorMutex);
+                if (!job.error)
+                    job.error = std::current_exception();
+            }
+            job.done.fetch_add(1, std::memory_order_acq_rel);
+        }
+        return;
+    }
     while (true) {
         const std::size_t i =
             job.next.fetch_add(1, std::memory_order_relaxed);
@@ -60,7 +117,7 @@ ThreadPool::work(Job &job)
 }
 
 void
-ThreadPool::workerLoop()
+ThreadPool::workerLoop(unsigned worker)
 {
     std::uint64_t seen = 0;
     while (true) {
@@ -77,7 +134,7 @@ ThreadPool::workerLoop()
             seen = _generation;
             job = _job;
         }
-        work(*job);
+        work(*job, worker);
         {
             // Bracket the notify with the mutex so the caller cannot
             // check done, miss our increment, and sleep through the
@@ -89,8 +146,9 @@ ThreadPool::workerLoop()
 }
 
 void
-ThreadPool::parallelFor(std::size_t count,
-                        const std::function<void(std::size_t)> &body)
+ThreadPool::runJob(std::size_t count,
+                   const std::function<void(std::size_t)> &body,
+                   bool chunked)
 {
     if (count == 0)
         return;
@@ -103,6 +161,8 @@ ThreadPool::parallelFor(std::size_t count,
     auto job = std::make_shared<Job>();
     job->body = &body;
     job->count = count;
+    job->chunked = chunked;
+    job->poolSize = _size;
     {
         std::lock_guard<std::mutex> lock(_mutex);
         _job = job;
@@ -110,12 +170,13 @@ ThreadPool::parallelFor(std::size_t count,
     }
     _wake.notify_all();
 
-    // The caller is a full participant.
-    work(*job);
+    // The caller is a full participant: pool thread 0.
+    work(*job, 0);
 
     // Wait until every index has completed.  Workers that claimed an
-    // out-of-range index merely break out; they hold their own
-    // shared_ptr, so the job stays valid for them past this return.
+    // out-of-range index (or own an empty chunk) merely break out;
+    // they hold their own shared_ptr, so the job stays valid for them
+    // past this return.
     {
         std::unique_lock<std::mutex> lock(_mutex);
         _finished.wait(lock, [&] {
@@ -129,11 +190,37 @@ ThreadPool::parallelFor(std::size_t count,
 }
 
 void
+ThreadPool::parallelFor(std::size_t count,
+                        const std::function<void(std::size_t)> &body)
+{
+    runJob(count, body, /*chunked=*/false);
+}
+
+void
+ThreadPool::parallelForChunked(
+    std::size_t count, const std::function<void(std::size_t)> &body)
+{
+    runJob(count, body, /*chunked=*/true);
+}
+
+void
 parallelFor(ThreadPool *pool, std::size_t count,
             const std::function<void(std::size_t)> &body)
 {
     if (pool && pool->size() > 1) {
         pool->parallelFor(count, body);
+    } else {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+    }
+}
+
+void
+parallelForChunked(ThreadPool *pool, std::size_t count,
+                   const std::function<void(std::size_t)> &body)
+{
+    if (pool && pool->size() > 1) {
+        pool->parallelForChunked(count, body);
     } else {
         for (std::size_t i = 0; i < count; ++i)
             body(i);

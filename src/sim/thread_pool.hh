@@ -39,8 +39,13 @@ class ThreadPool
      *        OS threads and runs every loop inline.  Absurd requests
      *        are clamped to max(256, 2 x hardware threads) — results
      *        never depend on the size, only wall-clock does.
+     * @param pin_threads Pin each pool thread (including the caller)
+     *        to one CPU, thread i to CPU i mod hardwareThreads().
+     *        Linux only, best-effort, a no-op elsewhere; keeps
+     *        first-touch memory (see parallelForChunked) on the core
+     *        that faulted it in.  Never affects results.
      */
-    explicit ThreadPool(unsigned threads = 0);
+    explicit ThreadPool(unsigned threads = 0, bool pin_threads = false);
     ~ThreadPool();
 
     ThreadPool(const ThreadPool &) = delete;
@@ -61,6 +66,19 @@ class ThreadPool
     void parallelFor(std::size_t count,
                      const std::function<void(std::size_t)> &body);
 
+    /**
+     * Like parallelFor, but with a *deterministic static partition*:
+     * pool thread w runs exactly the contiguous index chunk
+     * [w*count/size, (w+1)*count/size), every call.  The stable
+     * chunk→thread mapping is what makes first-touch placement work:
+     * when the objects behind the indices were also *constructed*
+     * under parallelForChunked, every later sweep touches memory the
+     * same thread faulted in (see DESIGN.md, "Vectorization & memory
+     * placement").  Same blocking/exception contract as parallelFor.
+     */
+    void parallelForChunked(std::size_t count,
+                            const std::function<void(std::size_t)> &body);
+
     /** Hardware concurrency with a sane floor of 1. */
     static unsigned hardwareThreads();
 
@@ -69,16 +87,28 @@ class ThreadPool
     {
         const std::function<void(std::size_t)> *body = nullptr;
         std::size_t count = 0;
+        /** Static chunk per thread instead of dynamic claiming. */
+        bool chunked = false;
+        /** Pool size the chunk ranges are computed against. */
+        unsigned poolSize = 1;
         std::atomic<std::size_t> next{0};
         std::atomic<std::size_t> done{0};
         std::exception_ptr error;
         std::mutex errorMutex;
     };
 
-    /** Claim and run indices of @p job until none remain. */
-    void work(Job &job);
+    /**
+     * Run @p job's share for pool thread @p worker: the dynamic
+     * claim-next loop, or (chunked) the thread's static index range.
+     */
+    void work(Job &job, unsigned worker);
 
-    void workerLoop();
+    /** Shared submit/participate/wait body of both parallelFor forms. */
+    void runJob(std::size_t count,
+                const std::function<void(std::size_t)> &body,
+                bool chunked);
+
+    void workerLoop(unsigned worker);
 
     unsigned _size = 1;
     std::vector<std::thread> _workers;
@@ -97,6 +127,10 @@ class ThreadPool
  */
 void parallelFor(ThreadPool *pool, std::size_t count,
                  const std::function<void(std::size_t)> &body);
+
+/** Serial-fallback helper for the chunked static partition. */
+void parallelForChunked(ThreadPool *pool, std::size_t count,
+                        const std::function<void(std::size_t)> &body);
 
 } // namespace neofog
 

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Property tests for the vectorized shard slot kernel
+ * (ShardSlotKernel): running the banking arithmetic column-wise must
+ * be bit-identical to the scalar Node::beginSlotWithIncome path on the
+ * fig-13 preset, on constant income, and on randomized scenarios, at
+ * every thread count; snapshots taken with the kernel on must resume
+ * onto the same bits; and the simdKernel / pinThreads knobs must stay
+ * outside the scenario fingerprint (host-local tuning, not simulated
+ * state).  Registered under the "perf" ctest label next to the SoA
+ * batch suite — these are the correctness guardrails of the
+ * vectorization work.
+ *
+ * Under -DNEOFOG_SIMD=OFF the dispatch compiles the kernel out, so
+ * the equality assertions hold trivially; the suite still runs to
+ * keep the fallback build green.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <random>
+#include <string>
+
+#include "fog/fog_system.hh"
+#include "fog/presets.hh"
+#include "fog/snapshot_io.hh"
+#include "snapshot/snapshot.hh"
+
+namespace neofog {
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Self-deleting scratch directory (mirrors test_snapshot's). */
+class ScratchDir
+{
+  public:
+    explicit ScratchDir(const std::string &tag)
+        : _path(fs::temp_directory_path() /
+                ("neofog_shard_kernel_test_" + tag))
+    {
+        fs::remove_all(_path);
+        fs::create_directories(_path);
+    }
+    ~ScratchDir() { fs::remove_all(_path); }
+
+    std::string file(const std::string &name) const
+    {
+        return (_path / name).string();
+    }
+    std::string path() const { return _path.string(); }
+
+  private:
+    fs::path _path;
+};
+
+SystemReport
+runWith(ScenarioConfig cfg, bool simd_kernel, unsigned threads)
+{
+    cfg.simdKernel = simd_kernel;
+    cfg.threads = threads;
+    return FogSystem(cfg).run();
+}
+
+// The fig-13 preset is the shape the kernel targets (every node a
+// scaled view of one shared rain stream, uniform node template):
+// vectorized and scalar banking must agree on every report bit at
+// every thread count, and both must agree with the fully per-node
+// path (batchSlotKernel off).
+TEST(ShardKernel, Fig13BitIdenticalToScalarBanking)
+{
+    ScenarioConfig cfg = presets::fig13(presets::fiosNeofog(), 3);
+    cfg.chains = 4;
+    cfg.horizon = kHour;
+    cfg.seed = 77;
+
+    const SystemReport scalar = runWith(cfg, false, 1);
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        EXPECT_EQ(runWith(cfg, true, threads), scalar)
+            << "shard kernel diverged at threads=" << threads;
+    }
+
+    ScenarioConfig per_node = cfg;
+    per_node.batchSlotKernel = false;
+    EXPECT_EQ(FogSystem(per_node).run(), scalar)
+        << "scalar banking diverged from the per-node path";
+}
+
+// Constant income takes the other hoist arm (one pure integral shared
+// by every node) and drives different select outcomes in the flush /
+// overflow lanes.
+TEST(ShardKernel, ConstantTraceBitIdenticalToScalarBanking)
+{
+    ScenarioConfig cfg;
+    cfg.chains = 3;
+    cfg.nodesPerChain = 8;
+    cfg.mode = OperatingMode::FiosNvMote;
+    cfg.traceKind = TraceKind::Constant;
+    cfg.meanIncome = Power::fromMilliwatts(2.2);
+    cfg.balancerPolicy = "distributed";
+    cfg.horizon = kHour;
+    cfg.seed = 8;
+
+    const SystemReport scalar = runWith(cfg, false, 1);
+    for (const unsigned threads : {1u, 2u, 4u}) {
+        EXPECT_EQ(runWith(cfg, true, threads), scalar)
+            << "shard kernel diverged at threads=" << threads;
+    }
+}
+
+// Randomized scenario sweep: whatever the trace family, mode,
+// balancer, and multiplexing, flipping simdKernel must never move a
+// single bit.  Non-FIOS modes exercise the no-direct-channel arm;
+// independent traces exercise the no-hoist fallback (kernel skipped).
+TEST(ShardKernel, RandomScenariosBitIdentical)
+{
+    std::minstd_rand pick(20260808);
+    const TraceKind kinds[] = {TraceKind::ForestIndependent,
+                               TraceKind::BridgeDependent,
+                               TraceKind::RainLow, TraceKind::Constant};
+    const OperatingMode modes[] = {OperatingMode::NosVp,
+                                   OperatingMode::NosNvp,
+                                   OperatingMode::FiosNvMote};
+    const char *balancers[] = {"none", "tree", "distributed",
+                               "cluster"};
+
+    for (int round = 0; round < 6; ++round) {
+        ScenarioConfig cfg;
+        cfg.traceKind = kinds[pick() % 4];
+        cfg.mode = modes[pick() % 3];
+        cfg.balancerPolicy = balancers[pick() % 4];
+        cfg.chains = 1 + pick() % 3;
+        cfg.nodesPerChain = 4 + pick() % 7;
+        cfg.multiplexing = 1 + pick() % 3;
+        cfg.hopByHopRelay = pick() % 2 == 0;
+        cfg.realTimeRequestChance = pick() % 2 == 0 ? 0.0 : 0.01;
+        cfg.horizon = (20 + static_cast<Tick>(pick() % 20)) * kMin;
+        cfg.seed = 1 + pick() % 1000;
+
+        const SystemReport scalar = runWith(cfg, false, 1);
+        for (const unsigned threads : {1u, 2u, 4u}) {
+            EXPECT_EQ(runWith(cfg, true, threads), scalar)
+                << "round " << round << ", threads " << threads
+                << ", trace " << traceKindName(cfg.traceKind)
+                << ", mode " << operatingModeName(cfg.mode)
+                << ", balancer " << cfg.balancerPolicy;
+        }
+    }
+}
+
+// Snapshot/resume with the kernel on: a mid-horizon checkpoint must
+// resume onto the uninterrupted run's exact report, whether the
+// resuming host keeps the kernel on, turns it off, or changes the
+// thread count — the knob is host-local tuning, not simulated state.
+TEST(ShardKernel, SnapshotResumeStaysBitIdentical)
+{
+    const ScratchDir dir("resume");
+
+    ScenarioConfig cfg = presets::fig13(presets::fiosNeofog(), 3);
+    cfg.chains = 3;
+    cfg.horizon = kHour;
+    cfg.seed = 41;
+
+    const SystemReport reference = FogSystem(cfg).run();
+
+    constexpr std::int64_t kEvery = 9;
+    ScenarioConfig snapping = cfg;
+    snapping.snapshot.everySlots = kEvery;
+    snapping.snapshot.dir = dir.path();
+    EXPECT_EQ(FogSystem(snapping).run(), reference);
+
+    const std::int64_t split = kEvery * 2;
+    const std::string path = dir.file(snapshot::snapshotFileName(split));
+    ASSERT_TRUE(fs::exists(path)) << path;
+    for (const bool simd : {true, false}) {
+        for (const unsigned threads : {1u, 4u}) {
+            auto resumed = FogSystem::resume(path, threads, {}, simd);
+            EXPECT_EQ(resumed->resumeSlot(), split);
+            EXPECT_EQ(resumed->run(), reference)
+                << "resume diverged at simd=" << simd
+                << ", threads=" << threads;
+        }
+    }
+}
+
+// simdKernel and pinThreads are host-local: two configs differing
+// only in those knobs must serialize to the same blob and fingerprint,
+// so a resume may flip them freely.
+TEST(ShardKernel, SimdKernelExcludedFromFingerprint)
+{
+    ScenarioConfig cfg = presets::fig13(presets::fiosNeofog(), 3);
+    cfg.chains = 2;
+
+    ScenarioConfig tweaked = cfg;
+    tweaked.simdKernel = !cfg.simdKernel;
+    tweaked.pinThreads = !cfg.pinThreads;
+    EXPECT_EQ(serializeScenarioBlob(tweaked), serializeScenarioBlob(cfg));
+    EXPECT_EQ(scenarioFingerprint(tweaked), scenarioFingerprint(cfg));
+}
+
+} // namespace
+} // namespace neofog
