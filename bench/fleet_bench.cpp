@@ -15,7 +15,11 @@
  *    uninterrupted run's exact report on the SoA layout;
  *  - batched StepMachine: IntermittentExecution::runBatch over scaled
  *    views of one shared stream vs per-trace run(), results asserted
- *    identical, wall-clock compared.
+ *    identical, wall-clock compared;
+ *  - distributed sharding: the same fleet slice through the
+ *    multi-process coordinator/worker runtime (src/dist/) at
+ *    --workers 2 and 4, reports asserted bit-identical to the
+ *    in-process run, end-to-end throughput reported.
  *
  * Options:
  *   --chains N   fleet width override (default 100000; smoke 2000)
@@ -34,6 +38,7 @@
 #include <vector>
 
 #include "bench_util.hh"
+#include "dist/coordinator.hh"
 #include "energy/power_trace.hh"
 #include "energy/trace_cache.hh"
 #include "fog/fog_system.hh"
@@ -410,6 +415,51 @@ main(int argc, char **argv)
         sink.add("runbatch_identical", identical ? 1.0 : 0.0);
         if (!identical) {
             err("fleet_bench: runBatch diverged from per-trace run\n");
+            return 1;
+        }
+    }
+
+    // ---- Section 5: distributed sharding ---------------------------
+    header("Distributed sharding: --workers vs in-process, bit-identity");
+    {
+        // The same slice shape Section 3 snapshots: multi-process
+        // overhead (fork + wire barriers + shard merge) is per-run,
+        // so a slice measures it without doubling the fleet cost.
+        const std::size_t slice =
+            std::min<std::size_t>(chains, smoke ? 200 : 1'000);
+        const ScenarioConfig dist_cfg =
+            fleetScenario(slice, nodes_per_chain, slots);
+        const double slice_slots = static_cast<double>(slice) *
+                                   static_cast<double>(slots);
+        SystemReport in_process;
+        runTimed(dist_cfg, in_process);
+
+        bool matches = true;
+        double best_secs = 0.0;
+        for (const long long workers : {2LL, 4LL}) {
+            dist::DistOptions opt;
+            opt.workersRequested = workers;
+            const auto start = std::chrono::steady_clock::now();
+            const dist::DistResult res =
+                dist::runDistributed(dist_cfg, opt);
+            const double secs = seconds(start);
+            if (best_secs == 0.0 || secs < best_secs)
+                best_secs = secs;
+            if (!(res.report == in_process))
+                matches = false;
+            out("  --workers %lld: %.2f s end-to-end, bit-identical: "
+                "%s\n",
+                workers, secs, res.report == in_process ? "yes" : "NO");
+        }
+        const double dist_slots_per_sec = slice_slots / best_secs;
+        out("  best distributed throughput: %.0f chain-slots/s "
+            "(fork + wire + merge included)\n",
+            dist_slots_per_sec);
+        sink.add("workers_matches_threads", matches ? 1.0 : 0.0);
+        sink.add("dist_slots_per_sec", dist_slots_per_sec);
+        if (!matches) {
+            err("fleet_bench: distributed run diverged from the "
+                "in-process report\n");
             return 1;
         }
     }

@@ -24,6 +24,7 @@
 #include <string>
 
 #include "balance/policy_registry.hh"
+#include "dist/coordinator.hh"
 #include "fog/fog_system.hh"
 #include "fog/presets.hh"
 #include "sim/logging.hh"
@@ -65,6 +66,15 @@ usage(const char *argv0)
         "                            (default 1; 0 = all hardware "
         "threads;\n"
         "                            results identical for any N)\n"
+        "  --workers N               shard the chains across N forked\n"
+        "                            worker processes (0 = all "
+        "hardware\n"
+        "                            threads; composes with --threads "
+        "inside\n"
+        "                            each worker and with "
+        "--snapshot-every /\n"
+        "                            --resume; results identical for "
+        "any N)\n"
         "  --incidental              enable incidental computing\n"
         "  --relay                   hop-by-hop relaying to the sink\n"
         "  --rt-chance P             real-time request probability\n"
@@ -208,6 +218,8 @@ main(int argc, char **argv)
     report_io::Format format = report_io::Format::Text;
     std::string out_path;
     std::string resume_path;
+    bool use_workers = false;
+    long long workers = 1;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -268,6 +280,9 @@ main(int argc, char **argv)
         } else if (arg == "--threads") {
             cfg.threads =
                 static_cast<unsigned>(std::atoi(next().c_str()));
+        } else if (arg == "--workers") {
+            use_workers = true;
+            workers = std::atoll(next().c_str());
         } else if (arg == "--incidental") {
             cfg.nodeTemplate.enableIncidentalComputing = true;
         } else if (arg == "--relay") {
@@ -315,30 +330,58 @@ main(int argc, char **argv)
         }
     }
 
-    try {
-        // A resumed run rebuilds its scenario from the snapshot's own
-        // config section; only the host-local knobs (threads, the
-        // checkpoint schedule, the kernel/pinning selection) carry
-        // over from the command line.
-        std::unique_ptr<FogSystem> system = resume_path.empty()
-            ? std::make_unique<FogSystem>(cfg)
-            : FogSystem::resume(resume_path, cfg.threads,
-                                cfg.snapshot, cfg.simdKernel,
-                                cfg.pinThreads);
-        cfg = system->config();
-        const SystemReport report = system->run();
+    if (use_workers && (cfg.probes.enabled || dump_energy >= 0)) {
+        // Series live inside the worker processes; only report shards
+        // travel the wire.
+        std::fprintf(stderr, "--probes/--dump-energy need an "
+                             "in-process run; drop --workers\n");
+        return 2;
+    }
 
-        // Collect every requested time-series stream; they all leave
-        // through the same exporter as the report.
-        std::vector<report_io::LabeledSeries> series =
-            system->probeSeries();
-        if (dump_energy >= 0) {
-            const auto idx = static_cast<std::size_t>(dump_energy);
-            if (idx >= system->physicalPerChain()) {
-                std::fprintf(stderr, "node index out of range\n");
-                return 2;
+    try {
+        SystemReport report;
+        std::vector<report_io::LabeledSeries> series;
+
+        if (use_workers) {
+            // Multi-process sharding (src/dist/): fork workers, run
+            // the chain partitions, merge the shards in chain order.
+            // A resumed distributed run rebuilds its scenario from
+            // worker 0's newest checkpoint under the --resume base
+            // directory and continues every partition from its own.
+            dist::DistOptions opt;
+            opt.workersRequested = workers;
+            opt.snapshotEvery = cfg.snapshot.everySlots;
+            opt.snapshotDir = resume_path.empty() ? cfg.snapshot.dir
+                                                  : resume_path;
+            dist::DistResult res = resume_path.empty()
+                ? dist::runDistributed(cfg, opt)
+                : dist::resumeDistributed(cfg, opt);
+            cfg = res.config;
+            report = res.report;
+        } else {
+            // A resumed run rebuilds its scenario from the snapshot's
+            // own config section; only the host-local knobs (threads,
+            // the checkpoint schedule, the kernel/pinning selection)
+            // carry over from the command line.
+            std::unique_ptr<FogSystem> system = resume_path.empty()
+                ? std::make_unique<FogSystem>(cfg)
+                : FogSystem::resume(resume_path, cfg.threads,
+                                    cfg.snapshot, cfg.simdKernel,
+                                    cfg.pinThreads);
+            cfg = system->config();
+            report = system->run();
+
+            // Collect every requested time-series stream; they all
+            // leave through the same exporter as the report.
+            series = system->probeSeries();
+            if (dump_energy >= 0) {
+                const auto idx = static_cast<std::size_t>(dump_energy);
+                if (idx >= system->physicalPerChain()) {
+                    std::fprintf(stderr, "node index out of range\n");
+                    return 2;
+                }
+                series.push_back(system->nodeEnergySeries(0, idx));
             }
-            series.push_back(system->nodeEnergySeries(0, idx));
         }
 
         std::ofstream file;

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Crash-resume contract check for the snapshot subsystem.
 #
-# Runs a fig-13-style scenario three ways:
+# Single-process mode (workers absent or 0) runs a fig-13-style
+# scenario three ways:
 #   1. uninterrupted reference run               -> reference.json
 #   2. snapshotting run, SIGKILLed mid-flight
 #   3. resume from the newest valid snapshot     -> resumed.json
@@ -10,11 +11,23 @@
 # machine), the test still validates resume-from-latest against the
 # reference, which is the actual contract.
 #
-# usage: snapshot-kill-resume.sh <neofog_cli> [threads]
+# Worker-kill mode (workers > 0) checks the distributed runtime's two
+# recovery paths against a --threads reference instead:
+#   2a. --workers run with one worker process SIGKILLed mid-flight;
+#       the coordinator must respawn + resume it and still finish
+#       with the reference bytes, in the SAME run.
+#   2b. --workers run with the COORDINATOR SIGKILLed; a --resume of
+#       the partitioned snapshot directory must finish with the
+#       reference bytes.
+# Kills are best-effort: on a machine fast enough that a run completes
+# first, each path degrades to the md5 contract it ends with.
+#
+# usage: snapshot-kill-resume.sh <neofog_cli> [threads] [workers]
 set -euo pipefail
 
 cli=$1
 threads=${2:-1}
+workers=${3:-0}
 
 workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
@@ -23,24 +36,96 @@ scenario=(--trace rain --mode fios --balancer distributed
           --nodes 10 --chains 4 --hours 2 --income-mw 0.9 --seed 13
           --threads "$threads" --format json)
 
+# Poll until a checkpoint matching $1 exists or pid $2 exits.
+wait_for_snapshot() {
+    local glob=$1 pid=$2
+    for _ in $(seq 200); do
+        if compgen -G "$glob" > /dev/null; then
+            return 0
+        fi
+        if ! kill -0 "$pid" 2> /dev/null; then
+            return 0
+        fi
+        sleep 0.05
+    done
+}
+
+if [ "$workers" -gt 0 ]; then
+    # Worker-kill mode runs a heavier deployment (more chains, longer
+    # horizon) so the run outlives the kill on fast machines.
+    scenario=(--trace rain --mode fios --balancer distributed
+              --nodes 10 --chains 100 --hours 24 --income-mw 0.9
+              --seed 13 --threads "$threads" --format json)
+fi
+
 # 1. Uninterrupted reference.
 "$cli" "${scenario[@]}" --out "$workdir/reference.json"
+ref_md5=$(md5sum "$workdir/reference.json" | cut -d' ' -f1)
+
+require_match() {
+    local label=$1 file=$2
+    local got_md5
+    got_md5=$(md5sum "$file" | cut -d' ' -f1)
+    if [ "$ref_md5" != "$got_md5" ]; then
+        echo "FAIL: $label report differs from the reference" >&2
+        echo "  reference: $ref_md5" >&2
+        echo "  $label:   $got_md5" >&2
+        diff "$workdir/reference.json" "$file" >&2 || true
+        exit 1
+    fi
+}
+
+if [ "$workers" -gt 0 ]; then
+    # ---- 2a. SIGKILL one worker: the coordinator respawns it. ----
+    "$cli" "${scenario[@]}" --workers "$workers" --snapshot-every 600 \
+           --snapshot-dir "$workdir/snaps" \
+           --out "$workdir/survived.json" &
+    coord=$!
+    wait_for_snapshot "$workdir/snaps/worker0/snap-*.nfsnap" "$coord"
+    victim=$(pgrep -P "$coord" | head -n 1 || true)
+    if [ -n "$victim" ]; then
+        kill -9 "$victim" 2> /dev/null || true
+        echo "killed worker process $victim"
+    else
+        echo "note: run finished before a worker could be killed"
+    fi
+    wait "$coord"
+    require_match survived "$workdir/survived.json"
+
+    # ---- 2b. SIGKILL the coordinator: resume the directory. ----
+    rm -rf "$workdir/snaps"
+    "$cli" "${scenario[@]}" --workers "$workers" --snapshot-every 600 \
+           --snapshot-dir "$workdir/snaps" \
+           --out "$workdir/interrupted.json" &
+    coord=$!
+    wait_for_snapshot "$workdir/snaps/worker0/snap-*.nfsnap" "$coord"
+    kill -9 "$coord" 2> /dev/null || true
+    # Reap any orphaned workers (reparented once the coordinator died).
+    pkill -9 -P "$coord" 2> /dev/null || true
+    wait "$coord" 2> /dev/null || true
+
+    if ! compgen -G "$workdir/snaps/worker0/snap-*.nfsnap" > /dev/null
+    then
+        echo "FAIL: no worker snapshot was written before the kill" >&2
+        exit 1
+    fi
+
+    "$cli" --resume "$workdir/snaps" --workers "$workers" \
+           --threads "$threads" --format json \
+           --out "$workdir/resumed.json"
+    require_match resumed "$workdir/resumed.json"
+
+    echo "OK: worker-kill and coordinator-kill runs identical to" \
+         "reference ($ref_md5)"
+    exit 0
+fi
 
 # 2. Snapshotting run; kill it once the first checkpoint is on disk.
 "$cli" "${scenario[@]}" --snapshot-every 40 \
        --snapshot-dir "$workdir/snaps" \
        --out "$workdir/interrupted.json" &
 victim=$!
-
-for _ in $(seq 200); do
-    if compgen -G "$workdir/snaps/snap-*.nfsnap" > /dev/null; then
-        break
-    fi
-    if ! kill -0 "$victim" 2> /dev/null; then
-        break
-    fi
-    sleep 0.05
-done
+wait_for_snapshot "$workdir/snaps/snap-*.nfsnap" "$victim"
 
 kill -9 "$victim" 2> /dev/null || true
 wait "$victim" 2> /dev/null || true
@@ -53,16 +138,6 @@ fi
 # 3. Resume from the newest valid snapshot in the directory.
 "$cli" --resume "$workdir/snaps" --threads "$threads" --format json \
        --out "$workdir/resumed.json"
-
-ref_md5=$(md5sum "$workdir/reference.json" | cut -d' ' -f1)
-res_md5=$(md5sum "$workdir/resumed.json" | cut -d' ' -f1)
-
-if [ "$ref_md5" != "$res_md5" ]; then
-    echo "FAIL: resumed report differs from the reference" >&2
-    echo "  reference: $ref_md5" >&2
-    echo "  resumed:   $res_md5" >&2
-    diff "$workdir/reference.json" "$workdir/resumed.json" >&2 || true
-    exit 1
-fi
+require_match resumed "$workdir/resumed.json"
 
 echo "OK: resumed report identical to reference ($ref_md5)"

@@ -1,0 +1,196 @@
+#include "dist/wire.hh"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace neofog::dist {
+
+const char *
+msgTypeName(MsgType type)
+{
+    switch (type) {
+      case MsgType::Hello: return "HELLO";
+      case MsgType::Assign: return "ASSIGN";
+      case MsgType::AssignOk: return "ASSIGN_OK";
+      case MsgType::Step: return "STEP";
+      case MsgType::StepOk: return "STEP_OK";
+      case MsgType::Snapshot: return "SNAPSHOT";
+      case MsgType::SnapshotOk: return "SNAPSHOT_OK";
+      case MsgType::ShardRequest: return "SHARD_REQUEST";
+      case MsgType::Shard: return "SHARD";
+      case MsgType::Shutdown: return "SHUTDOWN";
+      case MsgType::Bye: return "BYE";
+    }
+    return "?";
+}
+
+namespace {
+
+bool
+validType(std::uint8_t raw)
+{
+    return raw >= static_cast<std::uint8_t>(MsgType::Hello) &&
+           raw <= static_cast<std::uint8_t>(MsgType::Bye);
+}
+
+} // namespace
+
+std::string
+encodeFrame(MsgType type, std::string_view payload)
+{
+    if (payload.size() > kMaxPayloadBytes)
+        fatal("wire frame payload of ", payload.size(),
+              " bytes exceeds the ", kMaxPayloadBytes, "-byte cap");
+    std::string out;
+    out.reserve(kFrameHeaderBytes + payload.size());
+    snapshot::appendLe32(out,
+                         static_cast<std::uint32_t>(payload.size()));
+    out.push_back(static_cast<char>(type));
+    snapshot::appendLe64(out, snapshot::fnv1a(payload));
+    out.append(payload);
+    return out;
+}
+
+Frame
+decodeFrame(std::string_view bytes, std::size_t &consumed)
+{
+    if (bytes.size() < kFrameHeaderBytes)
+        fatal("wire frame truncated: ", bytes.size(),
+              " bytes, need a ", kFrameHeaderBytes, "-byte header");
+    const auto *p = reinterpret_cast<const unsigned char *>(bytes.data());
+    const std::uint32_t len = snapshot::readLe32(p);
+    const std::uint8_t raw = p[4];
+    const std::uint64_t sum = snapshot::readLe64(p + 5);
+    if (len > kMaxPayloadBytes)
+        fatal("wire frame claims a ", len, "-byte payload (cap ",
+              kMaxPayloadBytes, ") — corrupt or desynced stream");
+    if (!validType(raw))
+        fatal("wire frame has unknown message type ",
+              static_cast<unsigned>(raw),
+              " — corrupt or desynced stream");
+    if (bytes.size() < kFrameHeaderBytes + len)
+        fatal("wire frame truncated: ",
+              msgTypeName(static_cast<MsgType>(raw)), " payload is ",
+              len, " bytes but only ",
+              bytes.size() - kFrameHeaderBytes, " arrived");
+    Frame frame;
+    frame.type = static_cast<MsgType>(raw);
+    frame.payload.assign(bytes.substr(kFrameHeaderBytes, len));
+    if (snapshot::fnv1a(frame.payload) != sum)
+        fatal("wire frame checksum mismatch on ",
+              msgTypeName(frame.type),
+              " — payload corrupt, refusing to decode");
+    consumed = kFrameHeaderBytes + len;
+    return frame;
+}
+
+WireConn::~WireConn()
+{
+    if (_fd >= 0)
+        ::close(_fd);
+}
+
+void
+WireConn::send(MsgType type, std::string_view payload)
+{
+    const std::string bytes = encodeFrame(type, payload);
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+        // MSG_NOSIGNAL: a dead peer yields EPIPE instead of SIGPIPE,
+        // so the coordinator survives a worker that was just killed.
+        const ssize_t n = ::send(_fd, bytes.data() + off,
+                                 bytes.size() - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == EPIPE || errno == ECONNRESET)
+                throw WireClosed("wire peer gone while sending " +
+                                 std::string(msgTypeName(type)));
+            fatal("wire send(", msgTypeName(type),
+                  ") failed: ", std::strerror(errno));
+        }
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+namespace {
+
+/**
+ * Read exactly @p want bytes.  EOF before the first byte is a clean
+ * close (returns false); EOF mid-read means the peer died inside a
+ * frame and is reported the same way — the caller treats both as
+ * WireClosed, never as a short frame to decode.
+ */
+bool
+readExact(int fd, std::string &buf, std::size_t want)
+{
+    buf.resize(want);
+    std::size_t off = 0;
+    while (off < want) {
+        const ssize_t n = ::recv(fd, buf.data() + off, want - off, 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            if (errno == ECONNRESET)
+                return false;
+            fatal("wire recv failed: ", std::strerror(errno));
+        }
+        if (n == 0)
+            return false;
+        off += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+} // namespace
+
+Frame
+WireConn::recv()
+{
+    std::string header;
+    if (!readExact(_fd, header, kFrameHeaderBytes))
+        throw WireClosed("wire peer closed the connection");
+    const auto *p =
+        reinterpret_cast<const unsigned char *>(header.data());
+    const std::uint32_t len = snapshot::readLe32(p);
+    if (len > kMaxPayloadBytes)
+        fatal("wire frame claims a ", len, "-byte payload (cap ",
+              kMaxPayloadBytes, ") — corrupt or desynced stream");
+    std::string payload;
+    if (len > 0 && !readExact(_fd, payload, len))
+        throw WireClosed("wire peer died mid-frame");
+    std::size_t consumed = 0;
+    return decodeFrame(header + payload, consumed);
+}
+
+Frame
+WireConn::expect(MsgType type)
+{
+    Frame frame = recv();
+    if (frame.type != type)
+        fatal("wire protocol desync: expected ", msgTypeName(type),
+              ", got ", msgTypeName(frame.type));
+    return frame;
+}
+
+void
+checkHello(const HelloMsg &hello, std::uint64_t fingerprint,
+           std::uint64_t expected_worker)
+{
+    if (hello.schema != kWireSchema)
+        fatal("worker ", hello.worker, " speaks wire schema '",
+              hello.schema, "', coordinator speaks '", kWireSchema,
+              "' — mixed builds?");
+    if (hello.worker != expected_worker)
+        fatal("worker on the fd for index ", expected_worker,
+              " introduced itself as ", hello.worker);
+    if (hello.fingerprint != fingerprint)
+        fatal("worker ", hello.worker, " config fingerprint ",
+              hello.fingerprint, " does not match coordinator's ",
+              fingerprint, " — refusing to assign chains");
+}
+
+} // namespace neofog::dist

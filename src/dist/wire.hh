@@ -1,0 +1,298 @@
+/**
+ * @file
+ * neofog-wire-v1: the message layer between the distributed
+ * coordinator and its worker processes.
+ *
+ * Frames travel over a Unix-domain stream socket as
+ *
+ *     [u32 payload length][u8 MsgType][u64 FNV-1a of payload][payload]
+ *
+ * (all integers little-endian, same primitives as the snapshot
+ * container).  The payload is a snapshot-archive record stream
+ * (snapshot/archive.hh): every field carries its dotted path and wire
+ * type, so a decoder verifies each record against what it expects and
+ * version skew or corruption fails loudly instead of misassigning
+ * bytes.  The checksum is verified before any payload byte is decoded,
+ * and a frame either decodes completely or the receiving process
+ * aborts the exchange — the merge path never sees a partial message.
+ *
+ * Peer disappearance (a SIGKILLed worker, a dead coordinator) is a
+ * distinct, *recoverable* condition: WireClosed.  The coordinator
+ * catches it and respawns the worker; everything else (bad type tag,
+ * checksum mismatch, truncated payload with the peer still alive)
+ * stays a FatalError because it means the stream itself cannot be
+ * trusted.
+ */
+
+#ifndef NEOFOG_DIST_WIRE_HH
+#define NEOFOG_DIST_WIRE_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sim/logging.hh"
+#include "snapshot/archive.hh"
+
+namespace neofog::dist {
+
+/** Schema tag of the coordinator/worker message layer. */
+inline constexpr const char *kWireSchema = "neofog-wire-v1";
+
+/** Frame header bytes: u32 length + u8 type + u64 checksum. */
+inline constexpr std::size_t kFrameHeaderBytes = 13;
+
+/** Sanity cap on one frame's payload (a report shard is ~1 KiB). */
+inline constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+
+/** Message kinds of the coordinator/worker protocol. */
+enum class MsgType : std::uint8_t
+{
+    Hello = 1,    ///< worker -> coord: schema + config fingerprint
+    Assign,       ///< coord -> worker: chain partition + snapshot dir
+    AssignOk,     ///< worker -> coord: partition built, start slot
+    Step,         ///< coord -> worker: advance to a slot barrier
+    StepOk,       ///< worker -> coord: barrier reached + rotation digest
+    Snapshot,     ///< coord -> worker: checkpoint the partition
+    SnapshotOk,   ///< worker -> coord: checkpoint on disk
+    ShardRequest, ///< coord -> worker: send the report shards
+    Shard,        ///< worker -> coord: one chain's report shard
+    Shutdown,     ///< coord -> worker: exit cleanly
+    Bye,          ///< worker -> coord: exiting
+};
+
+/** Display name of a message type ("HELLO", "ASSIGN", ...). */
+const char *msgTypeName(MsgType type);
+
+/**
+ * The peer end of the socket is gone (EOF, EPIPE, ECONNRESET).
+ * Recoverable by the coordinator (respawn + resume); fatal anywhere
+ * it escapes unhandled.
+ */
+class WireClosed : public FatalError
+{
+  public:
+    explicit WireClosed(const std::string &what_arg)
+        : FatalError(what_arg)
+    {}
+};
+
+/** One decoded frame. */
+struct Frame
+{
+    MsgType type = MsgType::Hello;
+    std::string payload;
+};
+
+/**
+ * Encode a frame into its wire bytes (header + payload).
+ */
+std::string encodeFrame(MsgType type, std::string_view payload);
+
+/**
+ * Decode and validate one complete frame from @p bytes.  Fatal on a
+ * bad type tag, an oversize length, a truncated payload, or a
+ * checksum mismatch.  @p consumed returns the frame's total size.
+ */
+Frame decodeFrame(std::string_view bytes, std::size_t &consumed);
+
+/**
+ * Blocking framed connection over one socket fd.  Owns the fd.
+ */
+class WireConn
+{
+  public:
+    /** Wrap @p fd (a connected stream socket); takes ownership. */
+    explicit WireConn(int fd) : _fd(fd) {}
+    ~WireConn();
+
+    WireConn(const WireConn &) = delete;
+    WireConn &operator=(const WireConn &) = delete;
+
+    /** Send one frame.  WireClosed when the peer is gone. */
+    void send(MsgType type, std::string_view payload = {});
+
+    /**
+     * Receive one frame.  WireClosed on EOF at a frame boundary or
+     * mid-frame (the peer died); FatalError on a malformed frame.
+     */
+    Frame recv();
+
+    /**
+     * Receive one frame and require its type.  A different type is
+     * fatal (protocol desync), except WireClosed which passes through.
+     */
+    Frame expect(MsgType type);
+
+    int fd() const { return _fd; }
+
+  private:
+    int _fd = -1;
+};
+
+// ------------------------------------------------------------ messages
+
+/**
+ * Handshake, worker -> coordinator: identifies the wire schema and
+ * the scenario fingerprint the worker was launched with.  The
+ * coordinator rejects any mismatch before assigning work.
+ */
+struct HelloMsg
+{
+    std::string schema = kWireSchema;
+    std::uint64_t worker = 0;
+    std::uint64_t fingerprint = 0;
+
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("schema", schema);
+        ar.io("worker", worker);
+        ar.io("fingerprint", fingerprint);
+    }
+};
+
+/**
+ * Chain partition assignment, coordinator -> worker.  `resume` asks
+ * the worker to continue from the newest valid snapshot in its
+ * directory (falling back to a fresh start when none exists yet).
+ */
+struct AssignMsg
+{
+    std::uint64_t chainLo = 0;
+    std::uint64_t chainHi = 0;
+    bool resume = false;
+    std::string snapshotDir;
+
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("chain_lo", chainLo);
+        ar.io("chain_hi", chainHi);
+        ar.io("resume", resume);
+        ar.io("snapshot_dir", snapshotDir);
+    }
+};
+
+/** Assignment ack: the first slot the worker will execute next. */
+struct AssignOkMsg
+{
+    std::int64_t startSlot = 0;
+
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("start_slot", startSlot);
+    }
+};
+
+/** Barrier instruction: run every slot strictly below `target`. */
+struct StepMsg
+{
+    std::int64_t target = 0;
+
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("target", target);
+    }
+};
+
+/**
+ * Barrier ack: the slot the worker now stands at, plus the FNV-1a
+ * digest of its partition's NVD4Q clone rotations (the inter-chain
+ * state exchanged at slot boundaries).  The coordinator recomputes
+ * the expected digest from the scenario alone, so a worker that
+ * drifted off the slot grid — or rotated its clone groups out of
+ * phase — is caught at the very barrier it diverged.
+ */
+struct StepOkMsg
+{
+    std::int64_t slot = 0;
+    std::uint64_t rotationDigest = 0;
+
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("slot", slot);
+        ar.io("rotation_digest", rotationDigest);
+    }
+};
+
+/** Checkpoint instruction/ack: state is "after slots [0, slot)". */
+struct SnapshotMsg
+{
+    std::int64_t slot = 0;
+
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("slot", slot);
+    }
+};
+
+/**
+ * One chain's report shard, worker -> coordinator: the chain's global
+ * index plus its SystemReport serialized as an archive record stream.
+ * The coordinator merges shards with SystemReport::merge in global
+ * chain order, so the double-precision sums associate exactly as the
+ * single-process chain loop's do.
+ */
+struct ShardMsg
+{
+    std::uint64_t chain = 0;
+    std::string blob;
+
+    template <class Archive>
+    void
+    serialize(Archive &ar)
+    {
+        ar.io("chain", chain);
+        ar.io("blob", blob);
+    }
+};
+
+/** Encode a message struct into a frame payload. */
+template <class Msg>
+std::string
+encodeMsg(Msg msg)
+{
+    snapshot::OutArchive ar;
+    msg.serialize(ar);
+    return ar.take();
+}
+
+/**
+ * Decode a frame payload into a message struct.  Any path/type
+ * mismatch or trailing bytes are fatal — a message decodes completely
+ * or not at all.
+ */
+template <class Msg>
+Msg
+decodeMsg(std::string_view payload)
+{
+    Msg msg;
+    snapshot::InArchive ar(payload);
+    msg.serialize(ar);
+    if (!ar.atEnd())
+        fatal("wire message has trailing records (version skew?)");
+    return msg;
+}
+
+/**
+ * Validate a worker's HELLO against the coordinator's scenario:
+ * fatal on a wire-schema or config-fingerprint mismatch (a worker
+ * simulating a different scenario must never contribute shards).
+ */
+void checkHello(const HelloMsg &hello, std::uint64_t fingerprint,
+                std::uint64_t expected_worker);
+
+} // namespace neofog::dist
+
+#endif // NEOFOG_DIST_WIRE_HH

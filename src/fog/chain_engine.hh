@@ -102,6 +102,9 @@ class ChainEngine
     const std::vector<std::unique_ptr<Node>> &nodes() const
     { return _nodes; }
 
+    /** NVD4Q clone groups, in logical-node order. */
+    const std::vector<CloneGroup> &groups() const { return _groups; }
+
     /** The chain's SoA state arrays (memory accounting, diagnostics). */
     const NodeShard &soa() const { return _soa; }
 

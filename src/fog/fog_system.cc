@@ -10,7 +10,12 @@
 namespace neofog {
 
 FogSystem::FogSystem(const ScenarioConfig &cfg)
-    : _cfg(cfg), _sim(cfg.seed)
+    : FogSystem(cfg, 0, cfg.chains)
+{}
+
+FogSystem::FogSystem(const ScenarioConfig &cfg, std::size_t chain_lo,
+                     std::size_t chain_hi)
+    : _cfg(cfg), _sim(cfg.seed), _chainLo(chain_lo), _chainHi(chain_hi)
 {
     if (_cfg.nodesPerChain == 0 || _cfg.chains == 0)
         fatal("scenario needs at least one node and one chain");
@@ -18,6 +23,10 @@ FogSystem::FogSystem(const ScenarioConfig &cfg)
         fatal("multiplexing must be >= 1");
     if (_cfg.slotInterval <= 0 || _cfg.horizon < _cfg.slotInterval)
         fatal("bad slot interval / horizon");
+    if (_chainLo >= _chainHi || _chainHi > _cfg.chains)
+        fatal("chain partition [", _chainLo, ", ", _chainHi,
+              ") is not a non-empty subrange of ", _cfg.chains,
+              " chains");
 
     // Canonicalize the balancer spec up front: one registry walk
     // validates the policy name and every parameter (failing with
@@ -42,10 +51,13 @@ FogSystem::FogSystem(const ScenarioConfig &cfg)
     }
 
     // Fork the per-chain streams up front, in chain order, from a
-    // root derived only from the seed.  Every stochastic draw a chain
-    // makes afterwards comes from its own stream, so neither the
-    // number of chains executing concurrently nor their interleaving
-    // can perturb any chain's results.
+    // root derived only from the seed — all *global* chains, even
+    // when this system simulates only a partition slice: chain c's
+    // stream must be the c-th fork no matter which process runs it.
+    // Every stochastic draw a chain makes afterwards comes from its
+    // own stream, so neither the number of chains executing
+    // concurrently nor their interleaving can perturb any chain's
+    // results.
     Rng root(_cfg.seed ^ 0xF06F06ULL);
     std::vector<Rng> streams;
     streams.reserve(_cfg.chains);
@@ -58,27 +70,32 @@ FogSystem::FogSystem(const ScenarioConfig &cfg)
     // sweep them every slot (slotTick below uses the same stable
     // chunk→thread mapping), so with --pin-threads the OS places each
     // shard's pages on the worker's own core/NUMA node (first-touch).
+    const std::size_t owned = _chainHi - _chainLo;
     const unsigned threads = _cfg.threads == 0
         ? ThreadPool::hardwareThreads() : _cfg.threads;
-    if (threads > 1 && _cfg.chains > 1)
+    if (threads > 1 && owned > 1)
         _pool = std::make_unique<ThreadPool>(threads, _cfg.pinThreads);
 
     // Engine construction is chain-parallel for the same reason the
     // slot loop is: engine c writes only its own slot (distinct
     // unique_ptr elements), reads only the shared config, the
     // read-only shared trace, and its own pre-forked RNG stream.
+    // Node ids stay globally contiguous (first id derives from the
+    // global chain index), so a partition's chain c is
+    // indistinguishable from the full system's.
     const auto mux = static_cast<std::size_t>(_cfg.multiplexing);
-    _engines.resize(_cfg.chains);
-    parallelForChunked(_pool.get(), _cfg.chains, [&](std::size_t c) {
+    _engines.resize(owned);
+    parallelForChunked(_pool.get(), owned, [&](std::size_t i) {
+        const std::size_t c = _chainLo + i;
         const auto first_id =
             static_cast<std::uint32_t>(c * _cfg.nodesPerChain * mux);
-        _engines[c] = std::make_unique<ChainEngine>(
+        _engines[i] = std::make_unique<ChainEngine>(
             _cfg, c, first_id, streams[c], _sharedTrace);
     });
 }
 
 void
-FogSystem::slotTick(std::int64_t slot_index)
+FogSystem::runOneSlot(std::int64_t slot_index)
 {
     // Chains are mutually independent, so the order (and thread) in
     // which they execute a slot is irrelevant to the outcome.  The
@@ -89,6 +106,21 @@ FogSystem::slotTick(std::int64_t slot_index)
                        [&](std::size_t c) {
         _engines[c]->runSlot(slot_index);
     });
+}
+
+void
+FogSystem::runWindow(std::int64_t from, std::int64_t to)
+{
+    NEOFOG_ASSERT(from >= 0 && to <= _cfg.slotCount() && from <= to,
+                  "runWindow range");
+    for (std::int64_t s = from; s < to; ++s)
+        runOneSlot(s);
+}
+
+void
+FogSystem::slotTick(std::int64_t slot_index)
+{
+    runOneSlot(slot_index);
 
     // Checkpoint at the upcoming boundary: the state right now is
     // "after slots [0, next)", exactly what a resume starting at
@@ -111,6 +143,9 @@ SystemReport
 FogSystem::run()
 {
     NEOFOG_ASSERT(!_ran, "FogSystem::run called twice");
+    NEOFOG_ASSERT(_chainLo == 0 && _chainHi == _cfg.chains,
+                  "run() needs the full chain range; partition systems "
+                  "are driven via runWindow + shardBlob");
     _ran = true;
     _report = SystemReport{};
     _report.idealPackages = _cfg.idealPackages();
@@ -128,11 +163,49 @@ FogSystem::run()
     // Merge the shards serially in chain order: uint64 sums commute,
     // but double sums do not, and a fixed order keeps the energy
     // totals bit-identical across thread counts.
-    for (auto &engine : _engines) {
-        engine->finalizeShard();
+    finalizeShards();
+    for (auto &engine : _engines)
         _report.merge(engine->shard());
-    }
     return _report;
+}
+
+void
+FogSystem::finalizeShards()
+{
+    if (_finalized)
+        return;
+    _finalized = true;
+    for (auto &engine : _engines)
+        engine->finalizeShard();
+}
+
+std::string
+FogSystem::shardBlob(std::size_t engine_idx) const
+{
+    NEOFOG_ASSERT(engine_idx < _engines.size(), "shard index");
+    NEOFOG_ASSERT(_finalized, "shardBlob before finalizeShards");
+    // serialize() mutates nothing but takes non-const refs; archive a
+    // copy so the engine's shard stays untouched.
+    SystemReport shard = _engines[engine_idx]->shard();
+    snapshot::OutArchive ar;
+    ar.pushScope("shard");
+    shard.serialize(ar);
+    ar.popScope();
+    return ar.take();
+}
+
+std::uint64_t
+FogSystem::rotationDigest() const
+{
+    std::string bytes;
+    for (const auto &engine : _engines) {
+        snapshot::appendLe64(
+            bytes, static_cast<std::uint64_t>(engine->chainIndex()));
+        for (const CloneGroup &g : engine->groups())
+            snapshot::appendLe32(
+                bytes, static_cast<std::uint32_t>(g.rotation()));
+    }
+    return snapshot::fnv1a(bytes);
 }
 
 void
@@ -160,17 +233,22 @@ FogSystem::saveSnapshot(std::int64_t slot)
     // Chain shards serialize concurrently — each walk touches only its
     // own engine's state, draws nothing from any RNG, and writes into
     // its own buffer — then land in the snapshot in chain order, so
-    // the byte stream is identical for any thread count.
+    // the byte stream is identical for any thread count.  Sections are
+    // named by *global* chain index: a partition system (distributed
+    // worker) writes exactly its [chainLo, chainHi) slice, and the
+    // union of the workers' files covers the same sections a
+    // single-process snapshot holds.
     std::vector<snapshot::Section> chain_sections(_engines.size());
     parallelForChunked(_pool.get(), _engines.size(),
-                       [&](std::size_t c) {
-        const std::string name = "chain" + std::to_string(c);
+                       [&](std::size_t i) {
+        const std::string name =
+            "chain" + std::to_string(_engines[i]->chainIndex());
         snapshot::OutArchive ar;
         ar.pushScope(name);
-        _engines[c]->serialize(ar);
+        _engines[i]->serialize(ar);
         ar.popScope();
-        chain_sections[c].name = name;
-        chain_sections[c].data = ar.take();
+        chain_sections[i].name = name;
+        chain_sections[i].data = ar.take();
     });
 
     snap.sections.reserve(2 + chain_sections.size());
@@ -239,6 +317,71 @@ FogSystem::resume(const std::string &path, unsigned threads,
     return system;
 }
 
+std::unique_ptr<FogSystem>
+FogSystem::resumePartition(const std::string &path,
+                           const ScenarioConfig &host,
+                           std::size_t chain_lo, std::size_t chain_hi)
+{
+    const std::string file = snapshot::resolveSnapshotPath(path);
+    const snapshot::Snapshot snap = snapshot::readSnapshot(file);
+
+    const snapshot::Section *config = snap.find("config");
+    if (config == nullptr)
+        fatal("snapshot ", file, " has no config section");
+    ScenarioConfig cfg = deserializeScenarioBlob(config->data);
+
+    // The worker already validated its scenario against the
+    // coordinator's fingerprint at HELLO time; cross-check the
+    // snapshot's archived scenario against the same fingerprint so a
+    // stale directory (earlier run, different scenario) is rejected
+    // before any engine state is overwritten.
+    if (scenarioFingerprint(cfg) != scenarioFingerprint(host))
+        fatal("partition snapshot ", file, " archives a different "
+              "scenario than this worker was assigned — stale "
+              "snapshot directory?");
+
+    cfg.threads = host.threads;
+    cfg.snapshot = host.snapshot;
+    cfg.batchSlotKernel = host.batchSlotKernel;
+    cfg.simdKernel = host.simdKernel;
+    cfg.pinThreads = host.pinThreads;
+
+    if (snap.chains != cfg.chains)
+        fatal("snapshot ", file, " header claims ", snap.chains,
+              " chains but its config section has ", cfg.chains);
+    if (snap.slot < 0 || snap.slot > cfg.slotCount())
+        fatal("snapshot ", file, " slot ", snap.slot,
+              " lies outside the scenario horizon of ",
+              cfg.slotCount(), " slots");
+    if (snap.seed != cfg.seed)
+        fatal("snapshot ", file, " header seed ", snap.seed,
+              " does not match its config section seed ", cfg.seed);
+
+    // Reconstruct-then-overwrite over the partition slice, exactly as
+    // the full resume does over all chains.
+    auto system =
+        std::make_unique<FogSystem>(cfg, chain_lo, chain_hi);
+    parallelForChunked(system->_pool.get(), system->_engines.size(),
+                       [&](std::size_t i) {
+        const std::string name =
+            "chain" +
+            std::to_string(system->_engines[i]->chainIndex());
+        const snapshot::Section *sec = snap.find(name);
+        if (sec == nullptr)
+            fatal("partition snapshot ", file, " is missing section '",
+                  name, "' — written by a different chain range?");
+        snapshot::InArchive ar(sec->data);
+        ar.pushScope(name);
+        system->_engines[i]->serialize(ar);
+        ar.popScope();
+        if (!ar.atEnd())
+            fatal("snapshot ", file, " section '", name,
+                  "' has trailing records (format/version skew?)");
+    });
+    system->_resumeSlot = snap.slot;
+    return system;
+}
+
 void
 FogSystem::dumpStats(std::ostream &os) const
 {
@@ -247,9 +390,9 @@ FogSystem::dumpStats(std::ostream &os) const
         const auto &nodes = _engines[c]->nodes();
         for (std::size_t i = 0; i < nodes.size(); ++i) {
             const NodeStats &st = nodes[i]->stats();
-            const std::string prefix = "chain" + std::to_string(c) +
-                                       ".node" + std::to_string(i) +
-                                       ".";
+            const std::string prefix =
+                "chain" + std::to_string(_engines[c]->chainIndex()) +
+                ".node" + std::to_string(i) + ".";
             registry.registerCounter(prefix + "wakeups", &st.wakeups);
             registry.registerCounter(prefix + "depletionFailures",
                                      &st.depletionFailures);
@@ -289,7 +432,8 @@ FogSystem::probeSeries() const
     out.reserve(_engines.size() * 4);
     for (std::size_t c = 0; c < _engines.size(); ++c) {
         const ChainProbe &p = _engines[c]->probe();
-        const std::string prefix = "chain" + std::to_string(c) + ".";
+        const std::string prefix =
+            "chain" + std::to_string(_engines[c]->chainIndex()) + ".";
         out.push_back({prefix + "stored_mj", "mJ",
                        p.storedEnergyMj.snapshot()});
         out.push_back({prefix + "yield", "ratio",

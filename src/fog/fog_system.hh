@@ -42,6 +42,18 @@ class FogSystem
     explicit FogSystem(const ScenarioConfig &cfg);
 
     /**
+     * Partition constructor (the distributed worker's entry point,
+     * see src/dist/): build engines only for the contiguous global
+     * chain range [chain_lo, chain_hi).  The RNG root still forks one
+     * stream per *global* chain in chain order — the partition takes
+     * its slice — and node ids stay globally contiguous, so chain c
+     * behaves bit-identically whether it runs in a full system or in
+     * any partition containing it.
+     */
+    FogSystem(const ScenarioConfig &cfg, std::size_t chain_lo,
+              std::size_t chain_hi);
+
+    /**
      * Reconstruct a system from a snapshot (see src/snapshot/): @p path
      * names either a snapshot file or a directory, which resolves to
      * its newest fully valid snapshot.  The scenario is rebuilt from
@@ -59,6 +71,21 @@ class FogSystem
            bool simd_kernel = true, bool pin_threads = false);
 
     /**
+     * Partition resume: reconstruct the chain range [chain_lo,
+     * chain_hi) from a *partition snapshot* (one whose chain sections
+     * cover exactly that range; see the partition constructor and the
+     * distributed worker loop).  The scenario is rebuilt from the
+     * snapshot's config section; @p host supplies the host-local
+     * knobs (threads, snapshot, batchSlotKernel, simdKernel,
+     * pinThreads — none influences results) and must otherwise match
+     * the archived scenario fingerprint.  Fatal on any corruption,
+     * range, or config mismatch.
+     */
+    static std::unique_ptr<FogSystem>
+    resumePartition(const std::string &path, const ScenarioConfig &host,
+                    std::size_t chain_lo, std::size_t chain_hi);
+
+    /**
      * Write a full-state checkpoint into the configured snapshot
      * directory.  @p slot is the first slot a resume will execute, so
      * the archived state is "after slots [0, slot)".  Chain shards
@@ -72,6 +99,43 @@ class FogSystem
 
     /** Run the full horizon and return aggregated results. */
     SystemReport run();
+
+    /**
+     * Run slots [from, to) over this system's chain range, outside
+     * the event queue.  ChainEngine never touches the Simulator, so a
+     * plain slot loop is bit-identical to the event-driven run() —
+     * this is the distributed worker's stepping primitive (the
+     * coordinator drives barriers and checkpoints explicitly).
+     * Leaves the report un-merged; see shardBlob().
+     */
+    void runWindow(std::int64_t from, std::int64_t to);
+
+    /** Chain range this system simulates: [chainLo, chainHi). */
+    std::size_t chainLo() const { return _chainLo; }
+    std::size_t chainHi() const { return _chainHi; }
+
+    /**
+     * Fold node counters into every engine's report shard (idempotent
+     * wrapper; finalizeShard itself must run exactly once per chain).
+     * Workers call this after the horizon, before shipping shards.
+     */
+    void finalizeShards();
+
+    /**
+     * One chain's finalized report shard as an archive record stream
+     * (scope "shard") — the payload of the wire SHARD message.
+     * @p engine_idx indexes this system's engines (0-based within the
+     * partition), not global chains.
+     */
+    std::string shardBlob(std::size_t engine_idx) const;
+
+    /**
+     * FNV-1a digest of the partition's NVD4Q clone rotations: per
+     * chain, the global chain index (LE64) then each group's rotation
+     * (LE32).  Matches dist::expectedRotationDigest when the partition
+     * is exactly on the slot grid — the distributed barrier check.
+     */
+    std::uint64_t rotationDigest() const;
 
     /** Per-(physical)-node access after run() for figure series. */
     const Node &node(std::size_t chain, std::size_t physical_idx) const;
@@ -114,8 +178,17 @@ class FogSystem
     /** Run one slot across every chain, then schedule the next. */
     void slotTick(std::int64_t slot_index);
 
+    /** The chain-parallel body of one slot (no scheduling). */
+    void runOneSlot(std::int64_t slot_index);
+
     ScenarioConfig _cfg;
     Simulator _sim;
+
+    /** Global chain range simulated here (full system: [0, chains)). */
+    std::size_t _chainLo = 0;
+    std::size_t _chainHi = 0;
+    /** Whether finalizeShards() has already folded the counters. */
+    bool _finalized = false;
 
     /**
      * Scenario-wide shared power stream (rain front), prefix-summed

@@ -44,6 +44,8 @@ class CloneGroup
     std::size_t logicalId() const { return _logicalId; }
     const std::vector<std::size_t> &members() const { return _members; }
     int multiplier() const { return static_cast<int>(_members.size()); }
+    /** Accumulated membership rotations (Algorithm 2 phase shift). */
+    int rotation() const { return _rotation; }
 
     /** The physical member that wakes in the given global slot. */
     std::size_t memberForSlot(std::int64_t slot_index) const;

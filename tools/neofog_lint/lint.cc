@@ -50,6 +50,10 @@ const char *kRuleNames[kRuleCount] = {
  * may include snapshot — component headers keep their serialize()
  * members as archive-type templates precisely so they never need the
  * snapshot headers themselves.
+ *
+ * `dist` (the multi-process coordinator/worker runtime) tops the DAG:
+ * it may include everything, and nothing in src/ includes it back —
+ * only examples/, bench/, and tests link against it.
  */
 const std::map<std::string, std::set<std::string>> &
 layerTable()
@@ -70,6 +74,12 @@ layerTable()
         {"fog",
          {"sim", "kernels", "energy", "hw", "workload", "net",
           "balance", "node", "virt", "snapshot"}},
+        // The distributed runtime drives fog systems over the
+        // snapshot wire format; it sits at the very top of the DAG
+        // and nothing in src/ may include it back.
+        {"dist",
+         {"sim", "kernels", "energy", "hw", "workload", "net",
+          "balance", "node", "virt", "snapshot", "fog"}},
     };
     return table;
 }
